@@ -1,0 +1,139 @@
+(* Benchmark entry point.
+
+   Default mode regenerates every experiment table/figure of the
+   reproduction (DESIGN.md §3) as aligned text tables, then runs the
+   Bechamel section: one [Test.make] per experiment table (a scaled-down
+   run, so per-experiment cost is tracked like any other bench) plus
+   micro-benchmarks of the hot substrate paths.
+
+     dune exec bench/main.exe                 # full suite + bechamel
+     dune exec bench/main.exe -- --quick      # scaled-down tables
+     dune exec bench/main.exe -- f2 t2        # subset by experiment id
+     dune exec bench/main.exe -- --bechamel   # bechamel section only
+     dune exec bench/main.exe -- --tables     # tables only *)
+
+module Registry = Rsmr_experiments.Registry
+module Table = Rsmr_experiments.Table
+
+let run_experiments ~quick ids =
+  let entries =
+    match ids with
+    | [] -> Registry.all
+    | ids ->
+      List.filter_map
+        (fun id ->
+          match Registry.find id with
+          | Some e -> Some e
+          | None ->
+            Printf.eprintf "unknown experiment id: %s\n" id;
+            None)
+        ids
+  in
+  Printf.printf
+    "Reconfigurable SMR from non-reconfigurable building blocks — evaluation \
+     suite (%s mode)\n"
+    (if quick then "quick" else "full");
+  List.iter
+    (fun (e : Registry.entry) ->
+      let t0 = Unix.gettimeofday () in
+      let table = e.Registry.run ~quick () in
+      Table.print table;
+      Printf.printf "  [%s finished in %.1fs wall]\n%!" e.Registry.id
+        (Unix.gettimeofday () -. t0))
+    entries
+
+(* --- Bechamel --- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  (* One Test.make per experiment table, running its quick variant. *)
+  let experiment_tests =
+    List.map
+      (fun (e : Registry.entry) ->
+        Test.make
+          ~name:("table-" ^ String.lowercase_ascii e.Registry.id)
+          (Staged.stage (fun () -> ignore (e.Registry.run ~quick:true ()))))
+      Registry.all
+  in
+  let codec =
+    let cmd = Rsmr_app.Kv.Put ("key00000042", String.make 64 'x') in
+    Test.make ~name:"kv-command-codec-roundtrip"
+      (Staged.stage (fun () ->
+           ignore (Rsmr_app.Kv.decode_command (Rsmr_app.Kv.encode_command cmd))))
+  in
+  let histogram =
+    let h = Rsmr_sim.Histogram.create () in
+    Test.make ~name:"histogram-record"
+      (Staged.stage (fun () -> Rsmr_sim.Histogram.record h 0.00123))
+  in
+  let engine =
+    Test.make ~name:"engine-10k-timer-events"
+      (Staged.stage (fun () ->
+           let e = Rsmr_sim.Engine.create () in
+           for i = 1 to 10_000 do
+             ignore
+               (Rsmr_sim.Engine.schedule e
+                  ~delay:(float_of_int (i mod 97) /. 100.0)
+                  (fun () -> ()))
+           done;
+           Rsmr_sim.Engine.run e))
+  in
+  let paxos =
+    Test.make ~name:"core-100-commands-3-replicas"
+      (Staged.stage (fun () ->
+           let module KvCore = Rsmr_core.Service.Make (Rsmr_app.Kv) in
+           let engine = Rsmr_sim.Engine.create ~seed:3 () in
+           let svc = KvCore.create ~engine ~members:[ 0; 1; 2 ] () in
+           let cluster = KvCore.cluster svc in
+           Rsmr_workload.Driver.preload ~cluster ~client:99
+             ~commands:
+               (Rsmr_workload.Kv_gen.preload_commands ~n_keys:100 ~value_size:32)
+             ~deadline:30.0 ()))
+  in
+  [ codec; histogram; engine; paxos ] @ experiment_tests
+
+let run_bechamel () =
+  let open Bechamel in
+  print_endline "\n== Bechamel micro/meso benchmarks ==";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:40 ~quota:(Time.second 1.0) () in
+  let grouped = Test.make_grouped ~name:"rsmr" (bechamel_tests ()) in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> est
+          | Some [] | None -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) ->
+      if Float.is_nan ns then Printf.printf "%-45s %15s\n" name "-"
+      else if ns > 1e9 then Printf.printf "%-45s %12.2f s/run\n" name (ns /. 1e9)
+      else if ns > 1e6 then Printf.printf "%-45s %12.2f ms/run\n" name (ns /. 1e6)
+      else if ns > 1e3 then Printf.printf "%-45s %12.2f us/run\n" name (ns /. 1e3)
+      else Printf.printf "%-45s %12.0f ns/run\n" name ns)
+    rows
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let bechamel_only = List.mem "--bechamel" args in
+  let tables_only = List.mem "--tables" args in
+  let ids =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  if bechamel_only then run_bechamel ()
+  else begin
+    run_experiments ~quick ids;
+    if not tables_only then run_bechamel ()
+  end

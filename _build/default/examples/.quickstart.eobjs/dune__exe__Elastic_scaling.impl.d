@@ -1,0 +1,1 @@
+examples/elastic_scaling.ml: Format Fun List Printf Rsmr_app Rsmr_core Rsmr_sim Rsmr_workload String

@@ -1,0 +1,1 @@
+examples/elastic_scaling.mli:

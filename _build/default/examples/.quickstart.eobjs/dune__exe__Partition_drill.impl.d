@@ -1,0 +1,1 @@
+examples/partition_drill.ml: List Printf Rsmr_app Rsmr_core Rsmr_net Rsmr_sim Rsmr_workload String

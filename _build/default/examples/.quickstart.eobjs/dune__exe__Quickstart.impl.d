@@ -1,0 +1,1 @@
+examples/quickstart.ml: Hashtbl List Printf Rsmr_app Rsmr_core Rsmr_iface Rsmr_sim String

@@ -1,0 +1,1 @@
+examples/rolling_upgrade.ml: Format List Printf Rsmr_app Rsmr_core Rsmr_sim Rsmr_workload String

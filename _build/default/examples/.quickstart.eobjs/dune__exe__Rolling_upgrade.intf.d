@@ -1,0 +1,1 @@
+examples/rolling_upgrade.mli:

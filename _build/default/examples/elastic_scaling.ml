@@ -1,0 +1,65 @@
+(* Elastic scaling: grow the replica set when load arrives, shrink it when
+   load subsides — the FRAPPE use case that motivated building
+   reconfiguration from static building blocks.
+
+     dune exec examples/elastic_scaling.exe
+
+   (Scaling a majority-quorum system out does not increase write
+   throughput — it increases fault tolerance and read capacity; the point
+   here is that the service absorbs repeated reconfigurations while
+   serving.) *)
+
+module Engine = Rsmr_sim.Engine
+module Histogram = Rsmr_sim.Histogram
+module Service = Rsmr_core.Service.Make (Rsmr_app.Kv)
+module Driver = Rsmr_workload.Driver
+module Keys = Rsmr_workload.Keys
+module Kv_gen = Rsmr_workload.Kv_gen
+module Schedule = Rsmr_workload.Schedule
+
+let () =
+  let engine = Engine.create ~seed:99 () in
+  let universe = List.init 7 Fun.id in
+  let service = Service.create ~engine ~members:[ 0; 1; 2 ] ~universe () in
+  let cluster = Service.cluster service in
+
+  Driver.preload ~cluster ~client:99
+    ~commands:(Kv_gen.preload_commands ~n_keys:2_000 ~value_size:64)
+    ~deadline:60.0 ();
+  let t0 = Engine.now engine in
+
+  let rng = Rsmr_sim.Rng.split (Engine.rng engine) in
+  let gen = Kv_gen.create ~rng ~keys:(Keys.zipf ~n:2_000 ~theta:0.9) ~read_ratio:0.9 () in
+  (* Ops reaction is scheduled up front: scale out for the burst, scale
+     back after. *)
+  Schedule.reconfigure_at cluster ~time:(t0 +. 4.0) [ 0; 1; 2; 3; 4 ];
+  Schedule.reconfigure_at cluster ~time:(t0 +. 9.0) [ 2; 3; 4 ];
+  (* A driver owns the cluster's reply slot, so phases run back-to-back:
+     each is created when the previous one has drained. *)
+  let phase ~rate ~start ~duration =
+    let stats =
+      Driver.run_open ~cluster ~n_clients:8 ~first_client_id:100
+        ~gen:(fun ~client:_ ~seq:_ -> Kv_gen.next gen)
+        ~rate ~start:(t0 +. start) ~duration ()
+    in
+    Engine.run ~until:(t0 +. start +. duration +. 0.4) engine;
+    stats
+  in
+  let calm1 = phase ~rate:300.0 ~start:0.5 ~duration:3.5 in
+  let burst = phase ~rate:1500.0 ~start:4.5 ~duration:4.0 in
+  let calm2 = phase ~rate:300.0 ~start:9.0 ~duration:4.0 in
+  Engine.run ~until:(t0 +. 20.0) engine;
+
+  let report name (stats : Driver.stats) =
+    Printf.printf "%-24s %6d done  %s\n" name stats.Driver.completed
+      (Format.asprintf "%a" Histogram.pp_summary stats.Driver.latency)
+  in
+  Printf.printf "\nphase                    completions / latency\n";
+  report "calm (3 replicas)" calm1;
+  report "burst (scaled to 5)" burst;
+  report "calm (shrunk to 3)" calm2;
+  Printf.printf "\nfinal members {%s}, epoch %d, reconfigs absorbed: %d\n"
+    (String.concat "," (List.map string_of_int (Service.current_members service)))
+    (Service.current_epoch service)
+    (Service.current_epoch service);
+  assert (Service.current_members service = [ 2; 3; 4 ])

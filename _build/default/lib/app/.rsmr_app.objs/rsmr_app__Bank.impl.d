@@ -1,0 +1,1 @@
+lib/app/bank.ml: Codec Format Map String

@@ -1,0 +1,1 @@
+lib/app/bank.mli: State_machine

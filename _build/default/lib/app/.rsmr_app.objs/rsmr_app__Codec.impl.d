@@ -1,0 +1,1 @@
+lib/app/codec.ml: Buffer Char Int64 List String

@@ -1,0 +1,1 @@
+lib/app/codec.mli:

@@ -1,0 +1,1 @@
+lib/app/counter.ml: Codec Format

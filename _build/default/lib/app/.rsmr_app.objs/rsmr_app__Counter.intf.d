@@ -1,0 +1,1 @@
+lib/app/counter.mli: State_machine

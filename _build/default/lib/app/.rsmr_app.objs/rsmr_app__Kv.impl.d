@@ -1,0 +1,1 @@
+lib/app/kv.ml: Codec Format Map Option String

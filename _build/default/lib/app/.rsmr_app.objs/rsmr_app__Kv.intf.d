@@ -1,0 +1,1 @@
+lib/app/kv.mli: State_machine

@@ -1,0 +1,1 @@
+lib/app/register.ml: Codec Format

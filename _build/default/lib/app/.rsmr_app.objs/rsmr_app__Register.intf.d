@@ -1,0 +1,1 @@
+lib/app/register.mli: State_machine

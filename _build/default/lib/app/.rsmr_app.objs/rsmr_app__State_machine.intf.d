@@ -1,0 +1,1 @@
+lib/app/state_machine.mli: Format

@@ -1,0 +1,121 @@
+module Smap = Map.Make (String)
+
+type command =
+  | Open of string * int
+  | Transfer of string * string * int
+  | Balance of string
+  | Total
+
+type response = Ok | Insufficient | No_account | Amount of int
+type t = int Smap.t
+
+let name = "bank"
+let init () = Smap.empty
+
+let apply t = function
+  | Open (acct, amount) -> (Smap.add acct amount t, Ok)
+  | Transfer (src, dst, amount) -> (
+    match (Smap.find_opt src t, Smap.find_opt dst t) with
+    | Some s, Some _ when String.equal src dst ->
+      (* Self-transfer: legal but a no-op. *)
+      if s >= amount then (t, Ok) else (t, Insufficient)
+    | Some s, Some d ->
+      if s >= amount then
+        (Smap.add src (s - amount) (Smap.add dst (d + amount) t), Ok)
+      else (t, Insufficient)
+    | _ -> (t, No_account))
+  | Balance acct -> (
+    match Smap.find_opt acct t with
+    | Some b -> (t, Amount b)
+    | None -> (t, No_account))
+  | Total -> (t, Amount (Smap.fold (fun _ b acc -> acc + b) t 0))
+
+let encode_command c =
+  let w = Codec.Writer.create () in
+  (match c with
+   | Open (a, n) ->
+     Codec.Writer.u8 w 0;
+     Codec.Writer.string w a;
+     Codec.Writer.zigzag w n
+   | Transfer (s, d, n) ->
+     Codec.Writer.u8 w 1;
+     Codec.Writer.string w s;
+     Codec.Writer.string w d;
+     Codec.Writer.zigzag w n
+   | Balance a ->
+     Codec.Writer.u8 w 2;
+     Codec.Writer.string w a
+   | Total -> Codec.Writer.u8 w 3);
+  Codec.Writer.contents w
+
+let decode_command s =
+  let r = Codec.Reader.of_string s in
+  match Codec.Reader.u8 r with
+  | 0 ->
+    let a = Codec.Reader.string r in
+    Open (a, Codec.Reader.zigzag r)
+  | 1 ->
+    let src = Codec.Reader.string r in
+    let dst = Codec.Reader.string r in
+    Transfer (src, dst, Codec.Reader.zigzag r)
+  | 2 -> Balance (Codec.Reader.string r)
+  | 3 -> Total
+  | _ -> raise Codec.Truncated
+
+let encode_response resp =
+  let w = Codec.Writer.create () in
+  (match resp with
+   | Ok -> Codec.Writer.u8 w 0
+   | Insufficient -> Codec.Writer.u8 w 1
+   | No_account -> Codec.Writer.u8 w 2
+   | Amount n ->
+     Codec.Writer.u8 w 3;
+     Codec.Writer.zigzag w n);
+  Codec.Writer.contents w
+
+let decode_response s =
+  let r = Codec.Reader.of_string s in
+  match Codec.Reader.u8 r with
+  | 0 -> Ok
+  | 1 -> Insufficient
+  | 2 -> No_account
+  | 3 -> Amount (Codec.Reader.zigzag r)
+  | _ -> raise Codec.Truncated
+
+let snapshot t =
+  let w = Codec.Writer.create ~size_hint:1024 () in
+  Codec.Writer.varint w (Smap.cardinal t);
+  Smap.iter
+    (fun k v ->
+      Codec.Writer.string w k;
+      Codec.Writer.zigzag w v)
+    t;
+  Codec.Writer.contents w
+
+let restore s =
+  let r = Codec.Reader.of_string s in
+  let n = Codec.Reader.varint r in
+  let rec go acc i =
+    if i = n then acc
+    else
+      let k = Codec.Reader.string r in
+      let v = Codec.Reader.zigzag r in
+      go (Smap.add k v acc) (i + 1)
+  in
+  go Smap.empty 0
+
+let equal_response (a : response) b = a = b
+
+let pp_command ppf = function
+  | Open (a, n) -> Format.fprintf ppf "open(%s,%d)" a n
+  | Transfer (s, d, n) -> Format.fprintf ppf "transfer(%s->%s,%d)" s d n
+  | Balance a -> Format.fprintf ppf "balance(%s)" a
+  | Total -> Format.pp_print_string ppf "total"
+
+let pp_response ppf = function
+  | Ok -> Format.pp_print_string ppf "ok"
+  | Insufficient -> Format.pp_print_string ppf "insufficient"
+  | No_account -> Format.pp_print_string ppf "no-account"
+  | Amount n -> Format.fprintf ppf "amount(%d)" n
+
+let total t = Smap.fold (fun _ b acc -> acc + b) t 0

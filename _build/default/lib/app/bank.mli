@@ -1,0 +1,20 @@
+(** Bank of accounts with money-conserving transfers.  The invariant "sum
+    of balances is constant" makes lost or duplicated commands show up in
+    property tests even when individual responses look plausible. *)
+
+type command =
+  | Open of string * int      (** account, initial balance *)
+  | Transfer of string * string * int
+  | Balance of string
+  | Total
+
+type response =
+  | Ok
+  | Insufficient
+  | No_account
+  | Amount of int
+
+include
+  State_machine.S with type command := command and type response := response
+
+val total : t -> int

@@ -1,0 +1,122 @@
+exception Truncated
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(size_hint = 64) () = Buffer.create size_hint
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xFF))
+
+  let varint t v =
+    if v < 0 then invalid_arg "Codec.Writer.varint: negative";
+    let rec go v =
+      if v < 0x80 then u8 t v
+      else begin
+        u8 t (0x80 lor (v land 0x7F));
+        go (v lsr 7)
+      end
+    in
+    go v
+
+  (* Zigzag over Int64 so the full native-int range roundtrips, including
+     min_int, where the shift-based trick overflows. *)
+  let zigzag t v =
+    let z =
+      Int64.logxor
+        (Int64.shift_left (Int64.of_int v) 1)
+        (Int64.shift_right (Int64.of_int v) 63)
+    in
+    let rec go z =
+      let low = Int64.to_int (Int64.logand z 0x7FL) in
+      let rest = Int64.shift_right_logical z 7 in
+      if Int64.equal rest 0L then u8 t low
+      else begin
+        u8 t (0x80 lor low);
+        go rest
+      end
+    in
+    go z
+  let bool t b = u8 t (if b then 1 else 0)
+
+  let float t f =
+    let bits = Int64.bits_of_float f in
+    for i = 0 to 7 do
+      u8 t (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF)
+    done
+
+  let string t s =
+    varint t (String.length s);
+    Buffer.add_string t s
+
+  let option t f = function
+    | None -> bool t false
+    | Some v ->
+      bool t true;
+      f t v
+
+  let list t f l =
+    varint t (List.length l);
+    List.iter (f t) l
+
+  let contents = Buffer.contents
+  let length = Buffer.length
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  let of_string data = { data; pos = 0 }
+
+  let u8 t =
+    if t.pos >= String.length t.data then raise Truncated;
+    let v = Char.code t.data.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let varint t =
+    let rec go shift acc =
+      if shift > 62 then raise Truncated;
+      let b = u8 t in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let zigzag t =
+    let rec go shift acc =
+      if shift > 70 then raise Truncated;
+      let b = u8 t in
+      let acc =
+        Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7F)) shift)
+      in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    let z = go 0 0L in
+    Int64.to_int
+      (Int64.logxor
+         (Int64.shift_right_logical z 1)
+         (Int64.neg (Int64.logand z 1L)))
+
+  let bool t = u8 t <> 0
+
+  let float t =
+    let bits = ref 0L in
+    for i = 0 to 7 do
+      bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (u8 t)) (8 * i))
+    done;
+    Int64.float_of_bits !bits
+
+  let string t =
+    let n = varint t in
+    if t.pos + n > String.length t.data then raise Truncated;
+    let s = String.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let option t f = if bool t then Some (f t) else None
+
+  let list t f =
+    let n = varint t in
+    List.init n (fun _ -> f t)
+
+  let at_end t = t.pos >= String.length t.data
+end

@@ -1,0 +1,44 @@
+(** Hand-rolled binary codec.
+
+    All wire messages, command envelopes and snapshots go through this
+    module, so byte counts reported by the benchmarks reflect a realistic
+    serialization rather than [Marshal] internals.  Integers use LEB128
+    varints; strings are length-prefixed. *)
+
+exception Truncated
+(** Raised by readers on malformed or short input. *)
+
+module Writer : sig
+  type t
+
+  val create : ?size_hint:int -> unit -> t
+  val u8 : t -> int -> unit
+  val varint : t -> int -> unit
+  (** Non-negative varint. *)
+
+  val zigzag : t -> int -> unit
+  (** Signed varint. *)
+
+  val bool : t -> bool -> unit
+  val float : t -> float -> unit
+  val string : t -> string -> unit
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  val contents : t -> string
+  val length : t -> int
+end
+
+module Reader : sig
+  type t
+
+  val of_string : string -> t
+  val u8 : t -> int
+  val varint : t -> int
+  val zigzag : t -> int
+  val bool : t -> bool
+  val float : t -> float
+  val string : t -> string
+  val option : t -> (t -> 'a) -> 'a option
+  val list : t -> (t -> 'a) -> 'a list
+  val at_end : t -> bool
+end

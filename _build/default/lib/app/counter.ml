@@ -1,0 +1,44 @@
+type command = Incr of int | Read
+type response = Current of int
+type t = int
+
+let name = "counter"
+let init () = 0
+
+let apply t = function
+  | Incr n -> (t + n, Current (t + n))
+  | Read -> (t, Current t)
+
+let encode_command c =
+  let w = Codec.Writer.create () in
+  (match c with
+   | Incr n ->
+     Codec.Writer.u8 w 0;
+     Codec.Writer.zigzag w n
+   | Read -> Codec.Writer.u8 w 1);
+  Codec.Writer.contents w
+
+let decode_command s =
+  let r = Codec.Reader.of_string s in
+  match Codec.Reader.u8 r with
+  | 0 -> Incr (Codec.Reader.zigzag r)
+  | 1 -> Read
+  | _ -> raise Codec.Truncated
+
+let encode_response (Current n) =
+  let w = Codec.Writer.create () in
+  Codec.Writer.zigzag w n;
+  Codec.Writer.contents w
+
+let decode_response s =
+  Current (Codec.Reader.zigzag (Codec.Reader.of_string s))
+
+let snapshot t = encode_response (Current t)
+let restore s = match decode_response s with Current n -> n
+let equal_response (Current a) (Current b) = a = b
+let pp_command ppf = function
+  | Incr n -> Format.fprintf ppf "incr(%d)" n
+  | Read -> Format.pp_print_string ppf "read"
+
+let pp_response ppf (Current n) = Format.fprintf ppf "current(%d)" n
+let value t = t

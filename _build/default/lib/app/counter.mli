@@ -1,0 +1,11 @@
+(** Single monotone counter — the smallest useful state machine; used by
+    the quickstart example and exactly-once (deduplication) tests, where a
+    doubly-applied increment is immediately visible. *)
+
+type command = Incr of int | Read
+type response = Current of int
+
+include
+  State_machine.S with type command := command and type response := response
+
+val value : t -> int

@@ -1,0 +1,131 @@
+module Smap = Map.Make (String)
+
+type command =
+  | Get of string
+  | Put of string * string
+  | Delete of string
+  | Cas of string * string option * string
+  | Append of string * string
+
+type response = Value of string option | Ok | Cas_result of bool
+type t = string Smap.t
+
+let name = "kv"
+let init () = Smap.empty
+
+let apply t = function
+  | Get k -> (t, Value (Smap.find_opt k t))
+  | Put (k, v) -> (Smap.add k v t, Ok)
+  | Delete k -> (Smap.remove k t, Ok)
+  | Cas (k, expected, v) ->
+    if Smap.find_opt k t = expected then (Smap.add k v t, Cas_result true)
+    else (t, Cas_result false)
+  | Append (k, v) ->
+    let current = Option.value (Smap.find_opt k t) ~default:"" in
+    (Smap.add k (current ^ v) t, Ok)
+
+let encode_command c =
+  let w = Codec.Writer.create () in
+  (match c with
+   | Get k ->
+     Codec.Writer.u8 w 0;
+     Codec.Writer.string w k
+   | Put (k, v) ->
+     Codec.Writer.u8 w 1;
+     Codec.Writer.string w k;
+     Codec.Writer.string w v
+   | Delete k ->
+     Codec.Writer.u8 w 2;
+     Codec.Writer.string w k
+   | Cas (k, e, v) ->
+     Codec.Writer.u8 w 3;
+     Codec.Writer.string w k;
+     Codec.Writer.option w Codec.Writer.string e;
+     Codec.Writer.string w v
+   | Append (k, v) ->
+     Codec.Writer.u8 w 4;
+     Codec.Writer.string w k;
+     Codec.Writer.string w v);
+  Codec.Writer.contents w
+
+let decode_command s =
+  let r = Codec.Reader.of_string s in
+  match Codec.Reader.u8 r with
+  | 0 -> Get (Codec.Reader.string r)
+  | 1 ->
+    let k = Codec.Reader.string r in
+    Put (k, Codec.Reader.string r)
+  | 2 -> Delete (Codec.Reader.string r)
+  | 3 ->
+    let k = Codec.Reader.string r in
+    let e = Codec.Reader.option r Codec.Reader.string in
+    Cas (k, e, Codec.Reader.string r)
+  | 4 ->
+    let k = Codec.Reader.string r in
+    Append (k, Codec.Reader.string r)
+  | _ -> raise Codec.Truncated
+
+let encode_response resp =
+  let w = Codec.Writer.create () in
+  (match resp with
+   | Value v ->
+     Codec.Writer.u8 w 0;
+     Codec.Writer.option w Codec.Writer.string v
+   | Ok -> Codec.Writer.u8 w 1
+   | Cas_result b ->
+     Codec.Writer.u8 w 2;
+     Codec.Writer.bool w b);
+  Codec.Writer.contents w
+
+let decode_response s =
+  let r = Codec.Reader.of_string s in
+  match Codec.Reader.u8 r with
+  | 0 -> Value (Codec.Reader.option r Codec.Reader.string)
+  | 1 -> Ok
+  | 2 -> Cas_result (Codec.Reader.bool r)
+  | _ -> raise Codec.Truncated
+
+let snapshot t =
+  let w = Codec.Writer.create ~size_hint:4096 () in
+  Codec.Writer.varint w (Smap.cardinal t);
+  Smap.iter
+    (fun k v ->
+      Codec.Writer.string w k;
+      Codec.Writer.string w v)
+    t;
+  Codec.Writer.contents w
+
+let restore s =
+  let r = Codec.Reader.of_string s in
+  let n = Codec.Reader.varint r in
+  let rec go acc i =
+    if i = n then acc
+    else
+      let k = Codec.Reader.string r in
+      let v = Codec.Reader.string r in
+      go (Smap.add k v acc) (i + 1)
+  in
+  go Smap.empty 0
+
+let equal_response (a : response) b = a = b
+
+let pp_command ppf = function
+  | Get k -> Format.fprintf ppf "get(%s)" k
+  | Put (k, v) -> Format.fprintf ppf "put(%s,%s)" k v
+  | Delete k -> Format.fprintf ppf "del(%s)" k
+  | Cas (k, e, v) ->
+    Format.fprintf ppf "cas(%s,%a,%s)" k
+      (Format.pp_print_option Format.pp_print_string)
+      e v
+  | Append (k, v) -> Format.fprintf ppf "append(%s,%s)" k v
+
+let pp_response ppf = function
+  | Value v ->
+    Format.fprintf ppf "value(%a)"
+      (Format.pp_print_option Format.pp_print_string)
+      v
+  | Ok -> Format.pp_print_string ppf "ok"
+  | Cas_result b -> Format.fprintf ppf "cas(%b)" b
+
+let cardinal = Smap.cardinal
+let find t k = Smap.find_opt k t

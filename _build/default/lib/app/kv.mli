@@ -1,0 +1,24 @@
+(** Key-value store state machine — the workhorse application for the
+    benchmarks (stands in for FRAPPE's elastic services). *)
+
+type command =
+  | Get of string
+  | Put of string * string
+  | Delete of string
+  | Cas of string * string option * string
+      (** [Cas (k, expected, v)]: write [v] iff current value = expected. *)
+  | Append of string * string
+
+type response =
+  | Value of string option
+  | Ok
+  | Cas_result of bool
+
+include
+  State_machine.S with type command := command and type response := response
+
+val cardinal : t -> int
+(** Number of live keys — used by state-size sweeps. *)
+
+val find : t -> string -> string option
+(** Direct lookup, for tests. *)

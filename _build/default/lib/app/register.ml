@@ -1,0 +1,73 @@
+type command = Read | Write of int | Cas of int * int
+type response = Value of int | Written | Cas_result of bool
+type t = int
+
+let name = "register"
+let init () = 0
+
+let apply t = function
+  | Read -> (t, Value t)
+  | Write v -> (v, Written)
+  | Cas (expected, v) ->
+    if t = expected then (v, Cas_result true) else (t, Cas_result false)
+
+let encode_command c =
+  let w = Codec.Writer.create () in
+  (match c with
+   | Read -> Codec.Writer.u8 w 0
+   | Write v ->
+     Codec.Writer.u8 w 1;
+     Codec.Writer.zigzag w v
+   | Cas (e, v) ->
+     Codec.Writer.u8 w 2;
+     Codec.Writer.zigzag w e;
+     Codec.Writer.zigzag w v);
+  Codec.Writer.contents w
+
+let decode_command s =
+  let r = Codec.Reader.of_string s in
+  match Codec.Reader.u8 r with
+  | 0 -> Read
+  | 1 -> Write (Codec.Reader.zigzag r)
+  | 2 ->
+    let e = Codec.Reader.zigzag r in
+    Cas (e, Codec.Reader.zigzag r)
+  | _ -> raise Codec.Truncated
+
+let encode_response resp =
+  let w = Codec.Writer.create () in
+  (match resp with
+   | Value v ->
+     Codec.Writer.u8 w 0;
+     Codec.Writer.zigzag w v
+   | Written -> Codec.Writer.u8 w 1
+   | Cas_result b ->
+     Codec.Writer.u8 w 2;
+     Codec.Writer.bool w b);
+  Codec.Writer.contents w
+
+let decode_response s =
+  let r = Codec.Reader.of_string s in
+  match Codec.Reader.u8 r with
+  | 0 -> Value (Codec.Reader.zigzag r)
+  | 1 -> Written
+  | 2 -> Cas_result (Codec.Reader.bool r)
+  | _ -> raise Codec.Truncated
+
+let snapshot t =
+  let w = Codec.Writer.create () in
+  Codec.Writer.zigzag w t;
+  Codec.Writer.contents w
+
+let restore s = Codec.Reader.zigzag (Codec.Reader.of_string s)
+let equal_response (a : response) b = a = b
+
+let pp_command ppf = function
+  | Read -> Format.pp_print_string ppf "read"
+  | Write v -> Format.fprintf ppf "write(%d)" v
+  | Cas (e, v) -> Format.fprintf ppf "cas(%d,%d)" e v
+
+let pp_response ppf = function
+  | Value v -> Format.fprintf ppf "value(%d)" v
+  | Written -> Format.pp_print_string ppf "written"
+  | Cas_result b -> Format.fprintf ppf "cas(%b)" b

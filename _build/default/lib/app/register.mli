@@ -1,0 +1,8 @@
+(** Single read/write/CAS register — the canonical object for
+    linearizability checking (small state space keeps the checker fast). *)
+
+type command = Read | Write of int | Cas of int * int
+type response = Value of int | Written | Cas_result of bool
+
+include
+  State_machine.S with type command := command and type response := response

@@ -1,0 +1,34 @@
+(** The deterministic state machine every protocol in this repository
+    replicates.
+
+    States are persistent (applying a command returns a new state), which
+    keeps replicas cheap to snapshot and lets the linearizability checker
+    branch its search without copying. *)
+
+module type S = sig
+  type t
+  type command
+  type response
+
+  val name : string
+  val init : unit -> t
+
+  val apply : t -> command -> t * response
+  (** Must be a pure function of (state, command). *)
+
+  (** Wire encodings.  [decode_*] raise {!Codec.Truncated} on bad input. *)
+
+  val encode_command : command -> string
+  val decode_command : string -> command
+  val encode_response : response -> string
+  val decode_response : string -> response
+
+  (** Snapshots, for state transfer between configurations. *)
+
+  val snapshot : t -> string
+  val restore : string -> t
+
+  val equal_response : response -> response -> bool
+  val pp_command : Format.formatter -> command -> unit
+  val pp_response : Format.formatter -> response -> unit
+end

@@ -1,0 +1,1 @@
+lib/baselines/raft.ml: Buffer Hashtbl List Option Printf Raft_log Raft_msg Raft_wire Rsmr_app Rsmr_client Rsmr_core Rsmr_iface Rsmr_net Rsmr_sim Rsmr_smr String

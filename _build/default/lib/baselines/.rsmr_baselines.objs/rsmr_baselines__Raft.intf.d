@@ -1,0 +1,1 @@
+lib/baselines/raft.mli: Rsmr_app Rsmr_iface Rsmr_net Rsmr_sim Rsmr_smr

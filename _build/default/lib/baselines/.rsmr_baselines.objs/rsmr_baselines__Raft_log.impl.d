@@ -1,0 +1,1 @@
+lib/baselines/raft_log.ml: Array Rsmr_app Rsmr_net Stdlib

@@ -1,0 +1,1 @@
+lib/baselines/raft_log.mli: Rsmr_app Rsmr_net

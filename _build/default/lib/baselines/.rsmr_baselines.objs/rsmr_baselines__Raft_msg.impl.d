@@ -1,0 +1,1 @@
+lib/baselines/raft_msg.ml: Format List Raft_log Rsmr_app Rsmr_net String

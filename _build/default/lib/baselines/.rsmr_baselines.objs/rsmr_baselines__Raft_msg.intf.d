@@ -1,0 +1,1 @@
+lib/baselines/raft_msg.mli: Format Raft_log Rsmr_net

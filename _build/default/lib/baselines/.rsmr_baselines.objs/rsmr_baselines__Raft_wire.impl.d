@@ -1,0 +1,1 @@
+lib/baselines/raft_wire.ml: Raft_msg Rsmr_app Rsmr_client Rsmr_net String

@@ -1,0 +1,1 @@
+lib/baselines/raft_wire.mli: Raft_msg Rsmr_client Rsmr_net

@@ -1,0 +1,1 @@
+lib/baselines/stop_the_world.ml: Rsmr_app Rsmr_core Rsmr_iface

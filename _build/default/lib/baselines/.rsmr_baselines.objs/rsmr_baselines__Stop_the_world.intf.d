@@ -1,0 +1,1 @@
+lib/baselines/stop_the_world.mli: Rsmr_app Rsmr_iface Rsmr_net Rsmr_sim Rsmr_smr

@@ -1,0 +1,925 @@
+module Engine = Rsmr_sim.Engine
+module Rng = Rsmr_sim.Rng
+module Counters = Rsmr_sim.Counters
+module Network = Rsmr_net.Network
+module Node_id = Rsmr_net.Node_id
+module Params = Rsmr_smr.Params
+module Session = Rsmr_core.Session
+module Snapshot = Rsmr_core.Snapshot
+module Directory = Rsmr_core.Directory
+module Client_msg = Rsmr_client.Client_msg
+module Endpoint = Rsmr_client.Endpoint
+
+module Make (Sm : Rsmr_app.State_machine.S) = struct
+  (* An in-progress chunked snapshot transfer to one follower.  The blob is
+     pinned at start so compaction during the transfer cannot tear it. *)
+  type snap_xfer = {
+    sx_data : string;
+    sx_last_index : int;
+    sx_last_term : int;
+    sx_members : Node_id.t list;
+    mutable sx_offset : int;
+  }
+
+  type leader_state = {
+    next : (Node_id.t, int) Hashtbl.t;
+    matched : (Node_id.t, int) Hashtbl.t;
+    snap_sending : (Node_id.t, snap_xfer) Hashtbl.t;
+    snap_inflight : (Node_id.t, float) Hashtbl.t;
+        (* send time of the unacknowledged chunk per follower, for retry *)
+  }
+
+  let snapshot_chunk = 64 * 1024
+
+  type role = Follower | Candidate of Node_id.Set.t | Leader of leader_state
+
+  type node = {
+    me : Node_id.t;
+    mutable term : int;
+    mutable voted_for : Node_id.t option;
+    log : Raft_log.t;
+    mutable commit : int;
+    mutable applied : int;
+    mutable config : Node_id.t list; (* effective: latest appended Config *)
+    mutable config_index : int; (* log index of latest applied Config *)
+    mutable snap_members : Node_id.t list;
+    mutable snapshot_data : string;
+    mutable role : role;
+    mutable leader_hint : Node_id.t option;
+    mutable app : Sm.t;
+    mutable sessions : Session.t;
+    mutable pending_target :
+      (Node_id.t list * Node_id.t * int) option; (* target, admin, seq *)
+    snap_in : Buffer.t; (* partially received chunked snapshot *)
+    mutable election_timer : Engine.timer option;
+    mutable hb_timer : Engine.timer option;
+    mutable halted : bool;
+    rng : Rng.t;
+  }
+
+  type client_rec = {
+    endpoint : Endpoint.t;
+    mutable dir_k : (Node_id.t list -> unit) option;
+  }
+
+  type t = {
+    engine : Engine.t;
+    net : Raft_wire.t Network.t;
+    params : Params.t;
+    snapshot_threshold : int;
+    nodes : (Node_id.t, node) Hashtbl.t;
+    dir : Directory.t;
+    dir_id : Node_id.t;
+    admin_id : Node_id.t;
+    mutable admin_seq : int;
+    clients : (Node_id.t, client_rec) Hashtbl.t;
+    mutable on_reply : Rsmr_iface.Cluster.reply_handler;
+    counters : Counters.t;
+  }
+
+  let engine t = t.engine
+  let counters t = t.counters
+
+  let node_opt t id = Hashtbl.find_opt t.nodes id
+  let term_of t id = Option.map (fun n -> n.term) (node_opt t id)
+  let config_of t id = Option.map (fun n -> n.config) (node_opt t id)
+  let app_state t id = Option.map (fun n -> n.app) (node_opt t id)
+  let commit_index_of t id = Option.map (fun n -> n.commit) (node_opt t id)
+  let log_base_of t id = Option.map (fun n -> Raft_log.base_index n.log) (node_opt t id)
+
+  let leader t =
+    Hashtbl.fold
+      (fun id n acc ->
+        match n.role with
+        | Leader _ when (not n.halted) && not (Network.is_crashed t.net id) ->
+          Some id
+        | _ -> acc)
+      t.nodes None
+
+  let is_member node = List.exists (Node_id.equal node.me) node.config
+  let quorum config = (List.length config / 2) + 1
+  let peers node = List.filter (fun m -> not (Node_id.equal m node.me)) node.config
+
+  let send t node ~dst msg =
+    Network.send t.net ~src:node.me ~dst (Raft_wire.Rpc msg)
+
+  let reply_client t node ~client ~seq ~rsp =
+    Counters.incr t.counters "replies";
+    Network.send t.net ~src:node.me ~dst:client
+      (Raft_wire.Client (Client_msg.Reply { seq; rsp }))
+
+  let dir_update t node =
+    Network.send t.net ~src:node.me ~dst:t.dir_id
+      (Raft_wire.Dir_update
+         {
+           epoch = node.config_index;
+           members = node.config;
+           leader =
+             (match node.role with Leader _ -> Some node.me | _ -> None);
+         })
+
+  let refresh_config node =
+    node.config <-
+      (match Raft_log.latest_config node.log with
+       | Some members -> members
+       | None -> node.snap_members)
+
+  let cancel t slot =
+    match slot with
+    | Some timer ->
+      Engine.cancel t.engine timer;
+      None
+    | None -> None
+
+  let sorted members = List.sort_uniq Node_id.compare members
+
+  (* --- timers / elections --- *)
+
+  let rec reset_election_timer t node =
+    node.election_timer <- cancel t node.election_timer;
+    if not node.halted then begin
+      let delay =
+        Rng.uniform_in node.rng t.params.Params.election_timeout_min
+          t.params.Params.election_timeout_max
+      in
+      node.election_timer <-
+        Some
+          (Engine.schedule t.engine ~delay (fun () -> on_election_timeout t node))
+    end
+
+  and on_election_timeout t node =
+    if (not node.halted) && is_member node then begin
+      match node.role with
+      | Leader _ -> ()
+      | Follower | Candidate _ -> start_election t node
+    end
+    else if not node.halted then reset_election_timer t node
+
+  and start_election t node =
+    Counters.incr t.counters "elections";
+    node.term <- node.term + 1;
+    node.voted_for <- Some node.me;
+    node.role <- Candidate (Node_id.Set.singleton node.me);
+    node.leader_hint <- None;
+    let msg =
+      Raft_msg.Request_vote
+        {
+          term = node.term;
+          last_index = Raft_log.last_index node.log;
+          last_term = Raft_log.last_term node.log;
+        }
+    in
+    List.iter (fun dst -> send t node ~dst msg) (peers node);
+    reset_election_timer t node;
+    maybe_win t node
+
+  and maybe_win t node =
+    match node.role with
+    | Candidate votes ->
+      let supporters =
+        List.filter (fun m -> Node_id.Set.mem m votes) node.config
+      in
+      if List.length supporters >= quorum node.config then become_leader t node
+    | Follower | Leader _ -> ()
+
+  and become_leader t node =
+    Counters.incr t.counters "takeovers";
+    let ls =
+      {
+        next = Hashtbl.create 8;
+        matched = Hashtbl.create 8;
+        snap_sending = Hashtbl.create 8;
+        snap_inflight = Hashtbl.create 8;
+      }
+    in
+    let last = Raft_log.last_index node.log in
+    List.iter
+      (fun m ->
+        Hashtbl.replace ls.next m (last + 1);
+        Hashtbl.replace ls.matched m 0)
+      (peers node);
+    node.role <- Leader ls;
+    node.leader_hint <- Some node.me;
+    (* Standard: commit a no-op to pin down the commit index in this term. *)
+    ignore (Raft_log.append node.log { Raft_log.term = node.term; payload = Raft_log.Noop });
+    broadcast_appends t node;
+    start_heartbeat t node;
+    dir_update t node;
+    try_next_step t node
+
+  and start_heartbeat t node =
+    node.hb_timer <- cancel t node.hb_timer;
+    let rec tick () =
+      match node.role with
+      | Leader _ when not node.halted ->
+        broadcast_appends t node;
+        node.hb_timer <-
+          Some
+            (Engine.schedule t.engine ~delay:t.params.Params.heartbeat_interval
+               tick)
+      | _ -> ()
+    in
+    node.hb_timer <-
+      Some (Engine.schedule t.engine ~delay:t.params.Params.heartbeat_interval tick)
+
+  and step_down t node ~term =
+    if term > node.term then begin
+      node.term <- term;
+      node.voted_for <- None
+    end;
+    (match node.role with
+     | Leader _ | Candidate _ ->
+       node.role <- Follower;
+       node.hb_timer <- cancel t node.hb_timer
+     | Follower -> ());
+    reset_election_timer t node
+
+  (* --- replication --- *)
+
+  and broadcast_appends t node =
+    match node.role with
+    | Leader _ -> List.iter (fun f -> send_append_to t node f) (peers node)
+    | Follower | Candidate _ -> ()
+
+  and send_append_to t node f =
+    match node.role with
+    | Leader ls ->
+      let next =
+        Option.value (Hashtbl.find_opt ls.next f)
+          ~default:(Raft_log.last_index node.log + 1)
+      in
+      if next <= Raft_log.base_index node.log then begin
+        let now = Engine.now t.engine in
+        let in_flight =
+          match Hashtbl.find_opt ls.snap_inflight f with
+          | Some sent -> now -. sent < 1.0
+          | None -> false
+        in
+        if not in_flight then begin
+          (match Hashtbl.find_opt ls.snap_sending f with
+           | Some _ -> () (* resume: retransmit the current chunk below *)
+           | None ->
+             Counters.incr t.counters "snapshots_sent";
+             Hashtbl.replace ls.snap_sending f
+               {
+                 sx_data = node.snapshot_data;
+                 sx_last_index = Raft_log.base_index node.log;
+                 sx_last_term = Raft_log.base_term node.log;
+                 sx_members = node.snap_members;
+                 sx_offset = 0;
+               });
+          send_snapshot_chunk t node ls f
+        end
+      end
+      else begin
+        let prev_index = next - 1 in
+        let prev_term =
+          Option.value (Raft_log.term_at node.log prev_index) ~default:0
+        in
+        let entries = Raft_log.entries_from node.log next ~max:64 in
+        (* Optimistic pipelining: advance next as soon as entries are sent,
+           so each log entry crosses the wire once in the common case
+           (re-sending the whole unacked window on every heartbeat melts
+           the leader's uplink under load).  A lost reply heals via the
+           prev-mismatch probe, which resets next from the failure hint. *)
+        (match List.rev entries with
+         | (last_sent, _) :: _ -> Hashtbl.replace ls.next f (last_sent + 1)
+         | [] -> ());
+        send t node ~dst:f
+          (Raft_msg.Append
+             { term = node.term; prev_index; prev_term; entries; commit = node.commit })
+      end
+    | Follower | Candidate _ -> ()
+
+  and send_snapshot_chunk t node ls f =
+    match Hashtbl.find_opt ls.snap_sending f with
+    | None -> ()
+    | Some xfer ->
+      let total = String.length xfer.sx_data in
+      let len = min snapshot_chunk (total - xfer.sx_offset) in
+      let data = String.sub xfer.sx_data xfer.sx_offset len in
+      let is_last = xfer.sx_offset + len >= total in
+      Hashtbl.replace ls.snap_inflight f (Engine.now t.engine);
+      send t node ~dst:f
+        (Raft_msg.Install_snapshot
+           {
+             term = node.term;
+             last_index = xfer.sx_last_index;
+             last_term = xfer.sx_last_term;
+             members = xfer.sx_members;
+             offset = xfer.sx_offset;
+             data;
+             is_last;
+           })
+
+  and advance_commit t node =
+    match node.role with
+    | Leader ls ->
+      let last = Raft_log.last_index node.log in
+      let changed = ref false in
+      let n = ref (node.commit + 1) in
+      let continue = ref true in
+      while !continue && !n <= last do
+        let count =
+          List.fold_left
+            (fun acc m ->
+              if Node_id.equal m node.me then acc + 1
+              else
+                match Hashtbl.find_opt ls.matched m with
+                | Some mi when mi >= !n -> acc + 1
+                | _ -> acc)
+            0 node.config
+        in
+        if count >= quorum node.config && Raft_log.term_at node.log !n = Some node.term
+        then begin
+          node.commit <- !n;
+          changed := true;
+          incr n
+        end
+        else if count >= quorum node.config then incr n (* older-term entry: only commit via later entry *)
+        else continue := false
+      done;
+      if !changed then apply_loop t node
+    | Follower | Candidate _ -> ()
+
+  and apply_loop t node =
+    while node.applied < node.commit && not node.halted do
+      node.applied <- node.applied + 1;
+      match Raft_log.get node.log node.applied with
+      | None -> assert false
+      | Some { Raft_log.payload; _ } -> apply_payload t node node.applied payload
+    done;
+    maybe_compact t node
+
+  and apply_payload t node index payload =
+    match payload with
+    | Raft_log.Noop -> ()
+    | Raft_log.App { client; seq; low_water; cmd } -> (
+      match Session.check node.sessions ~client ~seq with
+      | `New ->
+        let app', resp = Sm.apply node.app (Sm.decode_command cmd) in
+        let rsp = Sm.encode_response resp in
+        node.app <- app';
+        node.sessions <-
+          Session.trim
+            (Session.record node.sessions ~client ~seq ~rsp)
+            ~client ~below:low_water;
+        Counters.incr t.counters "applied";
+        (match node.role with
+         | Leader _ -> reply_client t node ~client ~seq ~rsp
+         | Follower | Candidate _ -> ())
+      | `Dup rsp -> (
+        match node.role with
+        | Leader _ -> reply_client t node ~client ~seq ~rsp
+        | Follower | Candidate _ -> ())
+      | `Stale -> ())
+    | Raft_log.Config members ->
+      node.config_index <- index;
+      (match node.role with
+       | Leader ls ->
+         dir_update t node;
+         (* Push this (now committed) entry to servers the change removed:
+            they are out of [peers] and would otherwise never learn of
+            their removal and keep campaigning. *)
+         Hashtbl.iter
+           (fun f _ ->
+             if not (List.exists (Node_id.equal f) node.config) then
+               send_append_to t node f)
+           ls.next;
+         (match node.pending_target with
+          | Some (target, admin, seq) when sorted members = sorted target ->
+            node.pending_target <- None;
+            reply_client t node ~client:admin ~seq ~rsp:"ok"
+          | Some _ -> try_next_step t node
+          | None -> ())
+       | Follower | Candidate _ -> ());
+      (* A server retires when the committed configuration excludes it AND
+         no later (possibly uncommitted) configuration re-adds it.  The
+         effective-config check also keeps a replaying newcomer from
+         halting on historical entries that predate its own addition. *)
+      if
+        (not (List.exists (Node_id.equal node.me) members))
+        && not (is_member node)
+      then halt_node t node
+
+  and maybe_compact t node =
+    if node.applied - Raft_log.base_index node.log > t.snapshot_threshold then begin
+      (* Configuration as of the compaction point. *)
+      let rec config_at i =
+        if i <= Raft_log.base_index node.log then node.snap_members
+        else
+          match Raft_log.get node.log i with
+          | Some { Raft_log.payload = Raft_log.Config members; _ } -> members
+          | Some _ -> config_at (i - 1)
+          | None -> node.snap_members
+      in
+      node.snap_members <- config_at node.applied;
+      node.snapshot_data <-
+        Snapshot.encode
+          { Snapshot.app = Sm.snapshot node.app;
+            sessions = Session.encode node.sessions };
+      Raft_log.compact_to node.log node.applied;
+      Counters.incr t.counters "compactions"
+    end
+
+  and halt_node t node =
+    if not node.halted then begin
+      node.halted <- true;
+      node.election_timer <- cancel t node.election_timer;
+      node.hb_timer <- cancel t node.hb_timer;
+      node.role <- Follower
+    end
+
+  (* --- single-server membership orchestration --- *)
+
+  and has_uncommitted_config node =
+    let rec scan i =
+      if i <= node.commit then false
+      else
+        match Raft_log.get node.log i with
+        | Some { Raft_log.payload = Raft_log.Config _; _ } -> true
+        | Some _ | None -> scan (i - 1)
+    in
+    scan (Raft_log.last_index node.log)
+
+  and try_next_step t node =
+    match (node.role, node.pending_target) with
+    | Leader _, Some (target, admin, seq) ->
+      if sorted node.config = sorted target then begin
+        node.pending_target <- None;
+        reply_client t node ~client:admin ~seq ~rsp:"ok"
+      end
+      else if not (has_uncommitted_config node) then begin
+        let cur = sorted node.config and tgt = sorted target in
+        let adds = List.filter (fun m -> not (List.mem m cur)) tgt in
+        (* Remove the leader itself last, so the change sequence costs at
+           most one leader handoff. *)
+        let removes =
+          let r = List.filter (fun m -> not (List.mem m tgt)) cur in
+          List.filter (fun m -> not (Node_id.equal m node.me)) r
+          @ List.filter (fun m -> Node_id.equal m node.me) r
+        in
+        let next_members =
+          match (adds, removes) with
+          | a :: _, _ -> sorted (a :: cur)
+          | [], r :: _ -> List.filter (fun m -> not (Node_id.equal m r)) cur
+          | [], [] -> cur
+        in
+        if next_members <> cur then begin
+          Counters.incr t.counters "config_steps";
+          ignore
+            (Raft_log.append node.log
+               { Raft_log.term = node.term; payload = Raft_log.Config next_members });
+          refresh_config node;
+          broadcast_appends t node;
+          advance_commit t node
+        end
+      end
+    | _ -> ()
+
+  (* --- RPC handlers --- *)
+
+  let log_up_to_date node ~last_index ~last_term =
+    last_term > Raft_log.last_term node.log
+    || (last_term = Raft_log.last_term node.log
+        && last_index >= Raft_log.last_index node.log)
+
+  let on_request_vote t node ~src ~term ~last_index ~last_term =
+    (* Disruption guard: ignore candidates outside our configuration. *)
+    if node.config = [] || List.exists (Node_id.equal src) node.config then begin
+      if term > node.term then step_down t node ~term;
+      let granted =
+        term = node.term
+        && (match node.voted_for with None -> true | Some v -> Node_id.equal v src)
+        && log_up_to_date node ~last_index ~last_term
+      in
+      if granted then begin
+        node.voted_for <- Some src;
+        reset_election_timer t node
+      end;
+      send t node ~dst:src (Raft_msg.Vote { term = node.term; granted })
+    end
+
+  let on_vote t node ~src ~term ~granted =
+    if term > node.term then step_down t node ~term
+    else
+      match node.role with
+      | Candidate votes when term = node.term && granted ->
+        node.role <- Candidate (Node_id.Set.add src votes);
+        maybe_win t node
+      | _ -> ()
+
+  let on_append t node ~src ~term ~prev_index ~prev_term ~entries ~commit =
+    if term < node.term then
+      send t node ~dst:src
+        (Raft_msg.Append_reply { term = node.term; success = false; match_index = 0 })
+    else begin
+      if term > node.term then step_down t node ~term
+      else begin
+        (match node.role with
+         | Candidate _ -> node.role <- Follower
+         | Leader _ when not (Node_id.equal src node.me) ->
+           (* Two leaders in one term is impossible; defensive. *)
+           node.role <- Follower
+         | _ -> ());
+        reset_election_timer t node
+      end;
+      node.leader_hint <- Some src;
+      match Raft_log.term_at node.log prev_index with
+      | Some pt when pt = prev_term ->
+        List.iter
+          (fun (i, (e : Raft_log.entry)) ->
+            match Raft_log.term_at node.log i with
+            | Some existing when existing = e.Raft_log.term -> ()
+            | Some _ ->
+              Raft_log.truncate_from node.log i;
+              ignore (Raft_log.append node.log e)
+            | None ->
+              if i = Raft_log.last_index node.log + 1 then
+                ignore (Raft_log.append node.log e))
+          entries;
+        refresh_config node;
+        let match_index =
+          min (prev_index + List.length entries) (Raft_log.last_index node.log)
+        in
+        let new_commit = min commit (Raft_log.last_index node.log) in
+        if new_commit > node.commit then begin
+          node.commit <- new_commit;
+          apply_loop t node
+        end;
+        if not node.halted then
+          send t node ~dst:src
+            (Raft_msg.Append_reply { term = node.term; success = true; match_index })
+      | Some _ | None ->
+        send t node ~dst:src
+          (Raft_msg.Append_reply
+             { term = node.term; success = false; match_index = node.commit })
+    end
+
+  let on_append_reply t node ~src ~term ~success ~match_index =
+    if term > node.term then step_down t node ~term
+    else
+      match node.role with
+      | Leader ls when term = node.term ->
+        if success then begin
+          let old = Option.value (Hashtbl.find_opt ls.matched src) ~default:0 in
+          if match_index > old then Hashtbl.replace ls.matched src match_index;
+          (* Never rewind the optimistic send cursor on an ack: entries
+             between match and next are in flight, not lost. *)
+          let cur =
+            Option.value (Hashtbl.find_opt ls.next src) ~default:1
+          in
+          Hashtbl.replace ls.next src (max cur (match_index + 1));
+          advance_commit t node;
+          (* Keep a lagging follower streaming instead of one batch per
+             heartbeat — but only when there is genuinely unsent log (the
+             optimistic [next] is the send cursor; using [match] here would
+             ping-pong empty appends at RTT speed). *)
+          let next_cursor =
+            Option.value (Hashtbl.find_opt ls.next src)
+              ~default:(Raft_log.last_index node.log + 1)
+          in
+          if next_cursor <= Raft_log.last_index node.log then
+            send_append_to t node src
+        end
+        else begin
+          let old_next =
+            Option.value (Hashtbl.find_opt ls.next src)
+              ~default:(Raft_log.last_index node.log + 1)
+          in
+          let new_next = max 1 (match_index + 1) in
+          if new_next < old_next then begin
+            Hashtbl.replace ls.next src new_next;
+            send_append_to t node src
+          end
+        end
+      | _ -> ()
+
+  let on_install_snapshot t node ~src ~term ~last_index ~last_term ~members
+      ~offset ~data ~is_last =
+    if term >= node.term then begin
+      if term > node.term then step_down t node ~term;
+      node.leader_hint <- Some src;
+      reset_election_timer t node;
+      let have = Buffer.length node.snap_in in
+      if offset = 0 && have > 0 then Buffer.clear node.snap_in;
+      let have = Buffer.length node.snap_in in
+      if offset = have then Buffer.add_string node.snap_in data
+      else if offset > have then
+        (* A chunk was lost: re-ack what we have so the sender rewinds. *)
+        ();
+      if is_last && Buffer.length node.snap_in = offset + String.length data
+      then begin
+        let blob = Buffer.contents node.snap_in in
+        Buffer.clear node.snap_in;
+        if last_index > node.applied then begin
+          let snapshot = Snapshot.decode blob in
+          node.app <- Sm.restore snapshot.Snapshot.app;
+          node.sessions <- Session.decode snapshot.Snapshot.sessions;
+          Raft_log.reset_to node.log ~base_index:last_index
+            ~base_term:last_term;
+          node.snapshot_data <- blob;
+          node.snap_members <- members;
+          node.config <- members;
+          node.config_index <- last_index;
+          node.commit <- last_index;
+          node.applied <- last_index;
+          Counters.incr t.counters "snapshots_installed"
+        end;
+        send t node ~dst:src
+          (Raft_msg.Snapshot_reply
+             { term = node.term; last_index = node.applied })
+      end
+      else
+        send t node ~dst:src
+          (Raft_msg.Snapshot_chunk_ok
+             { term = node.term; offset = Buffer.length node.snap_in })
+    end
+
+  let on_snapshot_chunk_ok t node ~src ~term ~offset =
+    if term > node.term then step_down t node ~term
+    else
+      match node.role with
+      | Leader ls when term = node.term -> (
+        Hashtbl.remove ls.snap_inflight src;
+        match Hashtbl.find_opt ls.snap_sending src with
+        | Some xfer ->
+          (* The ack carries the follower's buffer length: authoritative
+             next offset (rewinds after a lost chunk). *)
+          xfer.sx_offset <- min offset (String.length xfer.sx_data);
+          send_snapshot_chunk t node ls src
+        | None -> ())
+      | _ -> ()
+
+  let on_snapshot_reply t node ~src ~term ~last_index =
+    if term > node.term then step_down t node ~term
+    else
+      match node.role with
+      | Leader ls when term = node.term ->
+        Hashtbl.remove ls.snap_inflight src;
+        Hashtbl.remove ls.snap_sending src;
+        let old = Option.value (Hashtbl.find_opt ls.matched src) ~default:0 in
+        if last_index > old then Hashtbl.replace ls.matched src last_index;
+        Hashtbl.replace ls.next src (last_index + 1);
+        advance_commit t node;
+        if last_index + 1 <= Raft_log.last_index node.log then
+          send_append_to t node src (* stream the suffix the snapshot missed *)
+      | _ -> ()
+
+  (* --- client handling --- *)
+
+  let handle_request t node ~src ~seq ~low_water ~payload =
+    Counters.incr t.counters "requests";
+    match node.role with
+    | Leader _ when not node.halted -> (
+      match (payload : Client_msg.payload) with
+      | Client_msg.Cmd cmd -> (
+        match Session.check node.sessions ~client:src ~seq with
+        | `Dup rsp -> reply_client t node ~client:src ~seq ~rsp
+        | `Stale -> ()
+        | `New ->
+          ignore
+            (Raft_log.append node.log
+               {
+                 Raft_log.term = node.term;
+                 payload = Raft_log.App { client = src; seq; low_water; cmd };
+               });
+          broadcast_appends t node;
+          advance_commit t node (* single-member configs commit instantly *))
+      | Client_msg.Change_membership target ->
+        (match node.pending_target with
+         | Some (cur_target, _, _) when sorted cur_target = sorted target -> ()
+         | _ ->
+           if sorted node.config = sorted target then
+             reply_client t node ~client:src ~seq ~rsp:"ok"
+           else node.pending_target <- Some (target, src, seq));
+        try_next_step t node)
+    | _ ->
+      Counters.incr t.counters "redirects";
+      Network.send t.net ~src:node.me ~dst:src
+        (Raft_wire.Client
+           (Client_msg.Redirect
+              {
+                seq;
+                leader = node.leader_hint;
+                members = node.config;
+                epoch = node.config_index;
+              }))
+
+  let node_handler t node (env : Raft_wire.t Network.envelope) =
+    let src = env.Network.src in
+    if node.halted then begin
+      (* A retired server keeps answering clients with its freshest view of
+         the configuration — exactly what a decommissioned-but-reachable
+         server does in practice. *)
+      match env.Network.payload with
+      | Raft_wire.Client (Client_msg.Request { seq; _ }) ->
+        Counters.incr t.counters "redirects";
+        let leader =
+          match node.leader_hint with
+          | Some l when Node_id.equal l node.me -> None (* stale self-hint *)
+          | other -> other
+        in
+        Network.send t.net ~src:node.me ~dst:src
+          (Raft_wire.Client
+             (Client_msg.Redirect
+                { seq; leader; members = node.config; epoch = node.config_index }))
+      | _ -> ()
+    end
+    else
+      match env.Network.payload with
+      | Raft_wire.Rpc (Raft_msg.Request_vote { term; last_index; last_term }) ->
+        on_request_vote t node ~src ~term ~last_index ~last_term
+      | Raft_wire.Rpc (Raft_msg.Vote { term; granted }) ->
+        on_vote t node ~src ~term ~granted
+      | Raft_wire.Rpc (Raft_msg.Append { term; prev_index; prev_term; entries; commit })
+        ->
+        on_append t node ~src ~term ~prev_index ~prev_term ~entries ~commit
+      | Raft_wire.Rpc (Raft_msg.Append_reply { term; success; match_index }) ->
+        on_append_reply t node ~src ~term ~success ~match_index
+      | Raft_wire.Rpc
+          (Raft_msg.Install_snapshot
+             { term; last_index; last_term; members; offset; data; is_last })
+        ->
+        on_install_snapshot t node ~src ~term ~last_index ~last_term ~members
+          ~offset ~data ~is_last
+      | Raft_wire.Rpc (Raft_msg.Snapshot_chunk_ok { term; offset }) ->
+        on_snapshot_chunk_ok t node ~src ~term ~offset
+      | Raft_wire.Rpc (Raft_msg.Snapshot_reply { term; last_index }) ->
+        on_snapshot_reply t node ~src ~term ~last_index
+      | Raft_wire.Client (Client_msg.Request { seq; low_water; payload }) ->
+        handle_request t node ~src ~seq ~low_water ~payload
+      | Raft_wire.Client (Client_msg.Reply _ | Client_msg.Redirect _) -> ()
+      | Raft_wire.Dir_update _ | Raft_wire.Dir_lookup | Raft_wire.Dir_info _ ->
+        ()
+
+  let dir_handler t (env : Raft_wire.t Network.envelope) =
+    match env.Network.payload with
+    | Raft_wire.Dir_update { epoch; members; leader } ->
+      Directory.update t.dir ~epoch ~members ~leader
+    | Raft_wire.Dir_lookup ->
+      Network.send t.net ~src:t.dir_id ~dst:env.Network.src
+        (Raft_wire.Dir_info
+           {
+             epoch = Directory.epoch t.dir;
+             members = Directory.members t.dir;
+             leader = Directory.leader t.dir;
+           })
+    | _ -> ()
+
+  let client_handler record (env : Raft_wire.t Network.envelope) =
+    match env.Network.payload with
+    | Raft_wire.Client msg -> Endpoint.handle record.endpoint msg
+    | Raft_wire.Dir_info { members; _ } -> (
+      match record.dir_k with
+      | Some k ->
+        record.dir_k <- None;
+        k members
+      | None -> ())
+    | _ -> ()
+
+  let add_client t cid =
+    if not (Hashtbl.mem t.clients cid) then begin
+      let record_ref = ref None in
+      let endpoint =
+        Endpoint.create ~engine:t.engine ~me:cid
+          ~send:(fun ~dst msg ->
+            Network.send t.net ~src:cid ~dst (Raft_wire.Client msg))
+          ~members:(Directory.members t.dir)
+          ~lookup:(fun k ->
+            (match !record_ref with
+             | Some record -> record.dir_k <- Some k
+             | None -> ());
+            Network.send t.net ~src:cid ~dst:t.dir_id Raft_wire.Dir_lookup)
+          ~on_reply:(fun ~seq ~rsp -> t.on_reply ~client:cid ~seq ~rsp)
+          ()
+      in
+      let record = { endpoint; dir_k = None } in
+      record_ref := Some record;
+      Hashtbl.replace t.clients cid record;
+      Network.register t.net cid (client_handler record)
+    end
+
+  let reconfigure t members =
+    t.admin_seq <- t.admin_seq + 1;
+    match Hashtbl.find_opt t.clients t.admin_id with
+    | Some record ->
+      Endpoint.submit record.endpoint ~seq:t.admin_seq
+        ~payload:(Client_msg.Change_membership members)
+    | None -> assert false
+
+  let create ~engine ?latency ?drop ?bandwidth ?params
+      ?(snapshot_threshold = 512) ?universe ~members () =
+    if members = [] then invalid_arg "Raft.create: empty member set";
+    let params = Option.value params ~default:Params.default in
+    let universe = Option.value universe ~default:members in
+    let universe = List.sort_uniq Node_id.compare (universe @ members) in
+    let top = List.fold_left max 0 universe in
+    let dir_id = top + 1 in
+    let admin_id = top + 2 in
+    let net =
+      Network.create engine ?latency ?drop ?bandwidth ~tagger:Raft_wire.tag
+        ~sizer:Raft_wire.size ()
+    in
+    let t =
+      {
+        engine;
+        net;
+        params;
+        snapshot_threshold;
+        nodes = Hashtbl.create 16;
+        dir = Directory.create ();
+        dir_id;
+        admin_id;
+        admin_seq = 0;
+        clients = Hashtbl.create 16;
+        on_reply = (fun ~client:_ ~seq:_ ~rsp:_ -> ());
+        counters = Counters.create ();
+      }
+    in
+    let initial_snapshot =
+      Snapshot.encode
+        { Snapshot.app = Sm.snapshot (Sm.init ());
+          sessions = Session.encode Session.empty }
+    in
+    List.iter
+      (fun id ->
+        let initial_member = List.exists (Node_id.equal id) members in
+        let node =
+          {
+            me = id;
+            term = 0;
+            voted_for = None;
+            log = Raft_log.create ();
+            commit = 0;
+            applied = 0;
+            config = (if initial_member then members else []);
+            config_index = 0;
+            snap_members = (if initial_member then members else []);
+            snapshot_data = initial_snapshot;
+            role = Follower;
+            leader_hint = None;
+            app = Sm.init ();
+            sessions = Session.empty;
+            pending_target = None;
+            snap_in = Buffer.create 64;
+            election_timer = None;
+            hb_timer = None;
+            halted = false;
+            rng = Rng.split (Engine.rng engine);
+          }
+        in
+        Hashtbl.replace t.nodes id node;
+        Network.register t.net id (fun env -> node_handler t node env);
+        reset_election_timer t node)
+      universe;
+    Directory.update t.dir ~epoch:0 ~members ~leader:None;
+    Network.register t.net dir_id (dir_handler t);
+    add_client t admin_id;
+    t
+
+  let debug_dump t id =
+    match Hashtbl.find_opt t.nodes id with
+    | None -> "?"
+    | Some n ->
+      let role =
+        match n.role with
+        | Follower -> "F"
+        | Candidate _ -> "C"
+        | Leader ls ->
+          "L{"
+          ^ String.concat ","
+              (Hashtbl.fold
+                 (fun m next acc ->
+                   let mi = Option.value (Hashtbl.find_opt ls.matched m) ~default:(-1) in
+                   Printf.sprintf "n%d:next=%d,match=%d" m next mi :: acc)
+                 ls.next [])
+          ^ "}"
+      in
+      Printf.sprintf
+        "n%d %s term=%d last=%d commit=%d applied=%d base=%d halted=%b cfg=[%s] pending=%b"
+        id role n.term (Raft_log.last_index n.log) n.commit n.applied
+        (Raft_log.base_index n.log) n.halted
+        (String.concat "," (List.map string_of_int n.config))
+        (n.pending_target <> None)
+
+  let cluster t =
+    {
+      Rsmr_iface.Cluster.name = "raft";
+      engine = t.engine;
+      add_client = (fun cid -> add_client t cid);
+      submit =
+        (fun ~client ~seq ~cmd ->
+          match Hashtbl.find_opt t.clients client with
+          | Some record ->
+            Endpoint.submit record.endpoint ~seq ~payload:(Client_msg.Cmd cmd)
+          | None -> invalid_arg "submit: unknown client (call add_client)");
+      set_on_reply = (fun h -> t.on_reply <- h);
+      reconfigure = (fun members -> reconfigure t members);
+      members = (fun () -> Directory.members t.dir);
+      crash = (fun node -> Network.crash t.net node);
+      recover = (fun node -> Network.recover t.net node);
+      net_counters = Network.counters t.net;
+      counters = t.counters;
+    }
+end

@@ -1,0 +1,48 @@
+(** Natively reconfigurable Raft — the design point that dominates
+    open-source SMR and the paper's implicit comparator.
+
+    Full implementation: terms, randomized elections, log replication with
+    conflict resolution, commit rules, snapshot-based log compaction with
+    [InstallSnapshot] for lagging or freshly added servers, client sessions
+    with exactly-once semantics, and single-server membership changes
+    (Raft dissertation §4: one add/remove at a time, configuration entries
+    effective when appended).  A [reconfigure] to an arbitrary target set
+    is decomposed by the leader into a sequence of single-server steps,
+    adds before removes.
+
+    Timing parameters are shared with the static Multi-Paxos block
+    ({!Rsmr_smr.Params}) so protocol comparisons are apples-to-apples. *)
+
+module Make (Sm : Rsmr_app.State_machine.S) : sig
+  type t
+
+  val create :
+    engine:Rsmr_sim.Engine.t ->
+    ?latency:Rsmr_net.Latency.t ->
+    ?drop:float ->
+    ?bandwidth:float ->
+    ?params:Rsmr_smr.Params.t ->
+    ?snapshot_threshold:int ->
+    ?universe:Rsmr_net.Node_id.t list ->
+    members:Rsmr_net.Node_id.t list ->
+    unit ->
+    t
+  (** [snapshot_threshold] is the number of applied entries above the
+      snapshot base that triggers compaction (default 512). *)
+
+  val cluster : t -> Rsmr_iface.Cluster.t
+
+  (** {1 Introspection} *)
+
+  val engine : t -> Rsmr_sim.Engine.t
+  val counters : t -> Rsmr_sim.Counters.t
+  val leader : t -> Rsmr_net.Node_id.t option
+  val term_of : t -> Rsmr_net.Node_id.t -> int option
+  val config_of : t -> Rsmr_net.Node_id.t -> Rsmr_net.Node_id.t list option
+  val app_state : t -> Rsmr_net.Node_id.t -> Sm.t option
+  val commit_index_of : t -> Rsmr_net.Node_id.t -> int option
+  val log_base_of : t -> Rsmr_net.Node_id.t -> int option
+
+  val debug_dump : t -> Rsmr_net.Node_id.t -> string
+  (** One-line internal state summary, for debugging and tests. *)
+end

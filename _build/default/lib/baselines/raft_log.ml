@@ -1,0 +1,120 @@
+module W = Rsmr_app.Codec.Writer
+module R = Rsmr_app.Codec.Reader
+
+type payload =
+  | Noop
+  | App of {
+      client : Rsmr_net.Node_id.t;
+      seq : int;
+      low_water : int;
+      cmd : string;
+    }
+  | Config of Rsmr_net.Node_id.t list
+
+type entry = { term : int; payload : payload }
+
+type t = {
+  mutable base_index : int;
+  mutable base_term : int;
+  mutable entries : entry array;
+  mutable len : int;
+}
+
+let create () = { base_index = 0; base_term = 0; entries = [||]; len = 0 }
+let base_index t = t.base_index
+let base_term t = t.base_term
+let last_index t = t.base_index + t.len
+
+let nth t i = t.entries.(i - t.base_index - 1)
+
+let last_term t = if t.len = 0 then t.base_term else (nth t (last_index t)).term
+
+let term_at t i =
+  if i = t.base_index then Some t.base_term
+  else if i > t.base_index && i <= last_index t then Some (nth t i).term
+  else None
+
+let get t i =
+  if i > t.base_index && i <= last_index t then Some (nth t i) else None
+
+let ensure t n =
+  let cap = Array.length t.entries in
+  if n > cap then begin
+    let ncap = max 64 (max n (cap * 2)) in
+    let na = Array.make ncap { term = 0; payload = Noop } in
+    Array.blit t.entries 0 na 0 t.len;
+    t.entries <- na
+  end
+
+let append t e =
+  ensure t (t.len + 1);
+  t.entries.(t.len) <- e;
+  t.len <- t.len + 1;
+  last_index t
+
+let truncate_from t i =
+  if i <= t.base_index then
+    invalid_arg "Raft_log.truncate_from: below snapshot base";
+  let keep = i - t.base_index - 1 in
+  if keep < t.len then t.len <- max keep 0
+
+let compact_to t i =
+  if i > t.base_index then begin
+    let i = min i (last_index t) in
+    (match term_at t i with
+     | Some term ->
+       let drop = i - t.base_index in
+       let remaining = t.len - drop in
+       if remaining > 0 then Array.blit t.entries drop t.entries 0 remaining;
+       t.len <- remaining;
+       t.base_index <- i;
+       t.base_term <- term
+     | None -> ())
+  end
+
+let reset_to t ~base_index ~base_term =
+  t.base_index <- base_index;
+  t.base_term <- base_term;
+  t.len <- 0
+
+let entries_from t i ~max =
+  let lo = Stdlib.max i (t.base_index + 1) in
+  let hi = Stdlib.min (last_index t) (lo + max - 1) in
+  let acc = ref [] in
+  for j = hi downto lo do
+    acc := (j, nth t j) :: !acc
+  done;
+  !acc
+
+let latest_config t =
+  let rec scan i =
+    if i <= t.base_index then None
+    else
+      match (nth t i).payload with
+      | Config members -> Some members
+      | Noop | App _ -> scan (i - 1)
+  in
+  scan (last_index t)
+
+let encode_payload w = function
+  | Noop -> W.u8 w 0
+  | App { client; seq; low_water; cmd } ->
+    W.u8 w 1;
+    W.zigzag w client;
+    W.varint w seq;
+    W.varint w low_water;
+    W.string w cmd
+  | Config members ->
+    W.u8 w 2;
+    W.list w W.zigzag members
+
+let decode_payload r =
+  match R.u8 r with
+  | 0 -> Noop
+  | 1 ->
+    let client = R.zigzag r in
+    let seq = R.varint r in
+    let low_water = R.varint r in
+    App { client; seq; low_water; cmd = R.string r }
+  | 2 -> Config (R.list r R.zigzag)
+  | _ -> raise Rsmr_app.Codec.Truncated

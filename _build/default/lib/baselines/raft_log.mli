@@ -1,0 +1,59 @@
+(** Raft log with snapshot-based compaction.
+
+    Indices are 1-based, as in the Raft paper.  The prefix [1..base_index]
+    has been folded into a snapshot; entries above it live in memory.
+    Configuration entries are part of the log (Raft's native approach to
+    membership change — the design point the paper under reproduction
+    argues against needing). *)
+
+type payload =
+  | Noop
+  | App of {
+      client : Rsmr_net.Node_id.t;
+      seq : int;
+      low_water : int;
+      cmd : string;
+    }
+  | Config of Rsmr_net.Node_id.t list
+
+type entry = { term : int; payload : payload }
+
+type t
+
+val create : unit -> t
+(** Empty log: base 0, term 0. *)
+
+val base_index : t -> int
+val base_term : t -> int
+val last_index : t -> int
+val last_term : t -> int
+
+val term_at : t -> int -> int option
+(** [None] below the snapshot base or above the last index (the base itself
+    reports the snapshot term). *)
+
+val get : t -> int -> entry option
+(** Entries strictly above the base. *)
+
+val append : t -> entry -> int
+(** Append at the tail; returns the new last index. *)
+
+val truncate_from : t -> int -> unit
+(** Drop entries at index >= the argument (conflict resolution). *)
+
+val compact_to : t -> int -> unit
+(** Fold [..index] into the (externally stored) snapshot: entries up to and
+    including [index] are discarded and [base] moves there. *)
+
+val reset_to : t -> base_index:int -> base_term:int -> unit
+(** Discard everything; used after installing a snapshot. *)
+
+val entries_from : t -> int -> max:int -> (int * entry) list
+(** Up to [max] entries starting at the given index, ascending. *)
+
+val latest_config : t -> Rsmr_net.Node_id.t list option
+(** Member list of the newest [Config] entry still in the log (committed or
+    not), if any. *)
+
+val encode_payload : Rsmr_app.Codec.Writer.t -> payload -> unit
+val decode_payload : Rsmr_app.Codec.Reader.t -> payload

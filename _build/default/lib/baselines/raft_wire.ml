@@ -1,0 +1,64 @@
+module W = Rsmr_app.Codec.Writer
+module R = Rsmr_app.Codec.Reader
+
+type t =
+  | Rpc of Raft_msg.t
+  | Client of Rsmr_client.Client_msg.t
+  | Dir_update of {
+      epoch : int;
+      members : Rsmr_net.Node_id.t list;
+      leader : Rsmr_net.Node_id.t option;
+    }
+  | Dir_lookup
+  | Dir_info of {
+      epoch : int;
+      members : Rsmr_net.Node_id.t list;
+      leader : Rsmr_net.Node_id.t option;
+    }
+
+let encode t =
+  let w = W.create () in
+  (match t with
+   | Rpc m ->
+     W.u8 w 0;
+     W.string w (Raft_msg.encode m)
+   | Client m ->
+     W.u8 w 1;
+     W.string w (Rsmr_client.Client_msg.encode m)
+   | Dir_update { epoch; members; leader } ->
+     W.u8 w 2;
+     W.varint w epoch;
+     W.list w W.zigzag members;
+     W.option w W.zigzag leader
+   | Dir_lookup -> W.u8 w 3
+   | Dir_info { epoch; members; leader } ->
+     W.u8 w 4;
+     W.varint w epoch;
+     W.list w W.zigzag members;
+     W.option w W.zigzag leader);
+  W.contents w
+
+let decode s =
+  let r = R.of_string s in
+  match R.u8 r with
+  | 0 -> Rpc (Raft_msg.decode (R.string r))
+  | 1 -> Client (Rsmr_client.Client_msg.decode (R.string r))
+  | 2 ->
+    let epoch = R.varint r in
+    let members = R.list r R.zigzag in
+    Dir_update { epoch; members; leader = R.option r R.zigzag }
+  | 3 -> Dir_lookup
+  | 4 ->
+    let epoch = R.varint r in
+    let members = R.list r R.zigzag in
+    Dir_info { epoch; members; leader = R.option r R.zigzag }
+  | _ -> raise Rsmr_app.Codec.Truncated
+
+let size t = String.length (encode t)
+
+let tag = function
+  | Rpc m -> "raft." ^ Raft_msg.tag m
+  | Client _ -> "client"
+  | Dir_update _ -> "dir_update"
+  | Dir_lookup -> "dir_lookup"
+  | Dir_info _ -> "dir_info"

@@ -1,0 +1,26 @@
+module Make (Sm : Rsmr_app.State_machine.S) = struct
+  module Core = Rsmr_core.Service.Make (Sm)
+
+  type t = Core.t
+
+  let options chunk_size =
+    {
+      Rsmr_core.Options.speculative = false;
+      residual_resubmit = false;
+      chunk_size;
+      fetch_timeout = Rsmr_core.Options.default.Rsmr_core.Options.fetch_timeout;
+    }
+
+  let create ~engine ?latency ?drop ?bandwidth ?smr_params
+      ?(chunk_size = Rsmr_core.Options.default.Rsmr_core.Options.chunk_size)
+      ?universe ~members () =
+    Core.create ~engine ?latency ?drop ?bandwidth ?smr_params
+      ~options:(options chunk_size) ?universe ~members ()
+
+  let cluster t =
+    let c = Core.cluster t in
+    { c with Rsmr_iface.Cluster.name = "stopworld" }
+
+  let current_epoch = Core.current_epoch
+  let counters = Core.counters
+end

@@ -1,0 +1,29 @@
+(** The naive reconfiguration baseline: halt, transfer, restart.
+
+    Same composition of static SMR instances as {!Rsmr_core.Service}, but
+    with both of the paper's overlap optimizations disabled: the next
+    configuration's instance is not allowed to boot (let alone order
+    commands) until the snapshot is fully installed, and residual commands
+    are never re-submitted (clients must retry).  The client-visible
+    unavailability window is therefore election + full state transfer,
+    which is what the speculative handoff experiment (T2/F5) quantifies. *)
+
+module Make (Sm : Rsmr_app.State_machine.S) : sig
+  type t
+
+  val create :
+    engine:Rsmr_sim.Engine.t ->
+    ?latency:Rsmr_net.Latency.t ->
+    ?drop:float ->
+    ?bandwidth:float ->
+    ?smr_params:Rsmr_smr.Params.t ->
+    ?chunk_size:int ->
+    ?universe:Rsmr_net.Node_id.t list ->
+    members:Rsmr_net.Node_id.t list ->
+    unit ->
+    t
+
+  val cluster : t -> Rsmr_iface.Cluster.t
+  val current_epoch : t -> int
+  val counters : t -> Rsmr_sim.Counters.t
+end

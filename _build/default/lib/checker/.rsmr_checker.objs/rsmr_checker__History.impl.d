@@ -1,0 +1,1 @@
+lib/checker/history.ml: List Rsmr_net

@@ -1,0 +1,1 @@
+lib/checker/history.mli: Rsmr_net

@@ -1,0 +1,1 @@
+lib/checker/linearizability.ml: Array Bytes Format Hashtbl History Rsmr_app

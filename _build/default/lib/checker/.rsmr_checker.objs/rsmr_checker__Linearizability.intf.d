@@ -1,0 +1,1 @@
+lib/checker/linearizability.mli: Format History Rsmr_app

@@ -1,0 +1,1 @@
+lib/client/client_msg.ml: Format List Rsmr_app Rsmr_net String

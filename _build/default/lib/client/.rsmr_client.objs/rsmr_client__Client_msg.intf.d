@@ -1,0 +1,1 @@
+lib/client/client_msg.mli: Format Rsmr_net

@@ -1,0 +1,1 @@
+lib/client/endpoint.ml: Client_msg Hashtbl List Rsmr_net Rsmr_sim

@@ -1,0 +1,1 @@
+lib/client/endpoint.mli: Client_msg Rsmr_net Rsmr_sim

@@ -1,0 +1,81 @@
+module W = Rsmr_app.Codec.Writer
+module R = Rsmr_app.Codec.Reader
+
+type payload = Cmd of string | Change_membership of Rsmr_net.Node_id.t list
+
+type t =
+  | Request of { seq : int; low_water : int; payload : payload }
+  | Reply of { seq : int; rsp : string }
+  | Redirect of {
+      seq : int;
+      leader : Rsmr_net.Node_id.t option;
+      members : Rsmr_net.Node_id.t list;
+      epoch : int;
+    }
+
+let encode t =
+  let w = W.create () in
+  (match t with
+   | Request { seq; low_water; payload } ->
+     W.u8 w 0;
+     W.varint w seq;
+     W.varint w low_water;
+     (match payload with
+      | Cmd cmd ->
+        W.u8 w 0;
+        W.string w cmd
+      | Change_membership members ->
+        W.u8 w 1;
+        W.list w W.zigzag members)
+   | Reply { seq; rsp } ->
+     W.u8 w 1;
+     W.varint w seq;
+     W.string w rsp
+   | Redirect { seq; leader; members; epoch } ->
+     W.u8 w 2;
+     W.varint w seq;
+     W.option w W.zigzag leader;
+     W.list w W.zigzag members;
+     W.varint w epoch);
+  W.contents w
+
+let decode s =
+  let r = R.of_string s in
+  match R.u8 r with
+  | 0 ->
+    let seq = R.varint r in
+    let low_water = R.varint r in
+    let payload =
+      match R.u8 r with
+      | 0 -> Cmd (R.string r)
+      | 1 -> Change_membership (R.list r R.zigzag)
+      | _ -> raise Rsmr_app.Codec.Truncated
+    in
+    Request { seq; low_water; payload }
+  | 1 ->
+    let seq = R.varint r in
+    Reply { seq; rsp = R.string r }
+  | 2 ->
+    let seq = R.varint r in
+    let leader = R.option r R.zigzag in
+    let members = R.list r R.zigzag in
+    Redirect { seq; leader; members; epoch = R.varint r }
+  | _ -> raise Rsmr_app.Codec.Truncated
+
+let size t = String.length (encode t)
+
+let pp ppf = function
+  | Request { seq; payload = Cmd cmd; _ } ->
+    Format.fprintf ppf "request(seq=%d,%d bytes)" seq (String.length cmd)
+  | Request { seq; payload = Change_membership members; _ } ->
+    Format.fprintf ppf "request(seq=%d,members={%a})" seq
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Rsmr_net.Node_id.pp)
+      members
+  | Reply { seq; rsp } ->
+    Format.fprintf ppf "reply(seq=%d,%d bytes)" seq (String.length rsp)
+  | Redirect { seq; leader; members; epoch } ->
+    Format.fprintf ppf "redirect(seq=%d,leader=%a,%d members,epoch=%d)" seq
+      (Format.pp_print_option Rsmr_net.Node_id.pp)
+      leader (List.length members) epoch

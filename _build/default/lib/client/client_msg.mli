@@ -1,0 +1,30 @@
+(** Client-to-service protocol, shared by every replication protocol in the
+    repository so client endpoints are reusable. *)
+
+type payload =
+  | Cmd of string
+      (** An application-encoded command. *)
+  | Change_membership of Rsmr_net.Node_id.t list
+      (** An administrative request to move the service to this member
+          set. *)
+
+type t =
+  | Request of { seq : int; low_water : int; payload : payload }
+      (** The client identity is the network source.  [low_water] is the
+          session-GC watermark: every sequence number below it has been
+          acknowledged to this client, so replicas may forget those cached
+          responses. *)
+  | Reply of { seq : int; rsp : string }
+  | Redirect of {
+      seq : int;
+      leader : Rsmr_net.Node_id.t option;
+      members : Rsmr_net.Node_id.t list;
+      epoch : int;
+    }
+      (** "Not me — try there": carries the responder's freshest view of
+          the configuration. *)
+
+val size : t -> int
+val encode : t -> string
+val decode : string -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,157 @@
+module Engine = Rsmr_sim.Engine
+module Rng = Rsmr_sim.Rng
+module Counters = Rsmr_sim.Counters
+module Node_id = Rsmr_net.Node_id
+
+type outstanding = {
+  payload : Client_msg.payload;
+  mutable attempts : int;
+  mutable redirects : int;
+  mutable timer : Engine.timer option;
+}
+
+type t = {
+  engine : Engine.t;
+  me : Node_id.t;
+  send : dst:Node_id.t -> Client_msg.t -> unit;
+  mutable members : Node_id.t list;
+  mutable leader : Node_id.t option;
+  mutable epoch : int;
+  lookup : ((Node_id.t list -> unit) -> unit) option;
+  req_timeout : float;
+  on_reply : seq:int -> rsp:string -> unit;
+  pending : (int, outstanding) Hashtbl.t;
+  mutable rr : int;
+  mutable max_seq : int;
+  mutable last_target : Node_id.t option;
+  rng : Rng.t;
+  counters : Counters.t;
+  mutable lookup_inflight : bool;
+}
+
+let create ~engine ~me ~send ~members ?lookup ?(req_timeout = 0.5) ~on_reply () =
+  if members = [] then invalid_arg "Endpoint.create: empty member list";
+  {
+    engine;
+    me;
+    send;
+    members;
+    leader = None;
+    epoch = 0;
+    lookup;
+    req_timeout;
+    on_reply;
+    pending = Hashtbl.create 8;
+    rr = 0;
+    max_seq = 0;
+    last_target = None;
+    rng = Rng.split (Engine.rng engine);
+    counters = Counters.create ();
+    lookup_inflight = false;
+  }
+
+let target t =
+  let chosen =
+    match t.leader with
+    | Some l -> l
+    | None ->
+      let n = List.length t.members in
+      t.rr <- (t.rr + 1) mod n;
+      List.nth t.members t.rr
+  in
+  t.last_target <- Some chosen;
+  chosen
+
+let cancel_timer t o =
+  match o.timer with
+  | Some timer ->
+    Engine.cancel t.engine timer;
+    o.timer <- None
+  | None -> ()
+
+let rec attempt t seq =
+  match Hashtbl.find_opt t.pending seq with
+  | None -> ()
+  | Some o ->
+    cancel_timer t o;
+    o.attempts <- o.attempts + 1;
+    Counters.incr t.counters "sent";
+    let low_water =
+      Hashtbl.fold (fun s _ acc -> min s acc) t.pending (t.max_seq + 1)
+    in
+    t.send ~dst:(target t)
+      (Client_msg.Request { seq; low_water; payload = o.payload });
+    o.timer <-
+      Some
+        (Engine.schedule t.engine ~delay:t.req_timeout (fun () ->
+             on_timeout t seq))
+
+and on_timeout t seq =
+  match Hashtbl.find_opt t.pending seq with
+  | None -> ()
+  | Some o ->
+    Counters.incr t.counters "retries";
+    (* Distrust the cached leader and rotate; periodically consult the
+       directory for a fresh configuration. *)
+    t.leader <- None;
+    if o.attempts mod 3 = 0 then refresh_members t;
+    attempt t seq
+
+and refresh_members t =
+  match t.lookup with
+  | Some lookup when not t.lookup_inflight ->
+    t.lookup_inflight <- true;
+    Counters.incr t.counters "lookups";
+    lookup (fun members ->
+        t.lookup_inflight <- false;
+        if members <> [] then t.members <- members)
+  | Some _ | None -> ()
+
+let submit t ~seq ~payload =
+  if seq > t.max_seq then t.max_seq <- seq;
+  if not (Hashtbl.mem t.pending seq) then
+    Hashtbl.replace t.pending seq
+      { payload; attempts = 0; redirects = 0; timer = None };
+  attempt t seq
+
+let handle t msg =
+  match (msg : Client_msg.t) with
+  | Client_msg.Reply { seq; rsp } -> (
+    match Hashtbl.find_opt t.pending seq with
+    | Some o ->
+      cancel_timer t o;
+      Hashtbl.remove t.pending seq;
+      Counters.incr t.counters "replies";
+      t.on_reply ~seq ~rsp
+    | None -> (* duplicate reply from a retry *) ())
+  | Client_msg.Redirect { seq; leader; members; epoch } ->
+    Counters.incr t.counters "redirects";
+    if epoch >= t.epoch then begin
+      t.epoch <- epoch;
+      if members <> [] then t.members <- members;
+      (* A node redirecting to itself (a deposed leader with a stale hint)
+         would loop forever; rotate instead. *)
+      t.leader <- (if leader = t.last_target then None else leader)
+    end;
+    (match Hashtbl.find_opt t.pending seq with
+     | Some o ->
+       o.redirects <- o.redirects + 1;
+       (* Hints can cycle (two deposed nodes pointing at each other), and a
+          redirect re-arms the request timer, so the timeout path alone
+          never breaks the loop: periodically distrust the hint, rotate,
+          and ask the directory. *)
+       if o.redirects mod 6 = 0 then begin
+         t.leader <- None;
+         refresh_members t
+       end;
+       (* Back off so a redirect loop (e.g. during an election, when nobody
+          is leader yet) does not turn into a message storm. *)
+       let jitter = 0.010 +. Rng.float t.rng 0.015 in
+       ignore (Engine.schedule t.engine ~delay:jitter (fun () -> attempt t seq))
+     | None -> ())
+  | Client_msg.Request _ -> (* not addressed to clients *) ()
+
+let outstanding t = Hashtbl.length t.pending
+let counters t = t.counters
+let believed_members t = t.members
+let believed_leader t = t.leader

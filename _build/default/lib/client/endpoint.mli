@@ -1,0 +1,43 @@
+(** Generic client endpoint: request/retry/redirect state machine.
+
+    One endpoint represents one client session talking to a replicated
+    service.  It tracks the believed configuration and leader, follows
+    {!Client_msg.Redirect} hints, retries on timeout (rotating through
+    members), and optionally refreshes its member list from a directory.
+    At-most-once semantics are the server's job (session dedup); the
+    endpoint just guarantees it keeps trying until a reply arrives.
+
+    Transport-agnostic: wire it into a protocol's network with [send] and
+    feed incoming messages to {!handle}. *)
+
+type t
+
+val create :
+  engine:Rsmr_sim.Engine.t ->
+  me:Rsmr_net.Node_id.t ->
+  send:(dst:Rsmr_net.Node_id.t -> Client_msg.t -> unit) ->
+  members:Rsmr_net.Node_id.t list ->
+  ?lookup:((Rsmr_net.Node_id.t list -> unit) -> unit) ->
+  ?req_timeout:float ->
+  on_reply:(seq:int -> rsp:string -> unit) ->
+  unit ->
+  t
+(** [lookup k] asynchronously fetches a fresh member list (e.g. from the
+    directory) and calls [k]; consulted after repeated timeouts.
+    [req_timeout] defaults to 0.5 s. *)
+
+val submit : t -> seq:int -> payload:Client_msg.payload -> unit
+(** Start (or restart) a request.  [seq] values must be unique per
+    endpoint and increasing. *)
+
+val handle : t -> Client_msg.t -> unit
+(** Feed a message addressed to this client. *)
+
+val outstanding : t -> int
+(** Requests not yet answered. *)
+
+val counters : t -> Rsmr_sim.Counters.t
+(** Keys: "sent", "retries", "redirects", "replies", "lookups". *)
+
+val believed_members : t -> Rsmr_net.Node_id.t list
+val believed_leader : t -> Rsmr_net.Node_id.t option

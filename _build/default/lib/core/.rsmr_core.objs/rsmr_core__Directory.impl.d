@@ -1,0 +1,1 @@
+lib/core/directory.ml: Rsmr_net

@@ -1,0 +1,1 @@
+lib/core/directory.mli: Rsmr_net

@@ -1,0 +1,1 @@
+lib/core/envelope.ml: Format Rsmr_app Rsmr_net String

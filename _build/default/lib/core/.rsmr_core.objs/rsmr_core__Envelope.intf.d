@@ -1,0 +1,1 @@
+lib/core/envelope.mli: Format Rsmr_net

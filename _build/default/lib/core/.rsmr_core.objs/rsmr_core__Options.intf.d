@@ -1,0 +1,1 @@
+lib/core/options.mli: Format

@@ -1,0 +1,1 @@
+lib/core/service.ml: Array Directory Envelope Hashtbl Lazy List Option Options Rsmr_app Rsmr_client Rsmr_iface Rsmr_net Rsmr_sim Rsmr_smr Session Snapshot Wire

@@ -1,0 +1,1 @@
+lib/core/service.mli: Options Rsmr_app Rsmr_iface Rsmr_net Rsmr_sim Rsmr_smr Wire

@@ -1,0 +1,1 @@
+lib/core/session.ml: Int Map Option Rsmr_app Rsmr_net

@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: List Rsmr_app String

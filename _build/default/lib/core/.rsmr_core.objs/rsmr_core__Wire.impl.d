@@ -1,0 +1,1 @@
+lib/core/wire.ml: Format Rsmr_app Rsmr_client Rsmr_net String

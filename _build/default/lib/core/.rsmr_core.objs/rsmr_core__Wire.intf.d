@@ -1,0 +1,1 @@
+lib/core/wire.mli: Format Rsmr_client Rsmr_net

@@ -1,0 +1,20 @@
+type t = {
+  mutable epoch : int;
+  mutable members : Rsmr_net.Node_id.t list;
+  mutable leader : Rsmr_net.Node_id.t option;
+}
+
+let create () = { epoch = -1; members = []; leader = None }
+
+let update t ~epoch ~members ~leader =
+  if epoch > t.epoch then begin
+    t.epoch <- epoch;
+    t.members <- members;
+    t.leader <- leader
+  end
+  else if epoch = t.epoch then
+    match leader with Some _ -> t.leader <- leader | None -> ()
+
+let epoch t = t.epoch
+let members t = t.members
+let leader t = t.leader

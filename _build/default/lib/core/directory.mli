@@ -1,0 +1,22 @@
+(** The configuration directory: maps the (single, here) service to its
+    freshest known configuration, so clients that lost track of the member
+    set can recover.
+
+    Runs on one dedicated simulated node.  The paper notes the directory
+    itself can be replicated with the same machinery; a single node
+    suffices here because only its lookup latency is observable in the
+    experiments and it is never on any decision path. *)
+
+type t
+
+val create : unit -> t
+
+val update :
+  t -> epoch:int -> members:Rsmr_net.Node_id.t list ->
+  leader:Rsmr_net.Node_id.t option -> unit
+(** Monotone in [epoch]: stale updates are ignored; a same-epoch update may
+    refresh the leader hint. *)
+
+val epoch : t -> int
+val members : t -> Rsmr_net.Node_id.t list
+val leader : t -> Rsmr_net.Node_id.t option

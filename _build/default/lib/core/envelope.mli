@@ -1,0 +1,24 @@
+(** The command envelope the composition layer feeds through the static SMR
+    building block.
+
+    The static instance orders opaque bytes; this module is the only codec
+    that interprets them.  [App] carries a client command together with its
+    session coordinates (for exactly-once application); [Reconfig] is the
+    paper's reconfiguration command — deciding one wedges the instance. *)
+
+type t =
+  | App of {
+      client : Rsmr_net.Node_id.t;
+      seq : int;
+      low_water : int;  (** client's session-GC watermark *)
+      cmd : string;
+    }
+  | Reconfig of {
+      client : Rsmr_net.Node_id.t;
+      seq : int;
+      members : Rsmr_net.Node_id.t list;
+    }
+
+val encode : t -> string
+val decode : string -> t
+val pp : Format.formatter -> t -> unit

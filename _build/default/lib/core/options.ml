@@ -1,0 +1,18 @@
+type t = {
+  speculative : bool;
+  residual_resubmit : bool;
+  chunk_size : int;
+  fetch_timeout : float;
+}
+
+let default =
+  {
+    speculative = true;
+    residual_resubmit = true;
+    chunk_size = 64 * 1024;
+    fetch_timeout = 0.25;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "spec=%b residual=%b chunk=%dB fetch_to=%.0fms"
+    t.speculative t.residual_resubmit t.chunk_size (t.fetch_timeout *. 1e3)

@@ -1,0 +1,19 @@
+(** Composition-layer knobs — each one is an ablation axis in the
+    evaluation. *)
+
+type t = {
+  speculative : bool;
+      (** Paper's key optimization: boot the next configuration's SMR
+          instance (and let it order commands) concurrently with state
+          transfer; execution/replies still wait for the snapshot.  Off =
+          the instance only starts once the snapshot is installed. *)
+  residual_resubmit : bool;
+      (** Re-submit commands the old instance ordered after its wedge point
+          into the new instance (otherwise only client retries recover
+          them). *)
+  chunk_size : int;  (** state-transfer chunk bytes *)
+  fetch_timeout : float;  (** retry period for snapshot fetches *)
+}
+
+val default : t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,691 @@
+module Engine = Rsmr_sim.Engine
+module Counters = Rsmr_sim.Counters
+module Trace = Rsmr_sim.Trace
+module Rng = Rsmr_sim.Rng
+module Network = Rsmr_net.Network
+module Node_id = Rsmr_net.Node_id
+module Config = Rsmr_smr.Config
+module Client_msg = Rsmr_client.Client_msg
+module Endpoint = Rsmr_client.Endpoint
+
+module type S = sig
+  type t
+  type app_state
+
+  val create :
+    engine:Rsmr_sim.Engine.t ->
+    ?latency:Rsmr_net.Latency.t ->
+    ?drop:float ->
+    ?bandwidth:float ->
+    ?smr_params:Rsmr_smr.Params.t ->
+    ?options:Options.t ->
+    ?universe:Rsmr_net.Node_id.t list ->
+    members:Rsmr_net.Node_id.t list ->
+    unit ->
+    t
+
+  val cluster : t -> Rsmr_iface.Cluster.t
+  val engine : t -> Rsmr_sim.Engine.t
+  val net : t -> Wire.t Rsmr_net.Network.t
+  val directory_id : t -> Rsmr_net.Node_id.t
+  val current_epoch : t -> int
+  val current_members : t -> Rsmr_net.Node_id.t list
+  val counters : t -> Rsmr_sim.Counters.t
+  val app_state : t -> Rsmr_net.Node_id.t -> app_state option
+  val host_epoch : t -> Rsmr_net.Node_id.t -> int option
+  val live_instances : t -> Rsmr_net.Node_id.t -> int
+  val current_leader : t -> Rsmr_net.Node_id.t option
+end
+
+module Make_on (B : Rsmr_smr.Block_intf.S) (Sm : Rsmr_app.State_machine.S) =
+struct
+  module Replica = B
+
+  type app_state = Sm.t
+  type instance = {
+    epoch : int;
+    cfg : Config.t;
+    prev_members : Node_id.t list;
+    mutable replica : Replica.t option;
+    mutable app : Sm.t;
+    mutable sessions : Session.t;
+    mutable activated : bool;
+    mutable wedged_at : int option;
+    mutable next_members : Node_id.t list;
+    mutable final_snapshot : string option;
+    mutable spec_buf : (int * Envelope.t) list; (* newest first *)
+    mutable chunks : string option array;
+    mutable chunks_got : int;
+    mutable fetch_timer : Engine.timer option;
+    mutable fetch_rr : int;
+    mutable announced : bool;
+    mutable retired : bool;
+  }
+
+  type host = {
+    me : Node_id.t;
+    instances : (int, instance) Hashtbl.t;
+    pending_fetches : (int, Node_id.t list ref) Hashtbl.t;
+    mutable top_epoch : int;
+    mutable latest_members : Node_id.t list;
+  }
+
+  type client_rec = {
+    endpoint : Endpoint.t;
+    mutable dir_k : (Node_id.t list -> unit) option;
+  }
+
+  type t = {
+    engine : Engine.t;
+    net : Wire.t Network.t;
+    opts : Options.t;
+    smr_params : Rsmr_smr.Params.t;
+    hosts : (Node_id.t, host) Hashtbl.t;
+    dir : Directory.t;
+    dir_id : Node_id.t;
+    admin_id : Node_id.t;
+    mutable admin_seq : int;
+    clients : (Node_id.t, client_rec) Hashtbl.t;
+    mutable on_reply : Rsmr_iface.Cluster.reply_handler;
+    counters : Counters.t;
+  }
+
+  let engine t = t.engine
+  let net t = t.net
+  let directory_id t = t.dir_id
+  let counters t = t.counters
+  let current_epoch t = Directory.epoch t.dir
+  let current_members t = Directory.members t.dir
+
+  let newest_instance host ~pred =
+    Hashtbl.fold
+      (fun _ inst acc ->
+        if pred inst then
+          match acc with
+          | Some best when best.epoch >= inst.epoch -> acc
+          | _ -> Some inst
+        else acc)
+      host.instances None
+
+  let app_state t node =
+    match Hashtbl.find_opt t.hosts node with
+    | None -> None
+    | Some host -> (
+      match newest_instance host ~pred:(fun i -> i.activated) with
+      | Some inst -> Some inst.app
+      | None -> None)
+
+  let host_epoch t node =
+    match Hashtbl.find_opt t.hosts node with
+    | None -> None
+    | Some host -> (
+      match newest_instance host ~pred:(fun _ -> true) with
+      | Some inst -> Some inst.epoch
+      | None -> None)
+
+  let live_instances t node =
+    match Hashtbl.find_opt t.hosts node with
+    | None -> 0
+    | Some host ->
+      Hashtbl.fold
+        (fun _ inst acc ->
+          match inst.replica with
+          | Some r when not (Replica.is_halted r) -> acc + 1
+          | Some _ | None -> acc)
+        host.instances 0
+
+  let current_leader t =
+    Hashtbl.fold
+      (fun id host acc ->
+        if Network.is_crashed t.net id then acc
+        else
+          match
+            newest_instance host ~pred:(fun i ->
+                (not i.retired)
+                && i.activated (* leading AND able to execute/reply *)
+                &&
+                match i.replica with
+                | Some r -> Replica.is_leader r
+                | None -> false)
+          with
+          | Some inst -> (
+            match acc with
+            | Some (e, _) when e >= inst.epoch -> acc
+            | _ -> Some (inst.epoch, id))
+          | None -> acc)
+      t.hosts None
+    |> Option.map snd
+
+  let send t ~src ~dst wire = Network.send t.net ~src ~dst wire
+
+  let reply_client t host ~client ~seq ~rsp =
+    Counters.incr t.counters "replies";
+    send t ~src:host.me ~dst:client (Wire.Client (Client_msg.Reply { seq; rsp }))
+
+  let is_inst_leader inst =
+    match inst.replica with Some r -> Replica.is_leader r | None -> false
+
+  (* Announce a freshly live configuration: retire the previous instance on
+     its members and give the directory a leader hint.  Done by the
+     instance's leader once it is both activated and elected. *)
+  let announce t host inst =
+    if inst.activated && (not inst.announced) && is_inst_leader inst then begin
+      inst.announced <- true;
+      List.iter
+        (fun m -> send t ~src:host.me ~dst:m (Wire.Retire { epoch = inst.epoch }))
+        inst.prev_members;
+      send t ~src:host.me ~dst:t.dir_id
+        (Wire.Dir_update
+           {
+             epoch = inst.epoch;
+             members = inst.cfg.Config.members;
+             leader = Some host.me;
+           })
+    end
+
+  (* Poll for the announce condition until it fires: leadership is decided
+     by the embedded replica asynchronously and exposes no callback. *)
+  let rec announce_poll t host inst =
+    if (not inst.announced) && not inst.retired then begin
+      announce t host inst;
+      if not inst.announced then
+        ignore
+          (Engine.schedule t.engine ~delay:0.05 (fun () ->
+               announce_poll t host inst))
+    end
+
+  let retire_instance t inst =
+    if not inst.retired then begin
+      inst.retired <- true;
+      (match inst.replica with Some r -> Replica.halt r | None -> ());
+      (match inst.fetch_timer with
+       | Some timer ->
+         Engine.cancel t.engine timer;
+         inst.fetch_timer <- None
+       | None -> ())
+    end
+
+  let submit_envelope inst env =
+    match inst.replica with
+    | Some r when not (Replica.is_halted r) ->
+      Replica.submit r (Envelope.encode env)
+    | Some _ | None -> ()
+
+  (* --- decided-command processing --- *)
+
+  let rec dispatch t host inst idx env =
+    match inst.wedged_at with
+    | Some w when idx > w -> handle_residual t host inst env
+    | Some _ | None -> process t host inst idx env
+
+  and handle_residual t host inst env =
+    Counters.incr t.counters "residuals";
+    (* Only the old instance's leader re-submits, to avoid an n-fold
+       duplicate storm; session dedup makes any duplicates harmless.  If the
+       leader does not itself host the next instance (disjoint
+       replacement), it forwards the command to a new member as a static
+       Submit, which that member's replica routes to its leader. *)
+    if t.opts.Options.residual_resubmit && is_inst_leader inst then begin
+      Counters.incr t.counters "residuals_resubmitted";
+      match Hashtbl.find_opt host.instances (inst.epoch + 1) with
+      | Some next -> submit_envelope next env
+      | None -> (
+        match inst.next_members with
+        | dst :: _ ->
+          send t ~src:host.me ~dst
+            (Wire.Block
+               {
+                 epoch = inst.epoch + 1;
+                 data = B.Msg.encode (B.submit_msg (Envelope.encode env));
+               })
+        | [] -> ())
+    end
+
+  and process t host inst idx env =
+    match (env : Envelope.t) with
+    | Envelope.App { client; seq; low_water; cmd } -> (
+      match Session.check inst.sessions ~client ~seq with
+      | `New ->
+        let app', resp = Sm.apply inst.app (Sm.decode_command cmd) in
+        let rsp = Sm.encode_response resp in
+        inst.app <- app';
+        inst.sessions <-
+          Session.trim
+            (Session.record inst.sessions ~client ~seq ~rsp)
+            ~client ~below:low_water;
+        Counters.incr t.counters "applied";
+        if is_inst_leader inst then reply_client t host ~client ~seq ~rsp
+      | `Dup rsp -> if is_inst_leader inst then reply_client t host ~client ~seq ~rsp
+      | `Stale -> (* already applied and acknowledged: late duplicate *) ())
+    | Envelope.Reconfig { client; seq; members } -> (
+      match Session.check inst.sessions ~client ~seq with
+      | `New ->
+        let rsp = "ok" in
+        inst.sessions <- Session.record inst.sessions ~client ~seq ~rsp;
+        if is_inst_leader inst then reply_client t host ~client ~seq ~rsp;
+        wedge t host inst idx members
+      | `Dup rsp -> if is_inst_leader inst then reply_client t host ~client ~seq ~rsp
+      | `Stale -> ())
+
+  and on_decide t host inst idx value =
+    let env = Envelope.decode value in
+    if inst.activated then dispatch t host inst idx env
+    else inst.spec_buf <- (idx, env) :: inst.spec_buf
+
+  (* --- wedging and the next configuration --- *)
+
+  and wedge t host inst widx members' =
+    assert (inst.wedged_at = None);
+    inst.wedged_at <- Some widx;
+    inst.next_members <- members';
+    Counters.incr t.counters "wedges";
+    let snapshot =
+      Snapshot.encode
+        { Snapshot.app = Sm.snapshot inst.app;
+          sessions = Session.encode inst.sessions }
+    in
+    inst.final_snapshot <- Some snapshot;
+    let new_epoch = inst.epoch + 1 in
+    if new_epoch > host.top_epoch then begin
+      host.top_epoch <- new_epoch;
+      host.latest_members <- members'
+    end;
+    (* Anyone who asked for this snapshot before we wedged. *)
+    (match Hashtbl.find_opt host.pending_fetches new_epoch with
+     | Some waiting ->
+       Hashtbl.remove host.pending_fetches new_epoch;
+       List.iter (fun dst -> send_snapshot t host ~dst ~epoch:new_epoch snapshot)
+         !waiting
+     | None -> ());
+    (* Tell the new configuration it exists. *)
+    List.iter
+      (fun m ->
+        if not (Node_id.equal m host.me) then
+          send t ~src:host.me ~dst:m
+            (Wire.Bootstrap
+               {
+                 epoch = new_epoch;
+                 members = members';
+                 prev_epoch = inst.epoch;
+                 prev_members = inst.cfg.Config.members;
+               }))
+      members';
+    send t ~src:host.me ~dst:t.dir_id
+      (Wire.Dir_update { epoch = new_epoch; members = members'; leader = None });
+    (* A host in both configurations transfers state locally: its own
+       wedge-point state is exactly the new instance's initial state. *)
+    if List.exists (Node_id.equal host.me) members' then begin
+      match Hashtbl.find_opt host.instances new_epoch with
+      | Some next -> activate t host next ~app:inst.app ~sessions:inst.sessions ~local:true
+      | None ->
+        let next =
+          create_instance t host ~epoch:new_epoch ~members:members'
+            ~prev_members:inst.cfg.Config.members ~boot:`Await
+        in
+        activate t host next ~app:inst.app ~sessions:inst.sessions ~local:true
+    end
+
+  and create_instance t host ~epoch ~members ~prev_members ~boot =
+    let cfg = Config.make ~instance_id:epoch ~members in
+    let inst =
+      {
+        epoch;
+        cfg;
+        prev_members;
+        replica = None;
+        app = Sm.init ();
+        sessions = Session.empty;
+        activated = false;
+        wedged_at = None;
+        next_members = [];
+        final_snapshot = None;
+        spec_buf = [];
+        chunks = [||];
+        chunks_got = 0;
+        fetch_timer = None;
+        fetch_rr = 0;
+        announced = false;
+        retired = false;
+      }
+    in
+    Hashtbl.replace host.instances epoch inst;
+    if epoch > host.top_epoch then begin
+      host.top_epoch <- epoch;
+      host.latest_members <- members
+    end;
+    (match boot with
+     | `Active (app, sessions) ->
+       inst.app <- app;
+       inst.sessions <- sessions;
+       inst.activated <- true;
+       inst.announced <- epoch = 0;
+       start_replica t host inst
+     | `Await ->
+       (* Speculative handoff: the instance begins ordering immediately,
+          concurrently with state transfer. *)
+       if t.opts.Options.speculative then start_replica t host inst;
+       start_fetch t host inst);
+    inst
+
+  and start_replica t host inst =
+    if inst.replica = None && not inst.retired then begin
+      let replica =
+        Replica.create ~engine:t.engine ~params:t.smr_params ~config:inst.cfg
+          ~me:host.me
+          ~send:(fun ~dst msg ->
+            send t ~src:host.me ~dst
+              (Wire.Block { epoch = inst.epoch; data = B.Msg.encode msg }))
+          ~on_decide:(fun idx value -> on_decide t host inst idx value)
+          ()
+      in
+      inst.replica <- Some replica
+    end
+
+  and start_fetch t host inst =
+    let targets =
+      List.filter (fun m -> not (Node_id.equal m host.me)) inst.prev_members
+    in
+    if targets <> [] && not inst.activated then begin
+      (* Stagger initial fetch targets by requester identity so concurrent
+         joiners pull from different old members instead of all melting one
+         uplink. *)
+      if inst.fetch_rr = 0 then inst.fetch_rr <- host.me;
+      let dst = List.nth targets (inst.fetch_rr mod List.length targets) in
+      inst.fetch_rr <- inst.fetch_rr + 1;
+      send t ~src:host.me ~dst (Wire.Fetch_state { epoch = inst.epoch });
+      inst.fetch_timer <-
+        Some
+          (Engine.schedule t.engine ~delay:t.opts.Options.fetch_timeout
+             (fun () -> if not inst.activated then start_fetch t host inst))
+    end
+
+  and activate t host inst ~app ~sessions ~local =
+    if (not inst.activated) && not inst.retired then begin
+      inst.app <- app;
+      inst.sessions <- sessions;
+      inst.activated <- true;
+      Counters.incr t.counters
+        (if local then "local_activations" else "transfers");
+      (match inst.fetch_timer with
+       | Some timer ->
+         Engine.cancel t.engine timer;
+         inst.fetch_timer <- None
+       | None -> ());
+      if inst.replica = None then start_replica t host inst;
+      (* Execute everything the speculative instance ordered while the
+         snapshot was in flight, in log order. *)
+      let buffered = List.sort compare (List.rev inst.spec_buf) in
+      inst.spec_buf <- [];
+      List.iter (fun (idx, env) -> dispatch t host inst idx env) buffered;
+      announce_poll t host inst
+    end
+
+  and send_snapshot t host ~dst ~epoch snapshot =
+    let pieces = Snapshot.chunk snapshot ~size:t.opts.Options.chunk_size in
+    let total = List.length pieces in
+    List.iteri
+      (fun index data ->
+        Counters.incr t.counters "chunks_sent";
+        send t ~src:host.me ~dst (Wire.State_chunk { epoch; index; total; data }))
+      pieces
+
+  (* --- wire handlers --- *)
+
+  let handle_bootstrap t host ~epoch ~members ~prev_epoch:_ ~prev_members =
+    if not (Hashtbl.mem host.instances epoch) then
+      ignore (create_instance t host ~epoch ~members ~prev_members ~boot:`Await)
+
+  let handle_fetch t host ~src ~epoch =
+    match Hashtbl.find_opt host.instances (epoch - 1) with
+    | Some prev when prev.final_snapshot <> None -> (
+      match prev.final_snapshot with
+      | Some snapshot -> send_snapshot t host ~dst:src ~epoch snapshot
+      | None -> ())
+    | Some _ | None ->
+      (* Not wedged yet (or not hosted): remember the request and serve it
+         at wedge time. *)
+      let waiting =
+        match Hashtbl.find_opt host.pending_fetches epoch with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.replace host.pending_fetches epoch r;
+          r
+      in
+      if not (List.exists (Node_id.equal src) !waiting) then
+        waiting := src :: !waiting
+
+  let handle_chunk t host ~epoch ~index ~total ~data =
+    match Hashtbl.find_opt host.instances epoch with
+    | None -> ()
+    | Some inst ->
+      if (not inst.activated) && not inst.retired then begin
+        if Array.length inst.chunks <> total then begin
+          inst.chunks <- Array.make total None;
+          inst.chunks_got <- 0
+        end;
+        if index < total && inst.chunks.(index) = None then begin
+          inst.chunks.(index) <- Some data;
+          inst.chunks_got <- inst.chunks_got + 1
+        end;
+        if inst.chunks_got = total then begin
+          let pieces =
+            Array.to_list inst.chunks
+            |> List.map (function Some d -> d | None -> assert false)
+          in
+          let snapshot = Snapshot.decode (Snapshot.assemble pieces) in
+          activate t host inst ~app:(Sm.restore snapshot.Snapshot.app)
+            ~sessions:(Session.decode snapshot.Snapshot.sessions) ~local:false
+        end
+      end
+
+  let handle_retire t host ~epoch =
+    Hashtbl.iter
+      (fun e inst -> if e < epoch then retire_instance t inst)
+      host.instances
+
+  let handle_request t host ~src ~seq ~low_water ~payload =
+    Counters.incr t.counters "requests";
+    let current =
+      newest_instance host ~pred:(fun i -> i.replica <> None && not i.retired)
+    in
+    let redirect () =
+      Counters.incr t.counters "redirects";
+      let leader =
+        match current with
+        | Some inst when inst.wedged_at = None -> (
+          match inst.replica with
+          | Some r -> Replica.leader_hint r
+          | None -> None)
+        | Some _ | None -> None
+      in
+      send t ~src:host.me ~dst:src
+        (Wire.Client
+           (Client_msg.Redirect
+              { seq; leader; members = host.latest_members; epoch = host.top_epoch }))
+    in
+    match current with
+    | Some inst when is_inst_leader inst && inst.wedged_at = None -> (
+      (* Fast-path dedup only once sessions are installed; ordering a
+         duplicate before that is harmless. *)
+      let dup =
+        if inst.activated then
+          match Session.check inst.sessions ~client:src ~seq with
+          | `Dup rsp -> Some rsp
+          | `New | `Stale -> None
+        else None
+      in
+      match dup with
+      | Some rsp -> reply_client t host ~client:src ~seq ~rsp
+      | None ->
+        let env =
+          match (payload : Client_msg.payload) with
+          | Client_msg.Cmd cmd ->
+            Envelope.App { client = src; seq; low_water; cmd }
+          | Client_msg.Change_membership members ->
+            Envelope.Reconfig { client = src; seq; members }
+        in
+        submit_envelope inst env)
+    | Some _ | None -> redirect ()
+
+  let host_handler t host (env : Wire.t Network.envelope) =
+    let src = env.Network.src in
+    match env.Network.payload with
+    | Wire.Block { epoch; data } -> (
+      match Hashtbl.find_opt host.instances epoch with
+      | Some inst -> (
+        match inst.replica with
+        | Some r -> Replica.handle r ~src (B.Msg.decode data)
+        | None -> ())
+      | None -> ())
+    | Wire.Client (Client_msg.Request { seq; low_water; payload }) ->
+      handle_request t host ~src ~seq ~low_water ~payload
+    | Wire.Client (Client_msg.Reply _ | Client_msg.Redirect _) -> ()
+    | Wire.Bootstrap { epoch; members; prev_epoch; prev_members } ->
+      handle_bootstrap t host ~epoch ~members ~prev_epoch ~prev_members
+    | Wire.Fetch_state { epoch } -> handle_fetch t host ~src ~epoch
+    | Wire.State_chunk { epoch; index; total; data } ->
+      handle_chunk t host ~epoch ~index ~total ~data
+    | Wire.Retire { epoch } -> handle_retire t host ~epoch
+    | Wire.Dir_update _ | Wire.Dir_lookup | Wire.Dir_info _ -> ()
+
+  let dir_handler t (env : Wire.t Network.envelope) =
+    match env.Network.payload with
+    | Wire.Dir_update { epoch; members; leader } ->
+      Directory.update t.dir ~epoch ~members ~leader
+    | Wire.Dir_lookup ->
+      send t ~src:t.dir_id ~dst:env.Network.src
+        (Wire.Dir_info
+           {
+             epoch = Directory.epoch t.dir;
+             members = Directory.members t.dir;
+             leader = Directory.leader t.dir;
+           })
+    | _ -> ()
+
+  let client_handler _t record (env : Wire.t Network.envelope) =
+    match env.Network.payload with
+    | Wire.Client msg -> Endpoint.handle record.endpoint msg
+    | Wire.Dir_info { members; _ } -> (
+      match record.dir_k with
+      | Some k ->
+        record.dir_k <- None;
+        k members
+      | None -> ())
+    | _ -> ()
+
+  let add_client t cid =
+    if not (Hashtbl.mem t.clients cid) then begin
+      let rec record =
+        lazy
+          {
+            endpoint =
+              Endpoint.create ~engine:t.engine ~me:cid
+                ~send:(fun ~dst msg ->
+                  send t ~src:cid ~dst (Wire.Client msg))
+                ~members:(Directory.members t.dir)
+                ~lookup:(fun k ->
+                  (Lazy.force record).dir_k <- Some k;
+                  send t ~src:cid ~dst:t.dir_id Wire.Dir_lookup)
+                ~on_reply:(fun ~seq ~rsp -> t.on_reply ~client:cid ~seq ~rsp)
+                ();
+            dir_k = None;
+          }
+      in
+      let record = Lazy.force record in
+      Hashtbl.replace t.clients cid record;
+      Network.register t.net cid (client_handler t record)
+    end
+
+  let reconfigure t members =
+    t.admin_seq <- t.admin_seq + 1;
+    (match Hashtbl.find_opt t.clients t.admin_id with
+     | Some record ->
+       Endpoint.submit record.endpoint ~seq:t.admin_seq
+         ~payload:(Client_msg.Change_membership members)
+     | None -> assert false)
+
+  let create ~engine ?latency ?drop ?bandwidth ?smr_params ?options ?universe
+      ~members () =
+    if members = [] then invalid_arg "Service.create: empty member set";
+    let opts = Option.value options ~default:Options.default in
+    let smr_params = Option.value smr_params ~default:Rsmr_smr.Params.default in
+    let universe = Option.value universe ~default:members in
+    let universe = List.sort_uniq Node_id.compare (universe @ members) in
+    let top = List.fold_left max 0 universe in
+    let dir_id = top + 1 in
+    let admin_id = top + 2 in
+    let tagger = function
+      | Wire.Block { data; _ } ->
+        "block." ^ B.Msg.tag (B.Msg.decode data)
+      | other -> Wire.tag other
+    in
+    let net =
+      Network.create engine ?latency ?drop ?bandwidth ~tagger ~sizer:Wire.size ()
+    in
+    let t =
+      {
+        engine;
+        net;
+        opts;
+        smr_params;
+        hosts = Hashtbl.create 32;
+        dir = Directory.create ();
+        dir_id;
+        admin_id;
+        admin_seq = 0;
+        clients = Hashtbl.create 16;
+        on_reply = (fun ~client:_ ~seq:_ ~rsp:_ -> ());
+        counters = Counters.create ();
+      }
+    in
+    List.iter
+      (fun node ->
+        let host =
+          {
+            me = node;
+            instances = Hashtbl.create 4;
+            pending_fetches = Hashtbl.create 4;
+            top_epoch = 0;
+            latest_members = members;
+          }
+        in
+        Hashtbl.replace t.hosts node host;
+        Network.register t.net node (fun env -> host_handler t host env))
+      universe;
+    (* Epoch 0 starts live everywhere with fresh state. *)
+    List.iter
+      (fun node ->
+        let host = Hashtbl.find t.hosts node in
+        ignore
+          (create_instance t host ~epoch:0 ~members ~prev_members:[]
+             ~boot:(`Active (Sm.init (), Session.empty))))
+      members;
+    Directory.update t.dir ~epoch:0 ~members ~leader:None;
+    Network.register t.net dir_id (dir_handler t);
+    add_client t admin_id;
+    t
+
+  let cluster t =
+    {
+      Rsmr_iface.Cluster.name = "core";
+      engine = t.engine;
+      add_client = (fun cid -> add_client t cid);
+      submit =
+        (fun ~client ~seq ~cmd ->
+          match Hashtbl.find_opt t.clients client with
+          | Some record ->
+            Endpoint.submit record.endpoint ~seq
+              ~payload:(Client_msg.Cmd cmd)
+          | None -> invalid_arg "submit: unknown client (call add_client)");
+      set_on_reply = (fun h -> t.on_reply <- h);
+      reconfigure = (fun members -> reconfigure t members);
+      members = (fun () -> Directory.members t.dir);
+      crash = (fun node -> Network.crash t.net node);
+      recover = (fun node -> Network.recover t.net node);
+      net_counters = Network.counters t.net;
+      counters = t.counters;
+    }
+end
+
+module Make (Sm : Rsmr_app.State_machine.S) = Make_on (Rsmr_smr.Paxos_block) (Sm)

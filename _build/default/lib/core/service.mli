@@ -1,0 +1,84 @@
+(** Reconfigurable state machine replication composed from non-reconfigurable
+    building blocks — the paper's contribution.
+
+    One service instance manages, on every simulated node, a stack of
+    static SMR instances (any {!Rsmr_smr.Block_intf.S}), one per
+    configuration epoch:
+
+    - Epoch [e]'s instance orders {!Envelope} commands.  The first decided
+      [Reconfig] command {e wedges} the instance: the composed history for
+      epoch [e] is exactly the log prefix up to that command.
+    - Commands the black box happens to order after the wedge point are
+      {e residuals}: never applied in [e], optionally re-submitted into
+      [e+1] (deduplicated by client session).
+    - Old members push [Bootstrap] to the new configuration's members; new
+      members pull the wedge-point snapshot (application state + session
+      table) in chunks, spreading their fetches across old members.
+    - With speculative handoff on, epoch [e+1]'s instance boots and orders
+      commands {e while} the snapshot is in flight; it executes and replies
+      only once the snapshot is installed.
+    - Superseded instances halt on [Retire]; the directory node tracks the
+      freshest configuration for clients that lost the trail.
+
+    {!Make_on} composes {e any} building block; {!Make} is the Multi-Paxos
+    default.  {!Rsmr_smr.Vr} demonstrates that the layer really is
+    block-agnostic. *)
+
+(** Output signature of the service functors. *)
+module type S = sig
+  type t
+  type app_state
+
+  val create :
+    engine:Rsmr_sim.Engine.t ->
+    ?latency:Rsmr_net.Latency.t ->
+    ?drop:float ->
+    ?bandwidth:float ->
+    ?smr_params:Rsmr_smr.Params.t ->
+    ?options:Options.t ->
+    ?universe:Rsmr_net.Node_id.t list ->
+    members:Rsmr_net.Node_id.t list ->
+    unit ->
+    t
+  (** [universe] is every node id that may ever host a replica (defaults to
+      [members]); nodes outside it cannot be reconfigured in.  Two extra
+      ids are allocated above the universe for the directory node and the
+      administrative client.  Client ids must not collide with either. *)
+
+  val cluster : t -> Rsmr_iface.Cluster.t
+  (** The protocol-agnostic face used by workloads and benchmarks. *)
+
+  (** {1 Introspection (tests, invariant checks)} *)
+
+  val engine : t -> Rsmr_sim.Engine.t
+  val net : t -> Wire.t Rsmr_net.Network.t
+  val directory_id : t -> Rsmr_net.Node_id.t
+  val current_epoch : t -> int
+  val current_members : t -> Rsmr_net.Node_id.t list
+
+  val counters : t -> Rsmr_sim.Counters.t
+  (** Keys include "applied", "wedges", "residuals",
+      "residuals_resubmitted", "transfers", "local_activations",
+      "chunks_sent", "replies", "redirects". *)
+
+  val app_state : t -> Rsmr_net.Node_id.t -> app_state option
+  (** Application state of the newest activated instance hosted on a node. *)
+
+  val host_epoch : t -> Rsmr_net.Node_id.t -> int option
+  (** Newest epoch a node hosts (activated or not). *)
+
+  val live_instances : t -> Rsmr_net.Node_id.t -> int
+  (** Instances on the node whose replica has not been halted. *)
+
+  val current_leader : t -> Rsmr_net.Node_id.t option
+  (** The node leading the newest epoch's instance, if any (and not
+      crashed). *)
+end
+
+module Make_on (B : Rsmr_smr.Block_intf.S) (Sm : Rsmr_app.State_machine.S) :
+  S with type app_state = Sm.t
+(** Compose an arbitrary building block. *)
+
+module Make (Sm : Rsmr_app.State_machine.S) : S with type app_state = Sm.t
+(** The default composition over static Multi-Paxos
+    ({!Rsmr_smr.Paxos_block}). *)

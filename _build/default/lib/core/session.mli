@@ -1,0 +1,41 @@
+(** Client session table: the deduplication state that makes command
+    application exactly-once even though clients retry, pipeline several
+    outstanding requests, and residual commands are re-submitted across
+    configurations.
+
+    Every applied (client, seq) is remembered with its response, so a
+    duplicate ordering of any previously applied request re-replies instead
+    of re-executing.  Part of the replicated state: applied
+    deterministically on every replica and shipped inside snapshots during
+    state transfer.  Responses below the client's acknowledged watermark
+    are trimmed (see {!trim}), keeping the table bounded by in-flight
+    windows rather than run length. *)
+
+type t
+
+val empty : t
+
+val check :
+  t -> client:Rsmr_net.Node_id.t -> seq:int -> [ `New | `Dup of string | `Stale ]
+(** [`New]: never applied, execute it.  [`Dup rsp]: already applied —
+    re-reply the cached response, do not re-execute.  [`Stale]: at or below
+    the client's trimmed watermark — already applied {e and} acknowledged,
+    so neither execute nor reply (duplicates can trail long after the ack,
+    e.g. residual re-submissions across a reconfiguration). *)
+
+val record : t -> client:Rsmr_net.Node_id.t -> seq:int -> rsp:string -> t
+
+val trim : t -> client:Rsmr_net.Node_id.t -> below:int -> t
+(** Forget cached responses for sequences < [below] — the client has
+    acknowledged them (piggybacked watermark), so it will never ask for
+    those replies again.  The watermark itself is retained (the {e floor}),
+    so late duplicates of trimmed sequences are still recognized as
+    [`Stale] rather than re-executed.  Keeps session tables (and therefore
+    snapshots) bounded by the clients' in-flight windows rather than by run
+    length. *)
+
+val cardinal : t -> int
+(** Total number of remembered (client, seq) pairs. *)
+
+val encode : t -> string
+val decode : string -> t

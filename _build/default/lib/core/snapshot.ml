@@ -1,0 +1,31 @@
+module W = Rsmr_app.Codec.Writer
+module R = Rsmr_app.Codec.Reader
+
+type t = { app : string; sessions : string }
+
+let encode t =
+  let w = W.create ~size_hint:(String.length t.app + String.length t.sessions + 16) () in
+  W.string w t.app;
+  W.string w t.sessions;
+  W.contents w
+
+let decode s =
+  let r = R.of_string s in
+  let app = R.string r in
+  let sessions = R.string r in
+  { app; sessions }
+
+let chunk s ~size =
+  if size <= 0 then invalid_arg "Snapshot.chunk: size must be positive";
+  let n = String.length s in
+  if n = 0 then [ "" ]
+  else
+    let rec go off acc =
+      if off >= n then List.rev acc
+      else
+        let len = min size (n - off) in
+        go (off + len) (String.sub s off len :: acc)
+    in
+    go 0 []
+
+let assemble = String.concat ""

@@ -1,0 +1,42 @@
+(** The composition layer's network message union.
+
+    [Block] tunnels a static-instance message (already encoded by the
+    building block — the composition layer treats it as bytes), tagged
+    with its epoch so a host can run replicas of several configurations at
+    once — the overlap that speculative handoff exploits.  The remaining constructors are the
+    glue the paper adds around the black boxes: bootstrap of new members,
+    pull-based chunked state transfer, retirement of superseded instances,
+    and the client/directory protocols. *)
+
+type t =
+  | Block of { epoch : int; data : string }
+  | Client of Rsmr_client.Client_msg.t
+  | Bootstrap of {
+      epoch : int;
+      members : Rsmr_net.Node_id.t list;
+      prev_epoch : int;
+      prev_members : Rsmr_net.Node_id.t list;
+    }
+  | Fetch_state of { epoch : int }
+      (** "Send me the starting snapshot for [epoch]" — answered by a
+          member of [epoch - 1] once it has wedged. *)
+  | State_chunk of { epoch : int; index : int; total : int; data : string }
+  | Retire of { epoch : int }
+      (** "Configuration [epoch] is live — instances below it may halt." *)
+  | Dir_update of {
+      epoch : int;
+      members : Rsmr_net.Node_id.t list;
+      leader : Rsmr_net.Node_id.t option;
+    }
+  | Dir_lookup
+  | Dir_info of {
+      epoch : int;
+      members : Rsmr_net.Node_id.t list;
+      leader : Rsmr_net.Node_id.t option;
+    }
+
+val size : t -> int
+val encode : t -> string
+val decode : string -> t
+val pp : Format.formatter -> t -> unit
+val tag : t -> string

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Float Fun List Rsmr_app Rsmr_baselines Rsmr_core Rsmr_iface Rsmr_net Rsmr_sim Rsmr_smr Rsmr_workload

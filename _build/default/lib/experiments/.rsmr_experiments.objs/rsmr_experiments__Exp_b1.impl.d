@@ -1,0 +1,1 @@
+lib/experiments/exp_b1.ml: List Printf Rsmr_app Rsmr_core Rsmr_iface Rsmr_sim Rsmr_smr Rsmr_workload Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_f1.ml: Common List Rsmr_sim Rsmr_workload Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_f2.ml: Common List Printf Rsmr_sim Rsmr_workload Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_f3.ml: Common Hashtbl List Rsmr_sim Rsmr_workload Table

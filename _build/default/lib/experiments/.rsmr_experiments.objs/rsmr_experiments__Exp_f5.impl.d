@@ -1,0 +1,1 @@
+lib/experiments/exp_f5.ml: Common List Printf Rsmr_app Rsmr_core Rsmr_sim Rsmr_workload Table

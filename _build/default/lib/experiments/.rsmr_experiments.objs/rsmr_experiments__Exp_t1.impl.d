@@ -1,0 +1,1 @@
+lib/experiments/exp_t1.ml: Common List Rsmr_app Rsmr_iface Rsmr_sim Rsmr_workload Table

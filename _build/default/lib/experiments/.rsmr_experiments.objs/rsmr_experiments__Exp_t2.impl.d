@@ -1,0 +1,1 @@
+lib/experiments/exp_t2.ml: Common Float List Printf Rsmr_sim Rsmr_workload Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_t3.ml: Common Float List Rsmr_iface Rsmr_sim Rsmr_workload Table

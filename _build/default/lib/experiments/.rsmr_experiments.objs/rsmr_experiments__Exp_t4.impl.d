@@ -1,0 +1,1 @@
+lib/experiments/exp_t4.ml: Common List Rsmr_iface Rsmr_sim Rsmr_workload Table

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Exp_b1 Exp_f1 Exp_f2 Exp_f3 Exp_f4 Exp_f5 Exp_t1 Exp_t2 Exp_t3 Exp_t4 List String Table

@@ -1,0 +1,1 @@
+lib/experiments/table.ml: Array Float List Printf String

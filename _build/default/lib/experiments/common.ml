@@ -1,0 +1,138 @@
+module Engine = Rsmr_sim.Engine
+module Timeseries = Rsmr_sim.Timeseries
+module Node_id = Rsmr_net.Node_id
+module Options = Rsmr_core.Options
+module Driver = Rsmr_workload.Driver
+module KvCore = Rsmr_core.Service.Make (Rsmr_app.Kv)
+module KvCoreVr = Rsmr_core.Service.Make_on (Rsmr_smr.Vr) (Rsmr_app.Kv)
+module KvStopworld = Rsmr_baselines.Stop_the_world.Make (Rsmr_app.Kv)
+module KvRaft = Rsmr_baselines.Raft.Make (Rsmr_app.Kv)
+
+type proto = Core | Core_vr | Core_nospec | Core_noresidual | Stopworld | Raft
+
+let proto_name = function
+  | Core -> "core"
+  | Core_vr -> "core/vr"
+  | Core_nospec -> "core-nospec"
+  | Core_noresidual -> "core-noresid"
+  | Stopworld -> "stopworld"
+  | Raft -> "raft"
+
+let all_protos = [ Core; Core_vr; Core_nospec; Core_noresidual; Stopworld; Raft ]
+
+type setup = {
+  engine : Engine.t;
+  cluster : Rsmr_iface.Cluster.t;
+  leader : unit -> Node_id.t option;
+  kv_state : Node_id.t -> Rsmr_app.Kv.t option;
+  debug : Node_id.t -> string;
+}
+
+let core_options proto chunk_size =
+  let base = { Options.default with Options.chunk_size } in
+  match proto with
+  | Core_nospec -> { base with Options.speculative = false }
+  | Core_noresidual -> { base with Options.residual_resubmit = false }
+  | Stopworld ->
+    { base with Options.speculative = false; residual_resubmit = false }
+  | Core | Core_vr | Raft -> base
+
+let make ?(seed = 1) ?latency ?drop ?bandwidth ?(chunk_size = 64 * 1024) proto
+    ~members ~universe =
+  let engine = Engine.create ~seed () in
+  match proto with
+  | Core | Core_nospec | Core_noresidual | Stopworld ->
+    (* Stopworld is the core composition with both overlap optimizations
+       disabled (same semantics as Rsmr_baselines.Stop_the_world, built
+       directly so leader/state introspection stays available). *)
+    let svc =
+      KvCore.create ~engine ?latency ?drop ?bandwidth
+        ~options:(core_options proto chunk_size) ~universe ~members ()
+    in
+    let cluster =
+      { (KvCore.cluster svc) with Rsmr_iface.Cluster.name = proto_name proto }
+    in
+    {
+      engine;
+      cluster;
+      leader = (fun () -> KvCore.current_leader svc);
+      kv_state = (fun node -> KvCore.app_state svc node);
+      debug = (fun _ -> "");
+    }
+  | Core_vr ->
+    let svc =
+      KvCoreVr.create ~engine ?latency ?drop ?bandwidth
+        ~options:(core_options proto chunk_size) ~universe ~members ()
+    in
+    let cluster =
+      { (KvCoreVr.cluster svc) with Rsmr_iface.Cluster.name = proto_name proto }
+    in
+    {
+      engine;
+      cluster;
+      leader = (fun () -> KvCoreVr.current_leader svc);
+      kv_state = (fun node -> KvCoreVr.app_state svc node);
+      debug = (fun _ -> "");
+    }
+  | Raft ->
+    let svc = KvRaft.create ~engine ?latency ?drop ?bandwidth ~universe ~members () in
+    {
+      engine;
+      cluster = KvRaft.cluster svc;
+      leader = (fun () -> KvRaft.leader svc);
+      kv_state = (fun node -> KvRaft.app_state svc node);
+      debug = (fun node -> KvRaft.debug_dump svc node);
+    }
+
+let run_to setup time = Engine.run ~until:time setup.engine
+
+let wait_for_members setup ~target ~deadline =
+  let target = List.sort_uniq Node_id.compare target in
+  let rec loop horizon =
+    Engine.run ~until:horizon setup.engine;
+    if
+      List.sort_uniq Node_id.compare (setup.cluster.Rsmr_iface.Cluster.members ())
+      = target
+    then Some (Engine.now setup.engine)
+    else if horizon >= deadline then None
+    else loop (horizon +. 0.02)
+  in
+  loop (Engine.now setup.engine +. 0.02)
+
+let wait_for_live setup ~target ~deadline =
+  let target = List.sort_uniq Node_id.compare target in
+  let live () =
+    List.sort_uniq Node_id.compare (setup.cluster.Rsmr_iface.Cluster.members ())
+    = target
+    && (match setup.leader () with
+        | Some l -> List.exists (Node_id.equal l) target
+        | None -> false)
+  in
+  let rec loop horizon =
+    Engine.run ~until:horizon setup.engine;
+    if live () then Some (Engine.now setup.engine)
+    else if horizon >= deadline then None
+    else loop (horizon +. 0.02)
+  in
+  loop (Engine.now setup.engine +. 0.02)
+
+let downtime (stats : Driver.stats) ~from_ ~window =
+  match
+    Timeseries.max_in_window stats.Driver.completions ~lo:from_
+      ~hi:(from_ +. window)
+  with
+  | Some v -> v
+  | None -> Float.nan
+
+let throughput_in (stats : Driver.stats) ~from_ ~until =
+  let count =
+    List.fold_left
+      (fun acc (time, _) -> if time >= from_ && time < until then acc + 1 else acc)
+      0
+      (Timeseries.points stats.Driver.completions)
+  in
+  float_of_int count /. (until -. from_)
+
+let default_universe n = List.init n Fun.id
+
+let raft_debug setup node = setup.debug node

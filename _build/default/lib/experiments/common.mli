@@ -1,0 +1,62 @@
+(** Shared scaffolding for the experiment suite: uniform construction of
+    every protocol under test and the standard measurements. *)
+
+type proto =
+  | Core  (** the paper's protocol over Multi-Paxos, speculative handoff on *)
+  | Core_vr  (** the same composition layer over the VR building block *)
+  | Core_nospec  (** ablation: ordering waits for state transfer *)
+  | Core_noresidual  (** ablation: residuals recovered by client retry only *)
+  | Stopworld  (** halt + transfer + restart *)
+  | Raft  (** natively reconfigurable baseline *)
+
+val proto_name : proto -> string
+val all_protos : proto list
+
+type setup = {
+  engine : Rsmr_sim.Engine.t;
+  cluster : Rsmr_iface.Cluster.t;
+  leader : unit -> Rsmr_net.Node_id.t option;
+  kv_state : Rsmr_net.Node_id.t -> Rsmr_app.Kv.t option;
+  debug : Rsmr_net.Node_id.t -> string;  (** protocol-internal dump, tests/debug *)
+}
+
+val make :
+  ?seed:int ->
+  ?latency:Rsmr_net.Latency.t ->
+  ?drop:float ->
+  ?bandwidth:float ->
+  ?chunk_size:int ->
+  proto ->
+  members:Rsmr_net.Node_id.t list ->
+  universe:Rsmr_net.Node_id.t list ->
+  setup
+(** Build a KV-backed cluster of the given protocol. *)
+
+val run_to : setup -> float -> unit
+(** Run the engine to an absolute simulation time. *)
+
+val wait_for_members :
+  setup -> target:Rsmr_net.Node_id.t list -> deadline:float -> float option
+(** Run until the cluster's advertised membership equals [target]
+    (sorted); returns the simulation time when it happened, or [None] at
+    the deadline. *)
+
+val wait_for_live :
+  setup -> target:Rsmr_net.Node_id.t list -> deadline:float -> float option
+(** Like {!wait_for_members}, but additionally requires an elected leader
+    inside [target] — the point at which the new configuration is actually
+    serving. *)
+
+val downtime : Rsmr_workload.Driver.stats -> from_:float -> window:float -> float
+(** Worst client-perceived latency among requests completing in
+    [from_, from_+window] — the unavailability proxy used throughout the
+    evaluation.  NaN when nothing completed in the window (total outage
+    longer than the window). *)
+
+val throughput_in : Rsmr_workload.Driver.stats -> from_:float -> until:float -> float
+(** Completions per second inside the interval. *)
+
+val default_universe : int -> Rsmr_net.Node_id.t list
+(** [0 .. n-1]. *)
+
+val raft_debug : setup -> Rsmr_net.Node_id.t -> string

@@ -1,0 +1,88 @@
+(* F2 — Client-perceived latency timeline across one full-fleet
+   reconfiguration {0,1,2} -> {3,4,5}.
+   The paper's availability claim in one picture: with speculative handoff
+   the blip is about one leader election; stop-the-world also eats the
+   state transfer; Raft performs three add + three remove steps. *)
+
+module Rng = Rsmr_sim.Rng
+module Engine = Rsmr_sim.Engine
+module Timeseries = Rsmr_sim.Timeseries
+module Keys = Rsmr_workload.Keys
+module Kv_gen = Rsmr_workload.Kv_gen
+module Driver = Rsmr_workload.Driver
+module Schedule = Rsmr_workload.Schedule
+
+let id = "F2"
+let title = "Latency timeline across one fleet replacement"
+let reconfig_at = 5.0
+
+let run_one proto ~n_keys ~bandwidth =
+  let members = [ 0; 1; 2 ] and universe = Common.default_universe 6 in
+  let setup = Common.make ~seed:11 ~bandwidth proto ~members ~universe in
+  Driver.preload ~cluster:setup.Common.cluster ~client:99
+    ~commands:(Kv_gen.preload_commands ~n_keys ~value_size:100)
+    ~deadline:120.0 ();
+  let t0 = Engine.now setup.Common.engine in
+  let rng = Rng.split (Engine.rng setup.Common.engine) in
+  let gen =
+    Kv_gen.create ~rng ~keys:(Keys.uniform ~n:n_keys) ~read_ratio:0.8 ()
+  in
+  let stats =
+    Driver.run_closed ~cluster:setup.Common.cluster ~n_clients:6
+      ~first_client_id:100
+      ~gen:(fun ~client:_ ~seq:_ -> Kv_gen.next gen)
+      ~start:(t0 +. 0.5)
+      ~duration:(reconfig_at +. 5.0)
+      ()
+  in
+  Schedule.reconfigure_at setup.Common.cluster ~time:(t0 +. reconfig_at)
+    [ 3; 4; 5 ];
+  Common.run_to setup (t0 +. reconfig_at +. 40.0);
+  (t0, stats)
+
+let run ?(quick = false) () =
+  let n_keys = if quick then 1_000 else 10_000 in
+  let bandwidth = 2.5e7 (* 200 Mb/s: makes the transfer cost visible *) in
+  let protos = [ Common.Core; Common.Stopworld; Common.Raft ] in
+  let results =
+    List.map (fun p -> (p, run_one p ~n_keys ~bandwidth)) protos
+  in
+  (* Timeline rows: max latency per 0.5 s bucket, relative to reconfig. *)
+  let buckets = [ -1.0; -0.5; 0.0; 0.5; 1.0; 1.5; 2.0; 3.0; 4.0 ] in
+  let timeline_rows =
+    List.map
+      (fun lo ->
+        let cells =
+          List.map
+            (fun (_, (t0, stats)) ->
+              let abs_lo = t0 +. reconfig_at +. lo in
+              let width = if lo >= 2.0 then 1.0 else 0.5 in
+              match
+                Timeseries.max_in_window stats.Driver.completions ~lo:abs_lo
+                  ~hi:(abs_lo +. width)
+              with
+              | Some v -> Table.cell_ms v
+              | None -> "outage")
+            results
+        in
+        Printf.sprintf "%+.1fs" lo :: cells)
+      buckets
+  in
+  let summary =
+    "max-over-run"
+    :: List.map
+         (fun (_, (t0, stats)) ->
+           Table.cell_ms (Common.downtime stats ~from_:(t0 +. reconfig_at) ~window:30.0))
+         results
+  in
+  Table.make ~id ~title
+    ~headers:("t-reconfig" :: List.map Common.proto_name protos)
+    ~notes:
+      [
+        Printf.sprintf
+          "max client latency per bucket; %d keys x 100B preloaded; 200Mb/s uplinks"
+          n_keys;
+        "expected shape: core blip ~ election; stopworld ~ election+transfer; \
+         raft small blips per membership step";
+      ]
+    (timeline_rows @ [ summary ])

@@ -1,0 +1,1 @@
+lib/iface/cluster.ml: Rsmr_net Rsmr_sim

@@ -1,0 +1,1 @@
+lib/iface/cluster.mli: Rsmr_net Rsmr_sim

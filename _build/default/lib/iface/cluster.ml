@@ -1,0 +1,16 @@
+type reply_handler =
+  client:Rsmr_net.Node_id.t -> seq:int -> rsp:string -> unit
+
+type t = {
+  name : string;
+  engine : Rsmr_sim.Engine.t;
+  add_client : Rsmr_net.Node_id.t -> unit;
+  submit : client:Rsmr_net.Node_id.t -> seq:int -> cmd:string -> unit;
+  set_on_reply : reply_handler -> unit;
+  reconfigure : Rsmr_net.Node_id.t list -> unit;
+  members : unit -> Rsmr_net.Node_id.t list;
+  crash : Rsmr_net.Node_id.t -> unit;
+  recover : Rsmr_net.Node_id.t -> unit;
+  net_counters : Rsmr_sim.Counters.t;
+  counters : Rsmr_sim.Counters.t;
+}

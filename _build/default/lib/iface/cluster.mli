@@ -1,0 +1,32 @@
+(** The uniform face every replication protocol in this repository exposes
+    to workloads, benchmarks and correctness checkers.
+
+    Protocols differ wildly inside (composed static Paxos instances, native
+    Raft, stop-the-world restarts) but all of them can: accept a command
+    from a client session, reply asynchronously, change membership, and
+    suffer injected faults.  Expressing that as a record of closures keeps
+    the experiment drivers protocol-agnostic without functor plumbing. *)
+
+type reply_handler =
+  client:Rsmr_net.Node_id.t -> seq:int -> rsp:string -> unit
+
+type t = {
+  name : string;
+  engine : Rsmr_sim.Engine.t;
+  add_client : Rsmr_net.Node_id.t -> unit;
+      (** Register a client node (attaches its endpoint to the protocol's
+          network).  Must be called before [submit] for that client. *)
+  submit : client:Rsmr_net.Node_id.t -> seq:int -> cmd:string -> unit;
+      (** Fire-and-forget: the protocol applies the encoded command
+          at-most-once per (client, seq) and replies via [set_on_reply].
+          Retries of the same (client, seq) are safe. *)
+  set_on_reply : reply_handler -> unit;
+  reconfigure : Rsmr_net.Node_id.t list -> unit;
+      (** Ask the service to move to the given member set. *)
+  members : unit -> Rsmr_net.Node_id.t list;
+      (** Current (believed) member set. *)
+  crash : Rsmr_net.Node_id.t -> unit;
+  recover : Rsmr_net.Node_id.t -> unit;
+  net_counters : Rsmr_sim.Counters.t;
+  counters : Rsmr_sim.Counters.t;  (** protocol-level accounting *)
+}

@@ -1,0 +1,1 @@
+lib/net/latency.ml: Format Rsmr_sim

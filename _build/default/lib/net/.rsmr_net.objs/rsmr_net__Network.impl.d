@@ -1,0 +1,1 @@
+lib/net/network.ml: Hashtbl Latency List Node_id Rsmr_sim

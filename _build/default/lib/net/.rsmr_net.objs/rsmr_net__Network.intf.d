@@ -1,0 +1,1 @@
+lib/net/network.mli: Latency Node_id Rsmr_sim

@@ -1,0 +1,1 @@
+lib/net/node_id.ml: Format Int Map Set

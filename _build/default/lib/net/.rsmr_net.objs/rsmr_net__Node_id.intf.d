@@ -1,0 +1,1 @@
+lib/net/node_id.mli: Format Map Set

@@ -1,0 +1,164 @@
+module Engine = Rsmr_sim.Engine
+module Rng = Rsmr_sim.Rng
+module Counters = Rsmr_sim.Counters
+
+type 'm envelope = { src : Node_id.t; dst : Node_id.t; payload : 'm }
+
+type 'm t = {
+  engine : Engine.t;
+  latency : Latency.t;
+  drop : float;
+  duplicate : float;
+  bandwidth : float;
+  sizer : 'm -> int;
+  rng : Rng.t;
+  handlers : (Node_id.t, 'm envelope -> unit) Hashtbl.t;
+  mutable crashed : Node_id.Set.t;
+  mutable groups : Node_id.Set.t list; (* empty list = no partition *)
+  link_drop : (Node_id.t * Node_id.t, float) Hashtbl.t;
+  egress_free_at : (Node_id.t, float) Hashtbl.t;
+  fifo : bool;
+  tagger : ('m -> string) option;
+  last_arrival : (Node_id.t * Node_id.t, float) Hashtbl.t;
+  counters : Counters.t;
+}
+
+let create engine ?(latency = Latency.lan) ?(drop = 0.0) ?(duplicate = 0.0)
+    ?(bandwidth = 1.25e8) ?(fifo = true) ?tagger ?(sizer = fun _ -> 64) () =
+  {
+    engine;
+    latency;
+    drop;
+    duplicate;
+    bandwidth;
+    sizer;
+    rng = Rng.split (Engine.rng engine);
+    handlers = Hashtbl.create 64;
+    crashed = Node_id.Set.empty;
+    groups = [];
+    link_drop = Hashtbl.create 8;
+    egress_free_at = Hashtbl.create 32;
+    fifo;
+    tagger;
+    last_arrival = Hashtbl.create 64;
+    counters = Counters.create ();
+  }
+
+let engine t = t.engine
+let register t node f = Hashtbl.replace t.handlers node f
+let unregister t node = Hashtbl.remove t.handlers node
+
+let crash t node = t.crashed <- Node_id.Set.add node t.crashed
+let recover t node = t.crashed <- Node_id.Set.remove node t.crashed
+let is_crashed t node = Node_id.Set.mem node t.crashed
+
+let partition t groups =
+  t.groups <- List.map Node_id.Set.of_list groups
+
+let heal t = t.groups <- []
+
+let set_link_fault t ~src ~dst ~drop =
+  Hashtbl.replace t.link_drop (src, dst) drop
+
+let clear_link_faults t = Hashtbl.reset t.link_drop
+
+let counters t = t.counters
+
+let connected t src dst =
+  match t.groups with
+  | [] -> true
+  | groups ->
+    List.exists
+      (fun g -> Node_id.Set.mem src g && Node_id.Set.mem dst g)
+      groups
+
+let link_drop_prob t src dst =
+  match Hashtbl.find_opt t.link_drop (src, dst) with
+  | Some p -> p
+  | None -> 0.0
+
+let deliver t env =
+  if not (Node_id.Set.mem env.dst t.crashed) then
+    match Hashtbl.find_opt t.handlers env.dst with
+    | Some f ->
+      Counters.incr t.counters "delivered";
+      f env
+    | None -> Counters.incr t.counters "dropped"
+
+(* Egress serialization: a message holds the sender's uplink for
+   size/bandwidth seconds; later messages queue behind it.  Returns the
+   added delay before the message even enters the wire. *)
+let egress_delay t src size =
+  if t.bandwidth = infinity then 0.0
+  else begin
+    let now = Engine.now t.engine in
+    let free_at =
+      match Hashtbl.find_opt t.egress_free_at src with
+      | Some f when f > now -> f
+      | Some _ | None -> now
+    in
+    let ser = float_of_int size /. t.bandwidth in
+    Hashtbl.replace t.egress_free_at src (free_at +. ser);
+    free_at +. ser -. now
+  end
+
+let send t ~src ~dst payload =
+  let size = t.sizer payload in
+  Counters.incr t.counters "sent";
+  Counters.add t.counters "bytes_sent" size;
+  (match t.tagger with
+   | Some tag ->
+     Counters.incr t.counters ("sent." ^ tag payload);
+     Counters.add t.counters ("bytes." ^ tag payload) size
+   | None -> ());
+  let env = { src; dst; payload } in
+  if Node_id.Set.mem src t.crashed then Counters.incr t.counters "dropped"
+  else if not (connected t src dst) then Counters.incr t.counters "dropped"
+  else begin
+    let p_drop = t.drop +. link_drop_prob t src dst in
+    if Rng.bernoulli t.rng p_drop then Counters.incr t.counters "dropped"
+    else begin
+      let copies =
+        if t.duplicate > 0.0 && Rng.bernoulli t.rng t.duplicate then begin
+          Counters.incr t.counters "duplicated";
+          2
+        end
+        else 1
+      in
+      for _ = 1 to copies do
+        let delay =
+          if src = dst then 1e-6
+          else egress_delay t src size +. Latency.sample t.latency t.rng
+        in
+        (* TCP-like per-link FIFO: a message never overtakes an earlier one
+           on the same directed link.  Protocols built for stream
+           transports (pipelined Raft appends) depend on this. *)
+        let delay =
+          if not t.fifo then delay
+          else begin
+            let now = Engine.now t.engine in
+            let arrival = now +. delay in
+            let arrival =
+              match Hashtbl.find_opt t.last_arrival (src, dst) with
+              | Some prev when prev >= arrival -> prev +. 1e-9
+              | Some _ | None -> arrival
+            in
+            Hashtbl.replace t.last_arrival (src, dst) arrival;
+            arrival -. now
+          end
+        in
+        (* Partition / crash are re-checked at delivery time so that a
+           partition installed while a message is in flight cuts it off,
+           matching how long network convulsions behave. *)
+        ignore
+          (Engine.schedule t.engine ~delay (fun () ->
+               if connected t src dst then deliver t env
+               else Counters.incr t.counters "dropped"))
+      done
+    end
+  end
+
+let broadcast t ~src ~dsts payload =
+  List.iter
+    (fun dst -> if not (Node_id.equal dst src) then send t ~src ~dst payload)
+    dsts

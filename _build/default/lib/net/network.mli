@@ -1,0 +1,86 @@
+(** Simulated message-passing network.
+
+    Polymorphic in the payload type ['m]: each experiment instantiates it
+    with the union wire type of the protocols under test.  Supports the
+    fault model the experiments need: probabilistic loss and duplication,
+    network partitions, node crash / recovery, and asymmetric delay.
+    Delivery to a crashed or partitioned-away node is silently dropped, as
+    over UDP; protocols must carry their own retransmission logic. *)
+
+type 'm t
+
+type 'm envelope = { src : Node_id.t; dst : Node_id.t; payload : 'm }
+
+val create :
+  Rsmr_sim.Engine.t ->
+  ?latency:Latency.t ->
+  ?drop:float ->
+  ?duplicate:float ->
+  ?bandwidth:float ->
+  ?fifo:bool ->
+  ?tagger:('m -> string) ->
+  ?sizer:('m -> int) ->
+  unit ->
+  'm t
+(** [sizer] estimates the wire size of a payload in bytes for the byte
+    counters and the bandwidth model; defaults to a flat 64.
+
+    [bandwidth], in bytes/second, models per-node egress (NIC)
+    serialization: a message occupies its sender's uplink for
+    [size/bandwidth] seconds and messages queue behind each other, so bulk
+    transfers (snapshots) take time proportional to their size.  Default
+    1.25e8 (10 GbE); [infinity] disables the model.
+
+    [fifo] (default true) prevents a message from overtaking an earlier
+    one on the same directed link, as a TCP stream would — protocols that
+    pipeline (Raft appends) depend on it.  Set false to model independent
+    datagrams.
+
+    [tagger] classifies payloads for per-message-type counters
+    ("sent.<tag>", "bytes.<tag>"). *)
+
+val engine : 'm t -> Rsmr_sim.Engine.t
+
+val register : 'm t -> Node_id.t -> ('m envelope -> unit) -> unit
+(** Attach a node's receive handler.  Re-registering replaces the handler
+    (used when a node restarts with fresh state). *)
+
+val unregister : 'm t -> Node_id.t -> unit
+
+val send : 'm t -> src:Node_id.t -> dst:Node_id.t -> 'm -> unit
+(** Fire-and-forget.  Self-sends are delivered through the queue too (with
+    near-zero latency), preserving the no-reentrancy property handlers rely
+    on. *)
+
+val broadcast : 'm t -> src:Node_id.t -> dsts:Node_id.t list -> 'm -> unit
+(** Send to every node in [dsts] except [src]. *)
+
+(** {1 Fault injection} *)
+
+val crash : 'm t -> Node_id.t -> unit
+(** The node stops sending and receiving until {!recover}.  Its handler
+    stays registered; protocol state is untouched (a crashed replica whose
+    host object is reused models a crash-recovery node with stable
+    storage — to model amnesia, re-register a fresh node). *)
+
+val recover : 'm t -> Node_id.t -> unit
+val is_crashed : 'm t -> Node_id.t -> bool
+
+val partition : 'm t -> Node_id.t list list -> unit
+(** Install a partition: messages flow only within a group.  Nodes absent
+    from every group can talk to nobody.  Replaces any previous
+    partition. *)
+
+val heal : 'm t -> unit
+(** Remove any partition. *)
+
+val set_link_fault : 'm t -> src:Node_id.t -> dst:Node_id.t -> drop:float -> unit
+(** Per-directed-link extra drop probability (composed with the global
+    one). *)
+
+val clear_link_faults : 'm t -> unit
+
+(** {1 Accounting} *)
+
+val counters : 'm t -> Rsmr_sim.Counters.t
+(** Keys: "sent", "delivered", "dropped", "duplicated", "bytes_sent". *)

@@ -1,0 +1,12 @@
+(** Node identities.  Both replicas and clients live in one id space so the
+    network can route uniformly. *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,1 @@
+lib/sim/counters.ml: Format Hashtbl List String

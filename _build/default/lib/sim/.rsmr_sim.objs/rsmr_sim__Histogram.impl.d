@@ -1,0 +1,1 @@
+lib/sim/histogram.ml: Array Format

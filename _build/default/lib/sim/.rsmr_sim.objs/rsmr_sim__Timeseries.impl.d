@@ -1,0 +1,1 @@
+lib/sim/timeseries.ml: Hashtbl List

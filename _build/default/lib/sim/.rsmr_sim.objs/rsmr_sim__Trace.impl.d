@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Format Hashtbl List

@@ -1,0 +1,23 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let add t name n =
+  match Hashtbl.find_opt t name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add t name (ref n)
+
+let incr t name = add t name 1
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let to_list t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset = Hashtbl.reset
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf (k, v) -> Format.fprintf ppf "%s=%d" k v)
+    ppf (to_list t)

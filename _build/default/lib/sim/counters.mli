@@ -1,0 +1,14 @@
+(** Named integer counters for run-level accounting (messages sent, bytes
+    transferred, commands committed, ...). *)
+
+type t
+
+val create : unit -> t
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val get : t -> string -> int
+val to_list : t -> (string * int) list
+(** Sorted by name. *)
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

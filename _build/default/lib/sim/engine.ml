@@ -1,0 +1,61 @@
+type timer = { mutable live : bool; cb : unit -> unit }
+
+type t = {
+  mutable time : float;
+  mutable seq : int;
+  queue : timer Heap.t;
+  root_rng : Rng.t;
+  mutable executed : int;
+}
+
+let create ?(seed = 1) () =
+  { time = 0.0; seq = 0; queue = Heap.create (); root_rng = Rng.create seed; executed = 0 }
+
+let now t = t.time
+let rng t = t.root_rng
+
+let at t ~time f =
+  let time = if time < t.time then t.time else time in
+  let timer = { live = true; cb = f } in
+  t.seq <- t.seq + 1;
+  Heap.push t.queue ~time ~seq:t.seq timer;
+  timer
+
+let schedule t ~delay f =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  at t ~time:(t.time +. delay) f
+
+let cancel _t timer = timer.live <- false
+let is_pending timer = timer.live
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, _, timer) ->
+    t.time <- time;
+    if timer.live then begin
+      timer.live <- false;
+      t.executed <- t.executed + 1;
+      timer.cb ()
+    end;
+    true
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with Some n -> n | None -> max_int) in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some (time, _, _) ->
+      (match until with
+       | Some u when time > u ->
+         (* Advance the clock to the horizon so repeated bounded runs
+            observe monotonic time, but leave the event queued. *)
+         t.time <- u;
+         continue := false
+       | _ ->
+         ignore (step t);
+         decr budget)
+  done
+
+let events_executed t = t.executed

@@ -1,0 +1,46 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine owns virtual time (in seconds), an event queue, and the root
+    random generator.  All protocol code runs inside event callbacks; a
+    callback may schedule further events, send messages (via {!Rsmr_net}),
+    and so on.  Execution is single-threaded and, for a fixed seed and
+    program, bit-for-bit reproducible. *)
+
+type t
+
+type timer
+(** Handle for a scheduled event, usable with {!cancel}. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] makes a fresh engine.  Default seed is 1. *)
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val rng : t -> Rng.t
+(** The engine's root generator.  Components should [Rng.split] it at
+    construction time rather than drawing from it during the run. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> timer
+(** [schedule t ~delay f] runs [f] at [now t +. max delay 0.]. *)
+
+val at : t -> time:float -> (unit -> unit) -> timer
+(** [at t ~time f] runs [f] at absolute virtual time [time] (clamped to
+    be no earlier than [now t]). *)
+
+val cancel : t -> timer -> unit
+(** Cancel a pending event; cancelling a fired or cancelled timer is a
+    no-op. *)
+
+val is_pending : timer -> bool
+
+val step : t -> bool
+(** Execute the next event.  Returns [false] if the queue was empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Drain the event queue, stopping when it empties, when virtual time
+    would exceed [until], or after [max_events] callbacks.  Events beyond
+    [until] remain queued. *)
+
+val events_executed : t -> int
+(** Number of callbacks executed so far — a cheap determinism probe. *)

@@ -1,0 +1,65 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let is_empty t = t.len = 0
+let size t = t.len
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.data in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  let nd = Array.make ncap t.data.(0) in
+  Array.blit t.data 0 nd 0 t.len;
+  t.data <- nd
+
+let push t ~time ~seq payload =
+  let e = { time; seq; payload } in
+  if t.len = 0 && Array.length t.data = 0 then t.data <- Array.make 16 e;
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- e;
+  t.len <- t.len + 1;
+  (* Sift up. *)
+  let i = ref (t.len - 1) in
+  while !i > 0 && less t.data.(!i) t.data.((!i - 1) / 2) do
+    let p = (!i - 1) / 2 in
+    let tmp = t.data.(p) in
+    t.data.(p) <- t.data.(!i);
+    t.data.(!i) <- tmp;
+    i := p
+  done
+
+let sift_down t =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.len && less t.data.(l) t.data.(!smallest) then smallest := l;
+    if r < t.len && less t.data.(r) t.data.(!smallest) then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      let tmp = t.data.(!i) in
+      t.data.(!i) <- t.data.(!smallest);
+      t.data.(!smallest) <- tmp;
+      i := !smallest
+    end
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let e = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t
+    end;
+    Some (e.time, e.seq, e.payload)
+  end
+
+let peek t = if t.len = 0 then None else
+  let e = t.data.(0) in
+  Some (e.time, e.seq, e.payload)

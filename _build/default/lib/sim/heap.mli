@@ -1,0 +1,18 @@
+(** Binary min-heap keyed by (time, sequence) pairs, used as the engine's
+    event queue.  Entries carry an integer id so they can be cancelled
+    lazily. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+(** Insert a payload at the given priority.  Ties on [time] break on
+    [seq], so FIFO order among simultaneous events is preserved. *)
+
+val pop : 'a t -> (float * int * 'a) option
+(** Remove and return the minimum entry, or [None] if empty. *)
+
+val peek : 'a t -> (float * int * 'a) option

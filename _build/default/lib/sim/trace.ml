@@ -1,0 +1,43 @@
+type level = Debug | Info | Warn
+
+type event = {
+  time : float;
+  node : int;
+  topic : string;
+  level : level;
+  message : string;
+}
+
+type t = {
+  mutable subscribers : (event -> unit) list;
+  mutable retained : event list;  (* newest first *)
+  mutable retain : bool;
+  counts : (string, int ref) Hashtbl.t;
+}
+
+let create () =
+  { subscribers = []; retained = []; retain = false; counts = Hashtbl.create 16 }
+
+let emit t ~time ~node ~topic ?(level = Info) message =
+  let ev = { time; node; topic; level; message } in
+  (match Hashtbl.find_opt t.counts topic with
+   | Some r -> incr r
+   | None -> Hashtbl.add t.counts topic (ref 1));
+  if t.retain then t.retained <- ev :: t.retained;
+  List.iter (fun f -> f ev) (List.rev t.subscribers)
+
+let subscribe t f = t.subscribers <- f :: t.subscribers
+let keep t b = t.retain <- b
+let events t = List.rev t.retained
+
+let count t ~topic =
+  match Hashtbl.find_opt t.counts topic with Some r -> !r | None -> 0
+
+let pp_level ppf = function
+  | Debug -> Format.pp_print_string ppf "debug"
+  | Info -> Format.pp_print_string ppf "info"
+  | Warn -> Format.pp_print_string ppf "warn"
+
+let pp_event ppf ev =
+  Format.fprintf ppf "[%.6f] n%d %s/%a: %s" ev.time ev.node ev.topic pp_level
+    ev.level ev.message

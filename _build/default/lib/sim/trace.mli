@@ -1,0 +1,38 @@
+(** Structured trace bus.
+
+    Protocol code publishes events; tests, invariant checkers and the
+    history recorder subscribe.  Keeping the bus inside the simulator (as
+    opposed to printing) lets checkers see exactly what happened in a run
+    without parsing text. *)
+
+type level = Debug | Info | Warn
+
+type event = {
+  time : float;
+  node : int;          (** -1 when not attributable to a node *)
+  topic : string;      (** e.g. "paxos", "reconfig", "net" *)
+  level : level;
+  message : string;
+}
+
+type t
+
+val create : unit -> t
+
+val emit : t -> time:float -> node:int -> topic:string -> ?level:level -> string -> unit
+
+val subscribe : t -> (event -> unit) -> unit
+(** Subscribers are invoked synchronously, in subscription order. *)
+
+val keep : t -> bool -> unit
+(** [keep t true] retains events in memory for later inspection (off by
+    default, to keep long benchmark runs cheap). *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val count : t -> topic:string -> int
+(** Number of emitted events on [topic] (counted even when retention is
+    off). *)
+
+val pp_event : Format.formatter -> event -> unit

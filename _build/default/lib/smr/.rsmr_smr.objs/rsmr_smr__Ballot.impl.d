@@ -1,0 +1,1 @@
+lib/smr/ballot.ml: Format Int Rsmr_app Rsmr_net

@@ -1,0 +1,1 @@
+lib/smr/ballot.mli: Format Rsmr_app Rsmr_net

@@ -1,0 +1,1 @@
+lib/smr/block_intf.mli: Config Params Rsmr_net Rsmr_sim

@@ -1,0 +1,1 @@
+lib/smr/config.ml: Format List Rsmr_app Rsmr_net

@@ -1,0 +1,1 @@
+lib/smr/config.mli: Format Rsmr_app Rsmr_net

@@ -1,0 +1,1 @@
+lib/smr/log.ml: Array Ballot Format Rsmr_app String

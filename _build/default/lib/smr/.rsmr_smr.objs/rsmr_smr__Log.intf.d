@@ -1,0 +1,1 @@
+lib/smr/log.mli: Ballot Format Rsmr_app

@@ -1,0 +1,1 @@
+lib/smr/msg.ml: Ballot Format List Log Rsmr_app String

@@ -1,0 +1,1 @@
+lib/smr/msg.mli: Ballot Format Log

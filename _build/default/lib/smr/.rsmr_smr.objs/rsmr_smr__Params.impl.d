@@ -1,0 +1,1 @@
+lib/smr/params.ml: Format

@@ -1,0 +1,1 @@
+lib/smr/params.mli: Format

@@ -1,0 +1,1 @@
+lib/smr/paxos_block.ml: Msg Replica

@@ -1,0 +1,1 @@
+lib/smr/paxos_block.mli: Block_intf

@@ -1,0 +1,1 @@
+lib/smr/replica.ml: Ballot Config Format Hashtbl List Log Msg Params Printf Queue Rsmr_net Rsmr_sim

@@ -1,0 +1,1 @@
+lib/smr/replica.mli: Config Msg Params Rsmr_net Rsmr_sim

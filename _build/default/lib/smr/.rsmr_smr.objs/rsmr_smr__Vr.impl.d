@@ -1,0 +1,1 @@
+lib/smr/vr.ml: Array Config Hashtbl List Params Queue Rsmr_app Rsmr_net Rsmr_sim String

@@ -1,0 +1,1 @@
+lib/smr/vr.mli: Block_intf

@@ -1,0 +1,23 @@
+type t = { round : int; node : Rsmr_net.Node_id.t }
+
+let zero = { round = 0; node = -1 }
+
+let compare a b =
+  match Int.compare a.round b.round with
+  | 0 -> Rsmr_net.Node_id.compare a.node b.node
+  | c -> c
+
+let equal a b = compare a b = 0
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let next b me = { round = b.round + 1; node = me }
+let pp ppf b = Format.fprintf ppf "b%d.%a" b.round Rsmr_net.Node_id.pp b.node
+
+let encode w b =
+  Rsmr_app.Codec.Writer.varint w b.round;
+  Rsmr_app.Codec.Writer.zigzag w b.node
+
+let decode r =
+  let round = Rsmr_app.Codec.Reader.varint r in
+  let node = Rsmr_app.Codec.Reader.zigzag r in
+  { round; node }

@@ -1,0 +1,55 @@
+(** The contract a {e non-reconfigurable} SMR building block must satisfy to
+    be composed into a reconfigurable service by {!Rsmr_core.Service}.
+
+    This is the paper's interface boundary made explicit: anything that
+    totally orders opaque byte commands over a fixed member set — with no
+    notion of membership change — qualifies.  The repository provides two
+    independent implementations: static Multi-Paxos
+    ({!Rsmr_smr.Paxos_block}) and static Viewstamped Replication
+    ({!Rsmr_smr.Vr}); the composition layer cannot tell them apart. *)
+
+module type S = sig
+  val block_name : string
+
+  (** The block's wire messages, opaque to the composition layer (it
+      tunnels them as bytes, tagged with the configuration epoch). *)
+  module Msg : sig
+    type t
+
+    val encode : t -> string
+    val decode : string -> t
+    val size : t -> int
+    val tag : t -> string
+  end
+
+  type t
+  (** One replica of one instance. *)
+
+  val create :
+    engine:Rsmr_sim.Engine.t ->
+    params:Params.t ->
+    config:Config.t ->
+    me:Rsmr_net.Node_id.t ->
+    send:(dst:Rsmr_net.Node_id.t -> Msg.t -> unit) ->
+    on_decide:(int -> string -> unit) ->
+    unit ->
+    t
+  (** [on_decide] fires in strict slot order, exactly once per decided
+      command on this replica. *)
+
+  val handle : t -> src:Rsmr_net.Node_id.t -> Msg.t -> unit
+  val submit : t -> string -> unit
+
+  val submit_msg : string -> Msg.t
+  (** A message that, delivered to any replica of the instance, submits the
+      command remotely (used to forward residual commands into an instance
+      the sender does not host). *)
+
+  val is_leader : t -> bool
+  val leader_hint : t -> Rsmr_net.Node_id.t option
+
+  val halt : t -> unit
+  val is_halted : t -> bool
+
+  val commit_index : t -> int
+end

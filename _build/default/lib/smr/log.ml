@@ -1,0 +1,103 @@
+type kind = Noop | Value of string
+type entry = { ballot : Ballot.t; kind : kind }
+type slot = { mutable entry : entry option; mutable committed : bool }
+
+type t = {
+  mutable slots : slot array;
+  mutable len : int; (* one past highest populated index *)
+  mutable committed_prefix : int;
+}
+
+let fresh_slot () = { entry = None; committed = false }
+let create () = { slots = [||]; len = 0; committed_prefix = 0 }
+let length t = t.len
+
+let ensure t i =
+  let cap = Array.length t.slots in
+  if i >= cap then begin
+    let ncap = max 64 (max (i + 1) (cap * 2)) in
+    let ns = Array.init ncap (fun j -> if j < cap then t.slots.(j) else fresh_slot ()) in
+    t.slots <- ns
+  end;
+  if i >= t.len then t.len <- i + 1
+
+let get t i =
+  if i < 0 || i >= t.len then None else t.slots.(i).entry
+
+let set t i entry =
+  if i < 0 then invalid_arg "Log.set: negative index";
+  ensure t i;
+  t.slots.(i).entry <- Some entry
+
+let is_committed t i = i >= 0 && i < t.len && t.slots.(i).committed
+
+let advance_prefix t =
+  while
+    t.committed_prefix < t.len && t.slots.(t.committed_prefix).committed
+  do
+    t.committed_prefix <- t.committed_prefix + 1
+  done
+
+let mark_committed t i =
+  if i < 0 then invalid_arg "Log.mark_committed: negative index";
+  ensure t i;
+  t.slots.(i).committed <- true;
+  advance_prefix t
+
+let set_committed t i kind =
+  if i < 0 then invalid_arg "Log.set_committed: negative index";
+  ensure t i;
+  (match t.slots.(i).entry with
+   | Some e when t.slots.(i).committed ->
+     (* A committed slot never changes value: chosen is chosen. *)
+     assert (e.kind = kind)
+   | _ -> t.slots.(i).entry <- Some { ballot = Ballot.zero; kind });
+  t.slots.(i).committed <- true;
+  advance_prefix t
+
+let committed_prefix t = t.committed_prefix
+
+let uncommitted_range t ~lo =
+  let acc = ref [] in
+  for i = t.len - 1 downto max lo 0 do
+    if not t.slots.(i).committed then
+      match t.slots.(i).entry with
+      | Some e -> acc := (i, e) :: !acc
+      | None -> ()
+  done;
+  !acc
+
+let entries_from t lo =
+  let acc = ref [] in
+  for i = t.len - 1 downto max lo 0 do
+    match t.slots.(i).entry with
+    | Some e -> acc := (i, e) :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let committed_values t ~lo ~hi =
+  let acc = ref [] in
+  for i = min hi (t.len - 1) downto max lo 0 do
+    if t.slots.(i).committed then
+      match t.slots.(i).entry with
+      | Some e -> acc := (i, e.kind) :: !acc
+      | None -> ()
+  done;
+  !acc
+
+let pp_kind ppf = function
+  | Noop -> Format.pp_print_string ppf "noop"
+  | Value v -> Format.fprintf ppf "value(%d bytes)" (String.length v)
+
+let encode_kind w = function
+  | Noop -> Rsmr_app.Codec.Writer.u8 w 0
+  | Value v ->
+    Rsmr_app.Codec.Writer.u8 w 1;
+    Rsmr_app.Codec.Writer.string w v
+
+let decode_kind r =
+  match Rsmr_app.Codec.Reader.u8 r with
+  | 0 -> Noop
+  | 1 -> Value (Rsmr_app.Codec.Reader.string r)
+  | _ -> raise Rsmr_app.Codec.Truncated

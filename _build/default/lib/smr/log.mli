@@ -1,0 +1,40 @@
+(** A replica's Paxos log: a growable array of slots.  Slot values are
+    opaque strings (the building block knows nothing about the commands it
+    orders) plus protocol no-ops used to fill holes during leader
+    takeover. *)
+
+type kind = Noop | Value of string
+
+type entry = { ballot : Ballot.t; kind : kind }
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+(** One past the highest populated index. *)
+
+val get : t -> int -> entry option
+val set : t -> int -> entry -> unit
+val is_committed : t -> int -> bool
+val mark_committed : t -> int -> unit
+
+val set_committed : t -> int -> kind -> unit
+(** Install a known-chosen value (from a Learn response): stores it with
+    whatever ballot and marks the slot committed. *)
+
+val committed_prefix : t -> int
+(** Largest [n] such that slots [0..n-1] are all committed. *)
+
+val uncommitted_range : t -> lo:int -> (int * entry) list
+(** Populated-but-uncommitted slots at index >= lo, ascending. *)
+
+val entries_from : t -> int -> (int * entry) list
+(** All populated slots at index >= the argument, ascending. *)
+
+val committed_values : t -> lo:int -> hi:int -> (int * kind) list
+(** Committed slots in [lo, hi], ascending; skips uncommitted ones. *)
+
+val pp_kind : Format.formatter -> kind -> unit
+val encode_kind : Rsmr_app.Codec.Writer.t -> kind -> unit
+val decode_kind : Rsmr_app.Codec.Reader.t -> kind

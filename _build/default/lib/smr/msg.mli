@@ -1,0 +1,40 @@
+(** Wire messages of the static Multi-Paxos building block.
+
+    [Prepare]/[Promise] are phase 1 over the whole uncommitted log suffix;
+    [Accept]/[Accepted] are per-slot phase 2; [Heartbeat] renews leadership
+    and carries the commit watermark; [Learn_req]/[Learn_rsp] let a lagging
+    replica fetch chosen values; [Submit] forwards a command to the
+    leader. *)
+
+type t =
+  | Prepare of { ballot : Ballot.t; from_index : int }
+  | Promise of {
+      ballot : Ballot.t;
+      from_index : int;
+      entries : (int * Log.entry) list;
+      commit_index : int;
+    }
+  | Reject of { ballot : Ballot.t; higher : Ballot.t }
+  | Accept of { ballot : Ballot.t; index : int; kind : Log.kind; commit_index : int }
+  | Accept_multi of {
+      ballot : Ballot.t;
+      from_index : int;
+      kinds : Log.kind list;  (** consecutive slots from [from_index] *)
+      commit_index : int;
+    }
+  | Accepted of { ballot : Ballot.t; index : int }
+  | Accepted_multi of { ballot : Ballot.t; from_index : int; upto : int }
+  | Heartbeat of { ballot : Ballot.t; commit_index : int }
+  | Learn_req of { from_index : int }
+  | Learn_rsp of { entries : (int * Log.kind) list; commit_index : int }
+  | Submit of { value : string }
+
+val size : t -> int
+(** Wire size in bytes (actual encoded length). *)
+
+val encode : t -> string
+val decode : string -> t
+val pp : Format.formatter -> t -> unit
+
+val tag : t -> string
+(** Short constructor name, for per-message-type counters. *)

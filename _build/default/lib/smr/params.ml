@@ -1,0 +1,30 @@
+type t = {
+  heartbeat_interval : float;
+  election_timeout_min : float;
+  election_timeout_max : float;
+  resend_interval : float;
+  learn_batch : int;
+  batch_delay : float;
+  batch_max : int;
+}
+
+let default =
+  {
+    heartbeat_interval = 0.020;
+    election_timeout_min = 0.100;
+    election_timeout_max = 0.200;
+    resend_interval = 0.050;
+    learn_batch = 256;
+    batch_delay = 0.0;
+    batch_max = 64;
+  }
+
+let with_batching delay = { default with batch_delay = delay }
+
+let pp ppf t =
+  Format.fprintf ppf "hb=%.0fms eto=[%.0f,%.0f]ms resend=%.0fms batch=%.1fms"
+    (t.heartbeat_interval *. 1e3)
+    (t.election_timeout_min *. 1e3)
+    (t.election_timeout_max *. 1e3)
+    (t.resend_interval *. 1e3)
+    (t.batch_delay *. 1e3)

@@ -1,0 +1,24 @@
+(** Timing parameters of the static SMR building block.  Defaults are tuned
+    for the LAN latency model (sub-millisecond RTT). *)
+
+type t = {
+  heartbeat_interval : float;  (** leader heartbeat period, seconds *)
+  election_timeout_min : float;
+  election_timeout_max : float;
+      (** follower election timeout is drawn uniformly from this range,
+          Raft-style, to break dueling-proposer livelock *)
+  resend_interval : float;     (** leader re-broadcast period for stuck slots *)
+  learn_batch : int;           (** max entries per Learn response *)
+  batch_delay : float;
+      (** leader-side batching window: submissions are accumulated for this
+          long (seconds) and proposed with a single [Accept_multi] per
+          follower.  0 disables batching (one [Accept] broadcast per
+          command). *)
+  batch_max : int;  (** flush early at this many buffered commands *)
+}
+
+val with_batching : float -> t
+(** [default] with the given batching window. *)
+
+val default : t
+val pp : Format.formatter -> t -> unit

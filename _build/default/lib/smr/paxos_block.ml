@@ -1,0 +1,26 @@
+module M = Msg
+
+let block_name = "multipaxos"
+
+module Msg = struct
+  type t = M.t
+
+  let encode = M.encode
+  let decode = M.decode
+  let size = M.size
+  let tag = M.tag
+end
+
+type t = Replica.t
+
+let create ~engine ~params ~config ~me ~send ~on_decide () =
+  Replica.create ~engine ~params ~config ~me ~send ~on_decide ()
+
+let handle = Replica.handle
+let submit = Replica.submit
+let submit_msg value = M.Submit { value }
+let is_leader = Replica.is_leader
+let leader_hint = Replica.leader_hint
+let halt = Replica.halt
+let is_halted = Replica.is_halted
+let commit_index = Replica.commit_index

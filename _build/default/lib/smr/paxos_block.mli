@@ -1,0 +1,4 @@
+(** The static Multi-Paxos {!Replica}, packaged as a composition-ready
+    building block. *)
+
+include Block_intf.S

@@ -1,0 +1,631 @@
+module Engine = Rsmr_sim.Engine
+module Rng = Rsmr_sim.Rng
+module Trace = Rsmr_sim.Trace
+module Counters = Rsmr_sim.Counters
+module Node_id = Rsmr_net.Node_id
+
+type status = Leader | Candidate | Follower
+
+type candidacy = {
+  c_ballot : Ballot.t;
+  mutable promised_from : Node_id.Set.t;
+  merged : (int, Log.entry) Hashtbl.t; (* highest-ballot entry per slot *)
+  from_index : int;
+}
+
+type leadership = {
+  l_ballot : Ballot.t;
+  mutable next_index : int;
+  acks : (int, Node_id.Set.t ref) Hashtbl.t;
+}
+
+type role = R_follower | R_candidate of candidacy | R_leader of leadership
+
+type t = {
+  engine : Engine.t;
+  params : Params.t;
+  trace : Trace.t option;
+  cfg : Config.t;
+  me : Node_id.t;
+  send : dst:Node_id.t -> Msg.t -> unit;
+  on_decide : int -> string -> unit;
+  rng : Rng.t;
+  log : Log.t;
+  mutable promised : Ballot.t;
+  mutable role : role;
+  mutable hint : Node_id.t option;
+  mutable deliver_index : int;
+  (* Highest committed watermark heard from a leader, together with that
+     leader's ballot: a follower may locally commit slot i <= watermark only
+     if its accepted entry for i carries exactly that ballot; otherwise it
+     must fetch the chosen value with Learn_req. *)
+  mutable known_committed : int;
+  mutable known_committed_ballot : Ballot.t;
+  pending : string Queue.t;
+  mutable batch_buf : string list; (* newest first; leader only *)
+  mutable batch_timer : Engine.timer option;
+  mutable election_timer : Engine.timer option;
+  mutable hb_timer : Engine.timer option;
+  mutable resend_timer : Engine.timer option;
+  mutable learn_inflight : bool;
+  mutable halted : bool;
+  counters : Counters.t;
+}
+
+let trace t fmt =
+  Format.kasprintf
+    (fun msg ->
+      match t.trace with
+      | Some tr ->
+        Trace.emit tr ~time:(Engine.now t.engine) ~node:t.me
+          ~topic:(Printf.sprintf "paxos#%d" t.cfg.Config.instance_id)
+          msg
+      | None -> ())
+    fmt
+
+let status t =
+  match t.role with
+  | R_leader _ -> Leader
+  | R_candidate _ -> Candidate
+  | R_follower -> Follower
+
+let is_leader t = match t.role with R_leader _ -> true | _ -> false
+
+let leader_hint t =
+  match t.role with R_leader _ -> Some t.me | _ -> t.hint
+
+let commit_index t = Log.committed_prefix t.log
+let decided_upto t = t.deliver_index
+let log_length t = Log.length t.log
+let config t = t.cfg
+let me t = t.me
+let counters t = t.counters
+let is_halted t = t.halted
+
+let cancel_timer t slot =
+  match slot with
+  | Some timer ->
+    Engine.cancel t.engine timer;
+    None
+  | None -> None
+
+let broadcast t msg =
+  List.iter (fun dst -> t.send ~dst msg) (Config.others t.cfg t.me)
+
+(* Deliver the committed prefix to the application, in order. *)
+let deliver t =
+  let stop = ref false in
+  while (not !stop) && t.deliver_index < Log.committed_prefix t.log do
+    (match Log.get t.log t.deliver_index with
+     | Some { Log.kind = Log.Value v; _ } -> t.on_decide t.deliver_index v
+     | Some { Log.kind = Log.Noop; _ } -> ()
+     | None ->
+       (* committed_prefix only advances over populated slots *)
+       assert false);
+    t.deliver_index <- t.deliver_index + 1;
+    if t.halted then stop := true
+  done
+
+(* Try to locally commit slots covered by the leader's watermark. *)
+let absorb_commit_watermark t =
+  let hi = min (t.known_committed - 1) (Log.length t.log - 1) in
+  let i = ref (Log.committed_prefix t.log) in
+  let blocked = ref false in
+  while (not !blocked) && !i <= hi do
+    (match Log.get t.log !i with
+     | Some e when Ballot.equal e.Log.ballot t.known_committed_ballot ->
+       Log.mark_committed t.log !i
+     | Some _ | None -> blocked := true);
+    incr i
+  done;
+  deliver t
+
+let rec request_learn t =
+  if
+    (not t.halted)
+    && (not t.learn_inflight)
+    && Log.committed_prefix t.log < t.known_committed
+  then begin
+    match leader_hint t with
+    | Some dst when not (Node_id.equal dst t.me) ->
+      t.learn_inflight <- true;
+      t.send ~dst (Msg.Learn_req { from_index = Log.committed_prefix t.log });
+      (* Clear the inflight latch even if the response is lost. *)
+      ignore
+        (Engine.schedule t.engine ~delay:t.params.Params.resend_interval
+           (fun () ->
+             t.learn_inflight <- false;
+             request_learn t))
+    | _ -> ()
+  end
+
+let sync_follower_commit t =
+  absorb_commit_watermark t;
+  if Log.committed_prefix t.log < t.known_committed then request_learn t
+
+let note_commit_info t ~ballot ~commit_index =
+  if
+    commit_index > t.known_committed
+    || Ballot.(t.known_committed_ballot < ballot)
+  then begin
+    if commit_index > t.known_committed then t.known_committed <- commit_index;
+    if Ballot.(t.known_committed_ballot < ballot) then
+      t.known_committed_ballot <- ballot
+  end;
+  sync_follower_commit t
+
+(* --- timers --- *)
+
+let rec reset_election_timer t =
+  t.election_timer <- cancel_timer t t.election_timer;
+  if not t.halted then begin
+    let delay =
+      Rng.uniform_in t.rng t.params.Params.election_timeout_min
+        t.params.Params.election_timeout_max
+    in
+    t.election_timer <-
+      Some (Engine.schedule t.engine ~delay (fun () -> on_election_timeout t))
+  end
+
+and on_election_timeout t =
+  if not t.halted then
+    match t.role with
+    | R_leader _ -> () (* leaders do not self-depose *)
+    | R_follower | R_candidate _ -> start_election t
+
+and start_election t =
+  Counters.incr t.counters "elections";
+  let ballot = Ballot.next t.promised t.me in
+  t.promised <- ballot;
+  let from_index = Log.committed_prefix t.log in
+  let merged = Hashtbl.create 16 in
+  List.iter
+    (fun (i, e) -> Hashtbl.replace merged i e)
+    (Log.entries_from t.log from_index);
+  let cand =
+    { c_ballot = ballot; promised_from = Node_id.Set.singleton t.me; merged; from_index }
+  in
+  t.role <- R_candidate cand;
+  trace t "start election %a from=%d" Ballot.pp ballot from_index;
+  broadcast t (Msg.Prepare { ballot; from_index });
+  reset_election_timer t;
+  maybe_win t cand
+
+and maybe_win t cand =
+  if Node_id.Set.cardinal cand.promised_from >= Config.quorum t.cfg then
+    become_leader t cand
+
+and become_leader t cand =
+  Counters.incr t.counters "takeovers";
+  let ballot = cand.c_ballot in
+  let max_index =
+    Hashtbl.fold (fun i _ acc -> max i acc) cand.merged (cand.from_index - 1)
+  in
+  let lead =
+    { l_ballot = ballot; next_index = max_index + 1; acks = Hashtbl.create 64 }
+  in
+  t.role <- R_leader lead;
+  t.hint <- Some t.me;
+  trace t "became leader %a, re-proposing [%d,%d]" Ballot.pp ballot
+    cand.from_index max_index;
+  (* Adopt the highest-ballot entry for every slot in the takeover window,
+     filling holes with no-ops, and re-propose everything at our ballot. *)
+  for i = cand.from_index to max_index do
+    let kind =
+      match Hashtbl.find_opt cand.merged i with
+      | Some e -> e.Log.kind
+      | None -> Log.Noop
+    in
+    if not (Log.is_committed t.log i) then begin
+      Log.set t.log i { Log.ballot; kind };
+      Hashtbl.replace lead.acks i (ref (Node_id.Set.singleton t.me));
+      broadcast t
+        (Msg.Accept
+           { ballot; index = i; kind; commit_index = Log.committed_prefix t.log })
+    end
+  done;
+  t.election_timer <- cancel_timer t t.election_timer;
+  start_heartbeat t;
+  start_resend t;
+  maybe_commit_solo t lead;
+  drain_pending t
+
+and maybe_commit_solo t lead =
+  (* In a single-member configuration the leader's own acceptance is a
+     quorum, so slots commit without any message exchange. *)
+  if Config.quorum t.cfg = 1 then begin
+    Hashtbl.iter (fun i _ -> Log.mark_committed t.log i) lead.acks;
+    Hashtbl.reset lead.acks;
+    deliver t
+  end
+
+and start_heartbeat t =
+  t.hb_timer <- cancel_timer t t.hb_timer;
+  let rec tick () =
+    match t.role with
+    | R_leader lead when not t.halted ->
+      broadcast t
+        (Msg.Heartbeat
+           { ballot = lead.l_ballot; commit_index = Log.committed_prefix t.log });
+      t.hb_timer <-
+        Some (Engine.schedule t.engine ~delay:t.params.Params.heartbeat_interval tick)
+    | _ -> ()
+  in
+  tick ()
+
+and start_resend t =
+  t.resend_timer <- cancel_timer t t.resend_timer;
+  let rec tick () =
+    match t.role with
+    | R_leader lead when not t.halted ->
+      let stuck =
+        Log.uncommitted_range t.log ~lo:(Log.committed_prefix t.log)
+      in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      List.iter
+        (fun (i, (e : Log.entry)) ->
+          if Ballot.equal e.Log.ballot lead.l_ballot then
+            broadcast t
+              (Msg.Accept
+                 {
+                   ballot = lead.l_ballot;
+                   index = i;
+                   kind = e.Log.kind;
+                   commit_index = Log.committed_prefix t.log;
+                 }))
+        (take 64 stuck);
+      t.resend_timer <-
+        Some (Engine.schedule t.engine ~delay:t.params.Params.resend_interval tick)
+    | _ -> ()
+  in
+  t.resend_timer <-
+    Some (Engine.schedule t.engine ~delay:t.params.Params.resend_interval tick)
+
+and propose t kind =
+  match t.role with
+  | R_leader lead ->
+    Counters.incr t.counters "proposals";
+    let index = lead.next_index in
+    lead.next_index <- index + 1;
+    Log.set t.log index { Log.ballot = lead.l_ballot; kind };
+    Hashtbl.replace lead.acks index (ref (Node_id.Set.singleton t.me));
+    broadcast t
+      (Msg.Accept
+         {
+           ballot = lead.l_ballot;
+           index;
+           kind;
+           commit_index = Log.committed_prefix t.log;
+         });
+    maybe_commit_solo t lead
+  | R_candidate _ | R_follower -> invalid_arg "propose: not leader"
+
+(* Leader-side batching: accumulate submissions for batch_delay seconds
+   (or batch_max commands) and propose them with a single Accept_multi
+   broadcast.  batch_delay = 0 keeps the one-Accept-per-command path. *)
+and enqueue_value t value =
+  if t.params.Params.batch_delay <= 0.0 then propose t (Log.Value value)
+  else begin
+    t.batch_buf <- value :: t.batch_buf;
+    if List.length t.batch_buf >= t.params.Params.batch_max then flush_batch t
+    else if t.batch_timer = None then
+      t.batch_timer <-
+        Some
+          (Engine.schedule t.engine ~delay:t.params.Params.batch_delay
+             (fun () ->
+               t.batch_timer <- None;
+               flush_batch t))
+  end
+
+and flush_batch t =
+  match t.role with
+  | R_leader lead when t.batch_buf <> [] ->
+    let values = List.rev t.batch_buf in
+    t.batch_buf <- [];
+    t.batch_timer <- cancel_timer t t.batch_timer;
+    let from_index = lead.next_index in
+    let kinds =
+      List.map
+        (fun value ->
+          let index = lead.next_index in
+          lead.next_index <- index + 1;
+          let kind = Log.Value value in
+          Counters.incr t.counters "proposals";
+          Log.set t.log index { Log.ballot = lead.l_ballot; kind };
+          Hashtbl.replace lead.acks index (ref (Node_id.Set.singleton t.me));
+          kind)
+        values
+    in
+    broadcast t
+      (Msg.Accept_multi
+         {
+           ballot = lead.l_ballot;
+           from_index;
+           kinds;
+           commit_index = Log.committed_prefix t.log;
+         });
+    maybe_commit_solo t lead
+  | _ -> ()
+
+and drain_pending t =
+  match t.role with
+  | R_leader _ ->
+    while not (Queue.is_empty t.pending) do
+      enqueue_value t (Queue.pop t.pending)
+    done;
+    flush_batch t
+  | R_candidate _ -> ()
+  | R_follower -> (
+    match t.hint with
+    | Some dst when not (Node_id.equal dst t.me) ->
+      while not (Queue.is_empty t.pending) do
+        t.send ~dst (Msg.Submit { value = Queue.pop t.pending })
+      done
+    | _ -> ())
+
+let step_down t ~higher =
+  (match t.role with
+   | R_leader _ | R_candidate _ ->
+     trace t "stepping down (higher ballot %a)" Ballot.pp higher;
+     t.hb_timer <- cancel_timer t t.hb_timer;
+     t.resend_timer <- cancel_timer t t.resend_timer;
+     t.batch_timer <- cancel_timer t t.batch_timer;
+     (* Unproposed batched values go back to pending so they get forwarded
+        to whoever wins. *)
+     List.iter (fun v -> Queue.push v t.pending) (List.rev t.batch_buf);
+     t.batch_buf <- [];
+     t.role <- R_follower
+   | R_follower -> ());
+  if Ballot.(t.promised < higher) then t.promised <- higher;
+  reset_election_timer t
+
+(* --- message handlers --- *)
+
+let on_prepare t ~src (ballot : Ballot.t) from_index =
+  if Ballot.(t.promised <= ballot) then begin
+    (match t.role with
+     | R_leader _ | R_candidate _ ->
+       if Ballot.(t.promised < ballot) then step_down t ~higher:ballot
+     | R_follower -> ());
+    t.promised <- ballot;
+    t.hint <- Some src;
+    reset_election_timer t;
+    t.send ~dst:src
+      (Msg.Promise
+         {
+           ballot;
+           from_index;
+           entries = Log.entries_from t.log from_index;
+           commit_index = Log.committed_prefix t.log;
+         })
+  end
+  else t.send ~dst:src (Msg.Reject { ballot; higher = t.promised })
+
+let on_promise t ~src (ballot : Ballot.t) entries =
+  match t.role with
+  | R_candidate cand when Ballot.equal cand.c_ballot ballot ->
+    cand.promised_from <- Node_id.Set.add src cand.promised_from;
+    List.iter
+      (fun (i, (e : Log.entry)) ->
+        match Hashtbl.find_opt cand.merged i with
+        | Some cur when Ballot.(e.Log.ballot <= cur.Log.ballot) -> ()
+        | Some _ | None -> Hashtbl.replace cand.merged i e)
+      entries;
+    maybe_win t cand
+  | _ -> ()
+
+let on_reject t (ballot : Ballot.t) higher =
+  let ours =
+    match t.role with
+    | R_candidate c -> Ballot.equal c.c_ballot ballot
+    | R_leader l -> Ballot.equal l.l_ballot ballot
+    | R_follower -> false
+  in
+  if ours then step_down t ~higher
+
+let on_accept t ~src (ballot : Ballot.t) index kind commit_index =
+  if Ballot.(t.promised <= ballot) then begin
+    (match t.role with
+     | R_leader l when not (Ballot.equal l.l_ballot ballot) ->
+       step_down t ~higher:ballot
+     | R_candidate c when not (Ballot.equal c.c_ballot ballot) ->
+       step_down t ~higher:ballot
+     | _ -> ());
+    t.promised <- ballot;
+    t.hint <- Some ballot.Ballot.node;
+    if not (is_leader t) then reset_election_timer t;
+    if not (Log.is_committed t.log index) then
+      Log.set t.log index { Log.ballot; kind };
+    t.send ~dst:src (Msg.Accepted { ballot; index });
+    note_commit_info t ~ballot ~commit_index;
+    drain_pending t
+  end
+  else t.send ~dst:src (Msg.Reject { ballot; higher = t.promised })
+
+let on_accept_multi t ~src (ballot : Ballot.t) from_index kinds commit_index =
+  if Ballot.(t.promised <= ballot) then begin
+    (match t.role with
+     | R_leader l when not (Ballot.equal l.l_ballot ballot) ->
+       step_down t ~higher:ballot
+     | R_candidate c when not (Ballot.equal c.c_ballot ballot) ->
+       step_down t ~higher:ballot
+     | _ -> ());
+    t.promised <- ballot;
+    t.hint <- Some ballot.Ballot.node;
+    if not (is_leader t) then reset_election_timer t;
+    List.iteri
+      (fun offset kind ->
+        let index = from_index + offset in
+        if not (Log.is_committed t.log index) then
+          Log.set t.log index { Log.ballot; kind })
+      kinds;
+    t.send ~dst:src
+      (Msg.Accepted_multi
+         { ballot; from_index; upto = from_index + List.length kinds - 1 });
+    note_commit_info t ~ballot ~commit_index;
+    drain_pending t
+  end
+  else t.send ~dst:src (Msg.Reject { ballot; higher = t.promised })
+
+let on_accepted t ~src (ballot : Ballot.t) index =
+  match t.role with
+  | R_leader lead when Ballot.equal lead.l_ballot ballot ->
+    if not (Log.is_committed t.log index) then begin
+      let acks =
+        match Hashtbl.find_opt lead.acks index with
+        | Some r -> r
+        | None ->
+          let r = ref (Node_id.Set.singleton t.me) in
+          Hashtbl.replace lead.acks index r;
+          r
+      in
+      acks := Node_id.Set.add src !acks;
+      if Node_id.Set.cardinal !acks >= Config.quorum t.cfg then begin
+        Log.mark_committed t.log index;
+        Hashtbl.remove lead.acks index;
+        Counters.incr t.counters "commits";
+        deliver t
+      end
+    end
+  | _ -> ()
+
+let on_accepted_multi t ~src (ballot : Ballot.t) from_index upto =
+  match t.role with
+  | R_leader lead when Ballot.equal lead.l_ballot ballot ->
+    let committed_any = ref false in
+    for index = from_index to upto do
+      if not (Log.is_committed t.log index) then begin
+        let acks =
+          match Hashtbl.find_opt lead.acks index with
+          | Some r -> r
+          | None ->
+            let r = ref (Node_id.Set.singleton t.me) in
+            Hashtbl.replace lead.acks index r;
+            r
+        in
+        acks := Node_id.Set.add src !acks;
+        if Node_id.Set.cardinal !acks >= Config.quorum t.cfg then begin
+          Log.mark_committed t.log index;
+          Hashtbl.remove lead.acks index;
+          Counters.incr t.counters "commits";
+          committed_any := true
+        end
+      end
+    done;
+    if !committed_any then deliver t
+  | _ -> ()
+
+let on_heartbeat t ~src (ballot : Ballot.t) commit_index =
+  if Ballot.(t.promised <= ballot) then begin
+    (match t.role with
+     | R_leader l when not (Ballot.equal l.l_ballot ballot) ->
+       step_down t ~higher:ballot
+     | R_candidate _ -> step_down t ~higher:ballot
+     | _ -> ());
+    t.promised <- ballot;
+    t.hint <- Some src;
+    if not (is_leader t) then reset_election_timer t;
+    note_commit_info t ~ballot ~commit_index;
+    drain_pending t
+  end
+  else t.send ~dst:src (Msg.Reject { ballot; higher = t.promised })
+
+let on_learn_req t ~src from_index =
+  let upto = Log.committed_prefix t.log - 1 in
+  let hi = min upto (from_index + t.params.Params.learn_batch - 1) in
+  if hi >= from_index then
+    t.send ~dst:src
+      (Msg.Learn_rsp
+         {
+           entries = Log.committed_values t.log ~lo:from_index ~hi;
+           commit_index = Log.committed_prefix t.log;
+         })
+
+let on_learn_rsp t entries commit_index =
+  t.learn_inflight <- false;
+  List.iter (fun (i, kind) -> Log.set_committed t.log i kind) entries;
+  if commit_index > t.known_committed then t.known_committed <- commit_index;
+  deliver t;
+  if Log.committed_prefix t.log < t.known_committed then request_learn t
+
+let submit t value =
+  if not t.halted then begin
+    match t.role with
+    | R_leader _ -> enqueue_value t value
+    | R_candidate _ -> Queue.push value t.pending
+    | R_follower -> (
+      match t.hint with
+      | Some dst when not (Node_id.equal dst t.me) ->
+        t.send ~dst (Msg.Submit { value })
+      | _ -> Queue.push value t.pending)
+  end
+
+let handle t ~src msg =
+  if not t.halted then
+    match (msg : Msg.t) with
+    | Msg.Prepare { ballot; from_index } -> on_prepare t ~src ballot from_index
+    | Msg.Promise { ballot; entries; _ } -> on_promise t ~src ballot entries
+    | Msg.Reject { ballot; higher } -> on_reject t ballot higher
+    | Msg.Accept { ballot; index; kind; commit_index } ->
+      on_accept t ~src ballot index kind commit_index
+    | Msg.Accept_multi { ballot; from_index; kinds; commit_index } ->
+      on_accept_multi t ~src ballot from_index kinds commit_index
+    | Msg.Accepted { ballot; index } -> on_accepted t ~src ballot index
+    | Msg.Accepted_multi { ballot; from_index; upto } ->
+      on_accepted_multi t ~src ballot from_index upto
+    | Msg.Heartbeat { ballot; commit_index } ->
+      on_heartbeat t ~src ballot commit_index
+    | Msg.Learn_req { from_index } -> on_learn_req t ~src from_index
+    | Msg.Learn_rsp { entries; commit_index } ->
+      on_learn_rsp t entries commit_index
+    | Msg.Submit { value } -> submit t value
+
+let halt t =
+  if not t.halted then begin
+    t.halted <- true;
+    t.election_timer <- cancel_timer t t.election_timer;
+    t.hb_timer <- cancel_timer t t.hb_timer;
+    t.resend_timer <- cancel_timer t t.resend_timer;
+    t.batch_timer <- cancel_timer t t.batch_timer
+  end
+
+let kick_election t = if not t.halted then start_election t
+
+let create ~engine ?(params = Params.default) ?trace ~config:cfg ~me ~send
+    ~on_decide () =
+  if not (Config.is_member cfg me) then
+    invalid_arg "Replica.create: not a member of the configuration";
+  let t =
+    {
+      engine;
+      params;
+      trace;
+      cfg;
+      me;
+      send;
+      on_decide;
+      rng = Rng.split (Engine.rng engine);
+      log = Log.create ();
+      promised = Ballot.zero;
+      role = R_follower;
+      hint = None;
+      deliver_index = 0;
+      known_committed = 0;
+      known_committed_ballot = Ballot.zero;
+      pending = Queue.create ();
+      batch_buf = [];
+      batch_timer = None;
+      election_timer = None;
+      hb_timer = None;
+      resend_timer = None;
+      learn_inflight = false;
+      halted = false;
+      counters = Counters.create ();
+    }
+  in
+  reset_election_timer t;
+  t

@@ -1,0 +1,535 @@
+module Engine = Rsmr_sim.Engine
+module Rng = Rsmr_sim.Rng
+module Node_id = Rsmr_net.Node_id
+module W = Rsmr_app.Codec.Writer
+module R = Rsmr_app.Codec.Reader
+
+let block_name = "vr"
+
+module Msg = struct
+  type t =
+    | Request of { value : string }
+    | Prepare of { view : int; op : int; value : string; commit : int }
+    | Prepare_ok of { view : int; op : int }
+    | Commit of { view : int; commit : int }
+    | Start_view_change of { view : int }
+    | Do_view_change of {
+        view : int;
+        log : string list;
+        last_normal : int;
+        commit : int;
+      }
+    | Start_view of { view : int; log : string list; commit : int }
+    | Get_state of { view : int; from : int }
+    | New_state of { view : int; from : int; ops : string list; commit : int }
+
+  let encode t =
+    let w = W.create () in
+    (match t with
+     | Request { value } ->
+       W.u8 w 0;
+       W.string w value
+     | Prepare { view; op; value; commit } ->
+       W.u8 w 1;
+       W.varint w view;
+       W.varint w op;
+       W.string w value;
+       W.varint w commit
+     | Prepare_ok { view; op } ->
+       W.u8 w 2;
+       W.varint w view;
+       W.varint w op
+     | Commit { view; commit } ->
+       W.u8 w 3;
+       W.varint w view;
+       W.varint w commit
+     | Start_view_change { view } ->
+       W.u8 w 4;
+       W.varint w view
+     | Do_view_change { view; log; last_normal; commit } ->
+       W.u8 w 5;
+       W.varint w view;
+       W.list w W.string log;
+       W.varint w last_normal;
+       W.varint w commit
+     | Start_view { view; log; commit } ->
+       W.u8 w 6;
+       W.varint w view;
+       W.list w W.string log;
+       W.varint w commit
+     | Get_state { view; from } ->
+       W.u8 w 7;
+       W.varint w view;
+       W.varint w from
+     | New_state { view; from; ops; commit } ->
+       W.u8 w 8;
+       W.varint w view;
+       W.varint w from;
+       W.list w W.string ops;
+       W.varint w commit);
+    W.contents w
+
+  let decode s =
+    let r = R.of_string s in
+    match R.u8 r with
+    | 0 -> Request { value = R.string r }
+    | 1 ->
+      let view = R.varint r in
+      let op = R.varint r in
+      let value = R.string r in
+      Prepare { view; op; value; commit = R.varint r }
+    | 2 ->
+      let view = R.varint r in
+      Prepare_ok { view; op = R.varint r }
+    | 3 ->
+      let view = R.varint r in
+      Commit { view; commit = R.varint r }
+    | 4 -> Start_view_change { view = R.varint r }
+    | 5 ->
+      let view = R.varint r in
+      let log = R.list r R.string in
+      let last_normal = R.varint r in
+      Do_view_change { view; log; last_normal; commit = R.varint r }
+    | 6 ->
+      let view = R.varint r in
+      let log = R.list r R.string in
+      Start_view { view; log; commit = R.varint r }
+    | 7 ->
+      let view = R.varint r in
+      Get_state { view; from = R.varint r }
+    | 8 ->
+      let view = R.varint r in
+      let from = R.varint r in
+      let ops = R.list r R.string in
+      New_state { view; from; ops; commit = R.varint r }
+    | _ -> raise Rsmr_app.Codec.Truncated
+
+  let size t = String.length (encode t)
+
+  let tag = function
+    | Request _ -> "request"
+    | Prepare _ -> "prepare"
+    | Prepare_ok _ -> "prepare_ok"
+    | Commit _ -> "commit"
+    | Start_view_change _ -> "start_view_change"
+    | Do_view_change _ -> "do_view_change"
+    | Start_view _ -> "start_view"
+    | Get_state _ -> "get_state"
+    | New_state _ -> "new_state"
+end
+
+type dvc = { d_log : string list; d_last_normal : int; d_commit : int }
+
+type status =
+  | Normal
+  | View_change of {
+      mutable svc_from : Node_id.Set.t;
+      mutable dvc : (Node_id.t * dvc) list;
+    }
+
+type t = {
+  engine : Engine.t;
+  params : Params.t;
+  members : Node_id.t array;
+  me : Node_id.t;
+  send : dst:Node_id.t -> Msg.t -> unit;
+  on_decide : int -> string -> unit;
+  rng : Rng.t;
+  mutable view : int;
+  mutable status : status;
+  mutable last_normal : int;
+  mutable log : string array;
+  mutable len : int;
+  mutable commit : int;  (* ops [0 .. commit-1] are committed *)
+  mutable executed : int;
+  acks : (int, Node_id.Set.t ref) Hashtbl.t;
+  pending : string Queue.t;
+  mutable view_timer : Engine.timer option;
+  mutable hb_timer : Engine.timer option;
+  mutable resend_timer : Engine.timer option;
+  mutable halted : bool;
+}
+
+let n_members t = Array.length t.members
+let f_of t = (n_members t - 1) / 2
+let primary_of t view = t.members.(view mod n_members t)
+let primary t = primary_of t t.view
+let is_primary t = Node_id.equal (primary t) t.me
+
+let is_leader t =
+  (not t.halted) && t.status = Normal && is_primary t
+
+let leader_hint t = if t.halted then None else Some (primary t)
+let commit_index t = t.commit
+let is_halted t = t.halted
+let view t = t.view
+let is_normal t = t.status = Normal
+let log_length t = t.len
+
+let submit_msg value = Msg.Request { value }
+
+let log_list t = Array.to_list (Array.sub t.log 0 t.len)
+
+let append t value =
+  if t.len = Array.length t.log then begin
+    let ncap = max 64 (2 * Array.length t.log) in
+    let nl = Array.make ncap "" in
+    Array.blit t.log 0 nl 0 t.len;
+    t.log <- nl
+  end;
+  t.log.(t.len) <- value;
+  t.len <- t.len + 1
+
+let set_log t ops commit =
+  t.log <- Array.of_list ops;
+  t.len <- Array.length t.log;
+  if commit > t.commit then t.commit <- commit
+
+let execute t =
+  while t.executed < min t.commit t.len && not t.halted do
+    t.on_decide t.executed t.log.(t.executed);
+    t.executed <- t.executed + 1
+  done
+
+let cancel t slot =
+  match slot with
+  | Some timer ->
+    Engine.cancel t.engine timer;
+    None
+  | None -> None
+
+let broadcast t msg =
+  Array.iter
+    (fun dst -> if not (Node_id.equal dst t.me) then t.send ~dst msg)
+    t.members
+
+(* --- timers --- *)
+
+let rec reset_view_timer t =
+  t.view_timer <- cancel t t.view_timer;
+  if not t.halted then begin
+    let delay =
+      Rng.uniform_in t.rng t.params.Params.election_timeout_min
+        t.params.Params.election_timeout_max
+    in
+    t.view_timer <-
+      Some (Engine.schedule t.engine ~delay (fun () -> on_view_timeout t))
+  end
+
+and on_view_timeout t =
+  if (not t.halted) && not (is_leader t) then start_view_change t (t.view + 1)
+  else if not t.halted then reset_view_timer t
+
+and start_view_change t new_view =
+  if new_view > t.view || (new_view = t.view && t.status = Normal) then begin
+    t.view <- new_view;
+    t.status <- View_change { svc_from = Node_id.Set.singleton t.me; dvc = [] };
+    broadcast t (Msg.Start_view_change { view = new_view });
+    reset_view_timer t;
+    check_svc_quorum t
+  end
+
+and check_svc_quorum t =
+  match t.status with
+  | View_change vc ->
+    if Node_id.Set.cardinal vc.svc_from >= f_of t + 1 then begin
+      let msg =
+        Msg.Do_view_change
+          {
+            view = t.view;
+            log = log_list t;
+            last_normal = t.last_normal;
+            commit = t.commit;
+          }
+      in
+      let p = primary t in
+      if Node_id.equal p t.me then
+        on_do_view_change t ~src:t.me ~view:t.view ~log:(log_list t)
+          ~last_normal:t.last_normal ~commit:t.commit
+      else t.send ~dst:p msg
+    end
+  | Normal -> ()
+
+and on_do_view_change t ~src ~view ~log ~last_normal ~commit =
+  if view = t.view && Node_id.equal (primary t) t.me then
+    match t.status with
+    | View_change vc ->
+      if not (List.mem_assoc src vc.dvc) then
+        vc.dvc <-
+          (src, { d_log = log; d_last_normal = last_normal; d_commit = commit })
+          :: vc.dvc;
+      if List.length vc.dvc >= f_of t + 1 then begin
+        (* Adopt the log of the DVC with the highest (last_normal, length). *)
+        let best =
+          List.fold_left
+            (fun acc (_, d) ->
+              match acc with
+              | None -> Some d
+              | Some cur ->
+                if
+                  (d.d_last_normal, List.length d.d_log)
+                  > (cur.d_last_normal, List.length cur.d_log)
+                then Some d
+                else acc)
+            None vc.dvc
+        in
+        (match best with
+         | Some d ->
+           let max_commit =
+             List.fold_left (fun acc (_, d) -> max acc d.d_commit) 0 vc.dvc
+           in
+           set_log t d.d_log max_commit
+         | None -> ());
+        t.status <- Normal;
+        t.last_normal <- t.view;
+        Hashtbl.reset t.acks;
+        (* Uncommitted suffix needs fresh quorums in this view. *)
+        for op = t.commit to t.len - 1 do
+          Hashtbl.replace t.acks op (ref (Node_id.Set.singleton t.me))
+        done;
+        broadcast t
+          (Msg.Start_view { view = t.view; log = log_list t; commit = t.commit });
+        execute t;
+        maybe_commit_solo t;
+        start_heartbeat t;
+        start_resend t;
+        drain_pending t
+      end
+    | Normal -> ()
+
+and maybe_commit_solo t =
+  if f_of t = 0 && is_leader t then begin
+    t.commit <- t.len;
+    Hashtbl.reset t.acks;
+    execute t
+  end
+
+and advance_commit t =
+  let continue = ref true in
+  while !continue && t.commit < t.len do
+    match Hashtbl.find_opt t.acks t.commit with
+    | Some acked when Node_id.Set.cardinal !acked >= f_of t + 1 ->
+      Hashtbl.remove t.acks t.commit;
+      t.commit <- t.commit + 1
+    | Some _ | None -> continue := false
+  done;
+  execute t
+
+and propose t value =
+  let op = t.len in
+  append t value;
+  Hashtbl.replace t.acks op (ref (Node_id.Set.singleton t.me));
+  broadcast t (Msg.Prepare { view = t.view; op; value; commit = t.commit });
+  maybe_commit_solo t
+
+and drain_pending t =
+  if is_leader t then
+    while not (Queue.is_empty t.pending) do
+      propose t (Queue.pop t.pending)
+    done
+  else if t.status = Normal then begin
+    let p = primary t in
+    if not (Node_id.equal p t.me) then
+      while not (Queue.is_empty t.pending) do
+        t.send ~dst:p (Msg.Request { value = Queue.pop t.pending })
+      done
+  end
+
+and start_heartbeat t =
+  t.hb_timer <- cancel t t.hb_timer;
+  let rec tick () =
+    if is_leader t then begin
+      broadcast t (Msg.Commit { view = t.view; commit = t.commit });
+      t.hb_timer <-
+        Some (Engine.schedule t.engine ~delay:t.params.Params.heartbeat_interval tick)
+    end
+  in
+  t.hb_timer <-
+    Some (Engine.schedule t.engine ~delay:t.params.Params.heartbeat_interval tick)
+
+and start_resend t =
+  t.resend_timer <- cancel t t.resend_timer;
+  let rec tick () =
+    if is_leader t then begin
+      (* Re-prepare the uncommitted suffix (lost Prepares / PrepareOKs). *)
+      let hi = min t.len (t.commit + 64) in
+      for op = t.commit to hi - 1 do
+        broadcast t
+          (Msg.Prepare
+             { view = t.view; op; value = t.log.(op); commit = t.commit })
+      done;
+      t.resend_timer <-
+        Some (Engine.schedule t.engine ~delay:t.params.Params.resend_interval tick)
+    end
+  in
+  t.resend_timer <-
+    Some (Engine.schedule t.engine ~delay:t.params.Params.resend_interval tick)
+
+(* --- normal-protocol handlers --- *)
+
+let behind t view = view > t.view
+
+let catch_up t view =
+  (* A view completed without us; fetch the authoritative state from its
+     primary rather than guessing. *)
+  t.send ~dst:(primary_of t view) (Msg.Get_state { view; from = t.len })
+
+let on_prepare t ~src ~view ~op ~value ~commit =
+  if behind t view then catch_up t view
+  else if view = t.view && t.status = Normal && not (is_primary t) then begin
+    reset_view_timer t;
+    if op = t.len then begin
+      append t value;
+      t.send ~dst:src (Msg.Prepare_ok { view; op })
+    end
+    else if op < t.len then
+      (* Duplicate (retransmission): re-ack. *)
+      t.send ~dst:src (Msg.Prepare_ok { view; op })
+    else
+      (* Gap: lost earlier prepares. *)
+      t.send ~dst:src (Msg.Get_state { view; from = t.len });
+    if commit > t.commit then begin
+      t.commit <- min commit t.len;
+      execute t
+    end
+  end
+
+let on_prepare_ok t ~src ~view ~op =
+  if view = t.view && is_leader t then begin
+    (match Hashtbl.find_opt t.acks op with
+     | Some acked -> acked := Node_id.Set.add src !acked
+     | None -> () (* already committed *));
+    advance_commit t
+  end
+
+let on_commit t ~view ~commit =
+  if behind t view then catch_up t view
+  else if view = t.view && t.status = Normal && not (is_primary t) then begin
+    reset_view_timer t;
+    if commit > t.commit then begin
+      if commit > t.len then t.send ~dst:(primary t) (Msg.Get_state { view; from = t.len });
+      t.commit <- min commit t.len;
+      execute t
+    end
+  end
+
+let on_start_view t ~view ~log ~commit =
+  if view >= t.view then begin
+    t.view <- view;
+    t.status <- Normal;
+    t.last_normal <- view;
+    set_log t log commit;
+    t.commit <- min commit t.len;
+    Hashtbl.reset t.acks;
+    execute t;
+    reset_view_timer t;
+    (* Ack the uncommitted suffix to the new primary. *)
+    let p = primary t in
+    for op = t.commit to t.len - 1 do
+      t.send ~dst:p (Msg.Prepare_ok { view; op })
+    done;
+    drain_pending t
+  end
+
+let on_get_state t ~src ~view ~from =
+  if view = t.view && t.status = Normal then begin
+    let upto = t.len in
+    if upto > from then begin
+      let ops = Array.to_list (Array.sub t.log from (upto - from)) in
+      t.send ~dst:src (Msg.New_state { view; from; ops; commit = t.commit })
+    end
+    else
+      t.send ~dst:src (Msg.New_state { view; from; ops = []; commit = t.commit })
+  end
+
+let on_new_state t ~view ~from ~ops ~commit =
+  if view >= t.view then begin
+    if view > t.view then begin
+      t.view <- view;
+      t.status <- Normal;
+      t.last_normal <- view
+    end;
+    if from = t.len then List.iter (fun v -> append t v) ops;
+    if commit > t.commit then t.commit <- min commit t.len;
+    execute t;
+    reset_view_timer t
+  end
+
+let submit t value =
+  if not t.halted then begin
+    if is_leader t then propose t value
+    else begin
+      Queue.push value t.pending;
+      drain_pending t
+    end
+  end
+
+let handle t ~src msg =
+  if not t.halted then
+    match (msg : Msg.t) with
+    | Msg.Request { value } -> submit t value
+    | Msg.Prepare { view; op; value; commit } ->
+      on_prepare t ~src ~view ~op ~value ~commit
+    | Msg.Prepare_ok { view; op } -> on_prepare_ok t ~src ~view ~op
+    | Msg.Commit { view; commit } -> on_commit t ~view ~commit
+    | Msg.Start_view_change { view } ->
+      if view > t.view then start_view_change t view;
+      (* Count the sender's vote whether we just joined this view change or
+         were already in it. *)
+      if view = t.view then begin
+        match t.status with
+        | View_change vc ->
+          vc.svc_from <- Node_id.Set.add src vc.svc_from;
+          check_svc_quorum t
+        | Normal -> ()
+      end
+    | Msg.Do_view_change { view; log; last_normal; commit } ->
+      if view > t.view then start_view_change t view;
+      on_do_view_change t ~src ~view ~log ~last_normal ~commit
+    | Msg.Start_view { view; log; commit } -> on_start_view t ~view ~log ~commit
+    | Msg.Get_state { view; from } -> on_get_state t ~src ~view ~from
+    | Msg.New_state { view; from; ops; commit } ->
+      on_new_state t ~view ~from ~ops ~commit
+
+let halt t =
+  if not t.halted then begin
+    t.halted <- true;
+    t.view_timer <- cancel t t.view_timer;
+    t.hb_timer <- cancel t t.hb_timer;
+    t.resend_timer <- cancel t t.resend_timer
+  end
+
+let create ~engine ~params ~config ~me ~send ~on_decide () =
+  if not (Config.is_member config me) then
+    invalid_arg "Vr.create: not a member of the configuration";
+  let t =
+    {
+      engine;
+      params;
+      members = Array.of_list config.Config.members;
+      me;
+      send;
+      on_decide;
+      rng = Rng.split (Engine.rng engine);
+      view = 0;
+      status = Normal;
+      last_normal = 0;
+      log = [||];
+      len = 0;
+      commit = 0;
+      executed = 0;
+      acks = Hashtbl.create 64;
+      pending = Queue.create ();
+      view_timer = None;
+      hb_timer = None;
+      resend_timer = None;
+      halted = false;
+    }
+  in
+  (* View 0's primary is live from the start — no election needed. *)
+  if is_primary t then begin
+    start_heartbeat t;
+    start_resend t
+  end
+  else reset_view_timer t;
+  t

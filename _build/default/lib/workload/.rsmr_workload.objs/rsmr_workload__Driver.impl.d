@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Array Hashtbl List Option Printf Rsmr_iface Rsmr_net Rsmr_sim

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Rsmr_iface Rsmr_net Rsmr_sim

@@ -1,0 +1,1 @@
+lib/workload/keys.ml: Array Printf Rsmr_sim

@@ -1,0 +1,1 @@
+lib/workload/keys.mli: Rsmr_sim

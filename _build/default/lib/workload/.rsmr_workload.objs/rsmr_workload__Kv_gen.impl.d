@@ -1,0 +1,1 @@
+lib/workload/kv_gen.ml: Char Keys List Rsmr_app Rsmr_sim String

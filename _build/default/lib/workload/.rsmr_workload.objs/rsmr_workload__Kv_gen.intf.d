@@ -1,0 +1,1 @@
+lib/workload/kv_gen.mli: Keys Rsmr_sim

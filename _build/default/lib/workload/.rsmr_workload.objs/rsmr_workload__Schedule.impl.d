@@ -1,0 +1,1 @@
+lib/workload/schedule.ml: Array List Rsmr_iface Rsmr_sim

@@ -1,0 +1,1 @@
+lib/workload/schedule.mli: Rsmr_iface Rsmr_net

@@ -1,0 +1,67 @@
+(** Load drivers over the protocol-agnostic {!Rsmr_iface.Cluster.t}.
+
+    A driver schedules client work onto the cluster's engine; the caller
+    then runs the engine.  Latencies are measured submit-to-reply as a
+    client would see them, including retries, redirects and directory
+    lookups. *)
+
+type stats = {
+  latency : Rsmr_sim.Histogram.t;
+  completions : Rsmr_sim.Timeseries.t;
+      (** one sample per reply: (reply_time, latency) — feeds both
+          throughput-over-time and latency-timeline figures *)
+  mutable submitted : int;
+  mutable completed : int;
+}
+
+type event = {
+  ev_client : Rsmr_net.Node_id.t;
+  ev_seq : int;
+  ev_cmd : string;
+  ev_invoked : float;
+  ev_replied : float;
+  ev_rsp : string;
+}
+
+val run_closed :
+  cluster:Rsmr_iface.Cluster.t ->
+  n_clients:int ->
+  first_client_id:Rsmr_net.Node_id.t ->
+  gen:(client:Rsmr_net.Node_id.t -> seq:int -> string) ->
+  ?think:float ->
+  ?on_event:(event -> unit) ->
+  start:float ->
+  duration:float ->
+  unit ->
+  stats
+(** Closed loop: each of [n_clients] keeps exactly one request outstanding,
+    issuing the next [think] seconds after each reply (default 0).  Clients
+    stop issuing at [start +. duration].  Installs the cluster's reply
+    handler — one driver per cluster at a time. *)
+
+val run_open :
+  cluster:Rsmr_iface.Cluster.t ->
+  n_clients:int ->
+  first_client_id:Rsmr_net.Node_id.t ->
+  gen:(client:Rsmr_net.Node_id.t -> seq:int -> string) ->
+  rate:float ->
+  ?on_event:(event -> unit) ->
+  start:float ->
+  duration:float ->
+  unit ->
+  stats
+(** Open loop: submissions arrive as a Poisson process of [rate] requests
+    per second, round-robin across clients, independent of completions —
+    the right model for latency-vs-load curves. *)
+
+val preload :
+  cluster:Rsmr_iface.Cluster.t ->
+  client:Rsmr_net.Node_id.t ->
+  commands:string list ->
+  ?window:int ->
+  deadline:float ->
+  unit ->
+  unit
+(** Synchronously pump [commands] through the cluster (pipelining up to
+    [window], default 32) by running the engine until all are acknowledged.
+    Raises [Failure] if the deadline passes first. *)

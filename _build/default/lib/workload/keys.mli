@@ -1,0 +1,16 @@
+(** Key-popularity distributions for workload generation. *)
+
+type t
+
+val uniform : n:int -> t
+(** Keys 0..n-1, equally likely. *)
+
+val zipf : n:int -> theta:float -> t
+(** Zipfian with skew [theta] (0 = uniform, ~0.99 = classic YCSB skew).
+    Precomputes the CDF; sampling is O(log n). *)
+
+val sample : t -> Rsmr_sim.Rng.t -> int
+val key_name : int -> string
+(** Canonical printable key for index i ("key00000042"). *)
+
+val cardinality : t -> int

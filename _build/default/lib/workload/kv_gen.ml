@@ -1,0 +1,29 @@
+module Rng = Rsmr_sim.Rng
+module Kv = Rsmr_app.Kv
+
+type t = {
+  rng : Rng.t;
+  keys : Keys.t;
+  read_ratio : float;
+  value_size : int;
+  mutable counter : int;
+}
+
+let create ~rng ~keys ?(read_ratio = 0.5) ?(value_size = 64) () =
+  { rng; keys; read_ratio; value_size; counter = 0 }
+
+let value_of_size size ~seed =
+  String.init size (fun i -> Char.chr (97 + ((seed + i) mod 26)))
+
+let next t =
+  let key = Keys.key_name (Keys.sample t.keys t.rng) in
+  if Rng.bernoulli t.rng t.read_ratio then Kv.encode_command (Kv.Get key)
+  else begin
+    t.counter <- t.counter + 1;
+    Kv.encode_command (Kv.Put (key, value_of_size t.value_size ~seed:t.counter))
+  end
+
+let preload_commands ~n_keys ~value_size =
+  List.init n_keys (fun i ->
+      Kv.encode_command
+        (Kv.Put (Keys.key_name i, value_of_size value_size ~seed:i)))

@@ -1,0 +1,22 @@
+(** Encoded-command generators for the KV application (YCSB-style mixes). *)
+
+type t
+
+val create :
+  rng:Rsmr_sim.Rng.t ->
+  keys:Keys.t ->
+  ?read_ratio:float ->
+  ?value_size:int ->
+  unit ->
+  t
+(** [read_ratio] defaults to 0.5; [value_size] to 64 bytes. *)
+
+val next : t -> string
+(** Next encoded command: Get with probability [read_ratio], else Put of a
+    fresh value of [value_size] bytes. *)
+
+val preload_commands : n_keys:int -> value_size:int -> string list
+(** One encoded Put per key — used to install a state of a known size
+    before an experiment. *)
+
+val value_of_size : int -> seed:int -> string

@@ -1,0 +1,27 @@
+module Engine = Rsmr_sim.Engine
+module Cluster = Rsmr_iface.Cluster
+
+let at (cluster : Cluster.t) ~time f =
+  ignore (Engine.at cluster.Cluster.engine ~time f)
+
+let reconfigure_at cluster ~time members =
+  at cluster ~time (fun () -> cluster.Cluster.reconfigure members)
+
+let crash_at cluster ~time node =
+  at cluster ~time (fun () -> cluster.Cluster.crash node)
+
+let recover_at cluster ~time node =
+  at cluster ~time (fun () -> cluster.Cluster.recover node)
+
+let rolling_plan ~universe ~size ~step =
+  let n = List.length universe in
+  if size > n then invalid_arg "Schedule.rolling_plan: size exceeds universe";
+  let arr = Array.of_list universe in
+  List.init size (fun i -> arr.((step + i) mod n))
+
+let periodic_reconfigure cluster ~universe ~size ~start ~period ~count =
+  for step = 1 to count do
+    reconfigure_at cluster
+      ~time:(start +. (float_of_int (step - 1) *. period))
+      (rolling_plan ~universe ~size ~step)
+  done

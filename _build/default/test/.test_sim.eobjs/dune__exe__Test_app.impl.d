@@ -1,0 +1,1 @@
+test/test_app.ml: Alcotest Gen List Printf QCheck QCheck_alcotest Rsmr_app

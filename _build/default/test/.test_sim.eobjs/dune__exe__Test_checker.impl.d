@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest List Rsmr_app Rsmr_baselines Rsmr_checker Rsmr_core Rsmr_sim Rsmr_smr Rsmr_workload

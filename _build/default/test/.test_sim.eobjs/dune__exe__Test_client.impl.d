@@ -1,0 +1,1 @@
+test/test_client.ml: Alcotest List Rsmr_client Rsmr_net Rsmr_sim

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Char Hashtbl List Option Printf QCheck QCheck_alcotest Rsmr_app Rsmr_client Rsmr_core Rsmr_iface Rsmr_net Rsmr_sim Rsmr_smr String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array List QCheck QCheck_alcotest Rsmr_net Rsmr_sim String

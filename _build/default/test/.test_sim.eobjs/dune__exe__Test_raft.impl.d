@@ -1,0 +1,1 @@
+test/test_raft.ml: Alcotest Hashtbl List Option Printf QCheck QCheck_alcotest Rsmr_app Rsmr_baselines Rsmr_iface Rsmr_net Rsmr_sim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fun Gen List QCheck QCheck_alcotest Rsmr_sim

@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Array Fun List Option Printf QCheck QCheck_alcotest Rsmr_net Rsmr_sim Rsmr_smr

@@ -1,0 +1,1 @@
+test/test_vr.ml: Alcotest Array Fun Hashtbl List Option Printf QCheck QCheck_alcotest Rsmr_app Rsmr_core Rsmr_iface Rsmr_net Rsmr_sim Rsmr_smr

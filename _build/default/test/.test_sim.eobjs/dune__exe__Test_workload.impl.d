@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Rsmr_app Rsmr_core Rsmr_sim Rsmr_workload String

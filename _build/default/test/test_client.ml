@@ -1,0 +1,176 @@
+(* Unit tests for the client protocol and the retry/redirect endpoint,
+   driven against a scripted fake transport. *)
+
+module Engine = Rsmr_sim.Engine
+module Counters = Rsmr_sim.Counters
+module Client_msg = Rsmr_client.Client_msg
+module Endpoint = Rsmr_client.Endpoint
+
+let test_msg_roundtrip () =
+  let cases =
+    [
+      Client_msg.Request { seq = 3; low_water = 2; payload = Client_msg.Cmd "do" };
+      Client_msg.Request
+        { seq = 4; low_water = 0; payload = Client_msg.Change_membership [ 1; 2; 9 ] };
+      Client_msg.Reply { seq = 3; rsp = "done" };
+      Client_msg.Redirect
+        { seq = 3; leader = Some 2; members = [ 0; 1; 2 ]; epoch = 7 };
+      Client_msg.Redirect { seq = 3; leader = None; members = []; epoch = 0 };
+    ]
+  in
+  List.iter
+    (fun m ->
+      if Client_msg.decode (Client_msg.encode m) <> m then
+        Alcotest.failf "roundtrip failed for %a" Client_msg.pp m)
+    cases
+
+(* Scripted harness: records sends; test injects responses. *)
+type harness = {
+  engine : Engine.t;
+  endpoint : Endpoint.t;
+  sent : (Rsmr_net.Node_id.t * Client_msg.t) list ref; (* newest first *)
+  replies : (int * string) list ref;
+  lookups : int ref;
+  mutable lookup_k : (Rsmr_net.Node_id.t list -> unit) option;
+}
+
+let make_harness ?(members = [ 0; 1; 2 ]) ?req_timeout () =
+  let engine = Engine.create ~seed:3 () in
+  let sent = ref [] and replies = ref [] and lookups = ref 0 in
+  let h_ref = ref None in
+  let endpoint =
+    Endpoint.create ~engine ~me:100
+      ~send:(fun ~dst msg -> sent := (dst, msg) :: !sent)
+      ~members
+      ~lookup:(fun k ->
+        incr lookups;
+        match !h_ref with Some h -> h.lookup_k <- Some k | None -> ())
+      ?req_timeout
+      ~on_reply:(fun ~seq ~rsp -> replies := (seq, rsp) :: !replies)
+      ()
+  in
+  let h = { engine; endpoint; sent; replies; lookups; lookup_k = None } in
+  h_ref := Some h;
+  h
+
+let last_send h = match !(h.sent) with [] -> None | x :: _ -> Some x
+
+let test_submit_sends_request () =
+  let h = make_harness () in
+  Endpoint.submit h.endpoint ~seq:1 ~payload:(Client_msg.Cmd "x");
+  match last_send h with
+  | Some (_, Client_msg.Request { seq = 1; payload = Client_msg.Cmd "x"; _ }) -> ()
+  | _ -> Alcotest.fail "expected a Request to be sent"
+
+let test_reply_completes () =
+  let h = make_harness () in
+  Endpoint.submit h.endpoint ~seq:1 ~payload:(Client_msg.Cmd "x");
+  Endpoint.handle h.endpoint (Client_msg.Reply { seq = 1; rsp = "ok" });
+  Alcotest.(check (list (pair int string))) "callback fired" [ (1, "ok") ]
+    !(h.replies);
+  Alcotest.(check int) "no longer outstanding" 0 (Endpoint.outstanding h.endpoint);
+  (* A duplicate reply (from a retried request) is ignored. *)
+  Endpoint.handle h.endpoint (Client_msg.Reply { seq = 1; rsp = "ok" });
+  Alcotest.(check int) "duplicate ignored" 1 (List.length !(h.replies))
+
+let test_timeout_retries_and_rotates () =
+  let h = make_harness ~req_timeout:0.1 () in
+  Endpoint.submit h.endpoint ~seq:1 ~payload:(Client_msg.Cmd "x");
+  Engine.run ~until:0.55 h.engine;
+  let attempts = List.length !(h.sent) in
+  Alcotest.(check bool) "several retries happened" true (attempts >= 4);
+  let dsts = List.map fst !(h.sent) |> List.sort_uniq compare in
+  Alcotest.(check bool) "retries rotate across members" true
+    (List.length dsts >= 2);
+  Alcotest.(check int) "retry counter" (attempts - 1)
+    (Counters.get (Endpoint.counters h.endpoint) "retries")
+
+let test_redirect_follows_leader () =
+  let h = make_harness () in
+  Endpoint.submit h.endpoint ~seq:1 ~payload:(Client_msg.Cmd "x");
+  Endpoint.handle h.endpoint
+    (Client_msg.Redirect { seq = 1; leader = Some 2; members = [ 0; 1; 2 ]; epoch = 1 });
+  Alcotest.(check (option int)) "leader cached" (Some 2)
+    (Endpoint.believed_leader h.endpoint);
+  (* Run just past the redirect jitter but short of the request timeout. *)
+  Engine.run ~until:0.05 h.engine;
+  match last_send h with
+  | Some (2, Client_msg.Request { seq = 1; _ }) -> ()
+  | Some (dst, _) -> Alcotest.failf "resent to n%d, expected leader n2" dst
+  | None -> Alcotest.fail "nothing sent"
+
+let test_redirect_updates_members () =
+  let h = make_harness () in
+  Endpoint.submit h.endpoint ~seq:1 ~payload:(Client_msg.Cmd "x");
+  Endpoint.handle h.endpoint
+    (Client_msg.Redirect { seq = 1; leader = None; members = [ 7; 8; 9 ]; epoch = 2 });
+  Alcotest.(check (list int)) "members replaced" [ 7; 8; 9 ]
+    (Endpoint.believed_members h.endpoint);
+  (* Stale (lower-epoch) redirects must not clobber the fresher view. *)
+  Endpoint.handle h.endpoint
+    (Client_msg.Redirect { seq = 1; leader = None; members = [ 0; 1 ]; epoch = 1 });
+  Alcotest.(check (list int)) "stale redirect ignored" [ 7; 8; 9 ]
+    (Endpoint.believed_members h.endpoint)
+
+let test_self_redirect_loop_broken () =
+  (* A deposed leader that redirects to itself must not capture the client
+     forever: the hint pointing back at the node just tried is dropped. *)
+  let h = make_harness () in
+  Endpoint.submit h.endpoint ~seq:1 ~payload:(Client_msg.Cmd "x");
+  let first_target =
+    match last_send h with Some (d, _) -> d | None -> Alcotest.fail "no send"
+  in
+  Endpoint.handle h.endpoint
+    (Client_msg.Redirect
+       { seq = 1; leader = Some first_target; members = [ 0; 1; 2 ]; epoch = 1 });
+  Alcotest.(check (option int)) "self-hint dropped" None
+    (Endpoint.believed_leader h.endpoint);
+  Engine.run ~until:1.0 h.engine;
+  match last_send h with
+  | Some (dst, _) ->
+    Alcotest.(check bool) "rotated away from the looping node" true
+      (dst <> first_target)
+  | None -> Alcotest.fail "nothing resent"
+
+let test_lookup_after_repeated_timeouts () =
+  let h = make_harness ~req_timeout:0.1 () in
+  Endpoint.submit h.endpoint ~seq:1 ~payload:(Client_msg.Cmd "x");
+  Engine.run ~until:1.0 h.engine;
+  Alcotest.(check bool) "directory consulted" true (!(h.lookups) >= 1);
+  (* Deliver the lookup result; future attempts use the fresh members. *)
+  (match h.lookup_k with
+   | Some k -> k [ 5; 6; 7 ]
+   | None -> Alcotest.fail "no pending lookup");
+  Alcotest.(check (list int)) "members refreshed" [ 5; 6; 7 ]
+    (Endpoint.believed_members h.endpoint)
+
+let test_resubmit_same_seq_is_retry () =
+  let h = make_harness () in
+  Endpoint.submit h.endpoint ~seq:1 ~payload:(Client_msg.Cmd "x");
+  Endpoint.submit h.endpoint ~seq:1 ~payload:(Client_msg.Cmd "ignored");
+  Alcotest.(check int) "still one outstanding" 1 (Endpoint.outstanding h.endpoint);
+  Endpoint.handle h.endpoint (Client_msg.Reply { seq = 1; rsp = "ok" });
+  Alcotest.(check int) "one reply" 1 (List.length !(h.replies))
+
+let () =
+  Alcotest.run "client"
+    [
+      ("msg", [ Alcotest.test_case "roundtrip" `Quick test_msg_roundtrip ]);
+      ( "endpoint",
+        [
+          Alcotest.test_case "submit sends" `Quick test_submit_sends_request;
+          Alcotest.test_case "reply completes" `Quick test_reply_completes;
+          Alcotest.test_case "timeout retries+rotates" `Quick
+            test_timeout_retries_and_rotates;
+          Alcotest.test_case "redirect follows leader" `Quick
+            test_redirect_follows_leader;
+          Alcotest.test_case "redirect updates members" `Quick
+            test_redirect_updates_members;
+          Alcotest.test_case "self-redirect loop broken" `Quick
+            test_self_redirect_loop_broken;
+          Alcotest.test_case "lookup after timeouts" `Quick
+            test_lookup_after_repeated_timeouts;
+          Alcotest.test_case "re-submit same seq" `Quick
+            test_resubmit_same_seq_is_retry;
+        ] );
+    ]

@@ -1,0 +1,213 @@
+(* Tests for the simulated network: delivery, faults, partitions,
+   accounting. *)
+
+module Engine = Rsmr_sim.Engine
+module Counters = Rsmr_sim.Counters
+module Network = Rsmr_net.Network
+module Latency = Rsmr_net.Latency
+module Node_id = Rsmr_net.Node_id
+
+let setup ?latency ?drop ?duplicate n =
+  let engine = Engine.create ~seed:7 () in
+  let net = Network.create engine ?latency ?drop ?duplicate () in
+  let inboxes = Array.make n [] in
+  for i = 0 to n - 1 do
+    Network.register net i (fun env ->
+        inboxes.(i) <- (env.Network.src, env.Network.payload) :: inboxes.(i))
+  done;
+  (engine, net, inboxes)
+
+let test_basic_delivery () =
+  let engine, net, inboxes = setup 3 in
+  Network.send net ~src:0 ~dst:1 "hello";
+  Network.send net ~src:0 ~dst:2 "world";
+  Engine.run engine;
+  Alcotest.(check (list (pair int string))) "node 1 got hello" [ (0, "hello") ]
+    inboxes.(1);
+  Alcotest.(check (list (pair int string))) "node 2 got world" [ (0, "world") ]
+    inboxes.(2);
+  Alcotest.(check (list (pair int string))) "node 0 got nothing" [] inboxes.(0)
+
+let test_latency_applied () =
+  let engine, net, _ = setup ~latency:(Latency.Constant 0.05) 2 in
+  let arrival = ref 0.0 in
+  Network.register net 1 (fun _ -> arrival := Engine.now engine);
+  Network.send net ~src:0 ~dst:1 "x";
+  Engine.run engine;
+  (* Allow for the default bandwidth model's sub-microsecond egress delay. *)
+  Alcotest.(check (float 1e-5)) "constant latency" 0.05 !arrival
+
+let test_bandwidth_serialization () =
+  let engine = Engine.create () in
+  (* 1 MB/s uplink, zero propagation latency. *)
+  let net =
+    Network.create engine ~latency:(Latency.Constant 0.0) ~bandwidth:1e6
+      ~sizer:String.length ()
+  in
+  let arrivals = ref [] in
+  Network.register net 1 (fun _ -> arrivals := Engine.now engine :: !arrivals);
+  (* Two 100 KB messages: the second queues behind the first. *)
+  Network.send net ~src:0 ~dst:1 (String.make 100_000 'x');
+  Network.send net ~src:0 ~dst:1 (String.make 100_000 'y');
+  Engine.run engine;
+  match List.rev !arrivals with
+  | [ t1; t2 ] ->
+    Alcotest.(check (float 1e-6)) "first after 0.1s" 0.1 t1;
+    Alcotest.(check (float 1e-6)) "second queues to 0.2s" 0.2 t2
+  | l -> Alcotest.failf "expected 2 arrivals, got %d" (List.length l)
+
+let test_drop_all () =
+  let engine, net, inboxes = setup ~drop:1.0 2 in
+  for _ = 1 to 20 do
+    Network.send net ~src:0 ~dst:1 "x"
+  done;
+  Engine.run engine;
+  Alcotest.(check (list (pair int string))) "all dropped" [] inboxes.(1);
+  Alcotest.(check int) "drop counter" 20
+    (Counters.get (Network.counters net) "dropped")
+
+let test_duplication () =
+  let engine, net, inboxes = setup ~duplicate:1.0 2 in
+  Network.send net ~src:0 ~dst:1 "x";
+  Engine.run engine;
+  Alcotest.(check int) "two copies" 2 (List.length inboxes.(1))
+
+let test_crash_blocks_delivery () =
+  let engine, net, inboxes = setup 2 in
+  Network.crash net 1;
+  Network.send net ~src:0 ~dst:1 "lost";
+  Engine.run engine;
+  Alcotest.(check (list (pair int string))) "crashed node receives nothing" []
+    inboxes.(1);
+  Network.recover net 1;
+  Network.send net ~src:0 ~dst:1 "after";
+  Engine.run engine;
+  Alcotest.(check (list (pair int string))) "delivery resumes" [ (0, "after") ]
+    inboxes.(1)
+
+let test_crashed_node_cannot_send () =
+  let engine, net, inboxes = setup 2 in
+  Network.crash net 0;
+  Network.send net ~src:0 ~dst:1 "x";
+  Engine.run engine;
+  Alcotest.(check (list (pair int string))) "nothing delivered" [] inboxes.(1)
+
+let test_partition () =
+  let engine, net, inboxes = setup 4 in
+  Network.partition net [ [ 0; 1 ]; [ 2; 3 ] ];
+  Network.send net ~src:0 ~dst:1 "same-side";
+  Network.send net ~src:0 ~dst:2 "cross";
+  Engine.run engine;
+  Alcotest.(check (list (pair int string))) "same side flows"
+    [ (0, "same-side") ] inboxes.(1);
+  Alcotest.(check (list (pair int string))) "cross side blocked" [] inboxes.(2);
+  Network.heal net;
+  Network.send net ~src:0 ~dst:2 "healed";
+  Engine.run engine;
+  Alcotest.(check (list (pair int string))) "healed flows" [ (0, "healed") ]
+    inboxes.(2)
+
+let test_partition_cuts_inflight () =
+  let engine, net, inboxes = setup ~latency:(Latency.Constant 0.1) 2 in
+  Network.send net ~src:0 ~dst:1 "inflight";
+  (* Partition lands while the message is still in the air. *)
+  ignore
+    (Engine.schedule engine ~delay:0.05 (fun () ->
+         Network.partition net [ [ 0 ]; [ 1 ] ]));
+  Engine.run engine;
+  Alcotest.(check (list (pair int string))) "inflight message cut" []
+    inboxes.(1)
+
+let test_broadcast_excludes_self () =
+  let engine, net, inboxes = setup 3 in
+  Network.broadcast net ~src:0 ~dsts:[ 0; 1; 2 ] "b";
+  Engine.run engine;
+  Alcotest.(check int) "self excluded" 0 (List.length inboxes.(0));
+  Alcotest.(check int) "others get it" 1 (List.length inboxes.(1));
+  Alcotest.(check int) "others get it (2)" 1 (List.length inboxes.(2))
+
+let test_byte_accounting () =
+  let engine = Engine.create () in
+  let net =
+    Network.create engine ~sizer:String.length ()
+  in
+  Network.register net 1 (fun _ -> ());
+  Network.send net ~src:0 ~dst:1 "12345";
+  Network.send net ~src:0 ~dst:1 "123";
+  Engine.run engine;
+  Alcotest.(check int) "bytes counted" 8
+    (Counters.get (Network.counters net) "bytes_sent")
+
+let test_link_fault () =
+  let engine, net, inboxes = setup 3 in
+  Network.set_link_fault net ~src:0 ~dst:1 ~drop:1.0;
+  Network.send net ~src:0 ~dst:1 "x";
+  Network.send net ~src:0 ~dst:2 "y";
+  Network.send net ~src:1 ~dst:0 "z";
+  Engine.run engine;
+  Alcotest.(check int) "faulted direction drops" 0 (List.length inboxes.(1));
+  Alcotest.(check int) "other destination fine" 1 (List.length inboxes.(2));
+  Alcotest.(check int) "reverse direction fine" 1 (List.length inboxes.(0));
+  Network.clear_link_faults net;
+  Network.send net ~src:0 ~dst:1 "x2";
+  Engine.run engine;
+  Alcotest.(check int) "cleared fault flows" 1 (List.length inboxes.(1))
+
+let test_unregistered_dropped () =
+  let engine = Engine.create () in
+  let net = Network.create engine () in
+  Network.send net ~src:0 ~dst:9 "x";
+  Engine.run engine;
+  Alcotest.(check int) "dropped for missing handler" 1
+    (Counters.get (Network.counters net) "dropped")
+
+let prop_loss_rate =
+  QCheck.Test.make ~name:"empirical loss rate tracks drop probability"
+    ~count:20
+    QCheck.(float_range 0.0 0.9)
+    (fun p ->
+      let engine = Engine.create ~seed:13 () in
+      let net = Network.create engine ~drop:p () in
+      let got = ref 0 in
+      Network.register net 1 (fun _ -> incr got);
+      let n = 2000 in
+      for _ = 1 to n do
+        Network.send net ~src:0 ~dst:1 ()
+      done;
+      Engine.run engine;
+      let observed = 1.0 -. (float_of_int !got /. float_of_int n) in
+      abs_float (observed -. p) < 0.05)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "delivery",
+        [
+          Alcotest.test_case "basic" `Quick test_basic_delivery;
+          Alcotest.test_case "latency" `Quick test_latency_applied;
+          Alcotest.test_case "bandwidth serialization" `Quick
+            test_bandwidth_serialization;
+          Alcotest.test_case "broadcast excludes self" `Quick
+            test_broadcast_excludes_self;
+          Alcotest.test_case "unregistered dropped" `Quick
+            test_unregistered_dropped;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "drop all" `Quick test_drop_all;
+          Alcotest.test_case "duplication" `Quick test_duplication;
+          Alcotest.test_case "crash blocks delivery" `Quick
+            test_crash_blocks_delivery;
+          Alcotest.test_case "crashed cannot send" `Quick
+            test_crashed_node_cannot_send;
+          Alcotest.test_case "link fault" `Quick test_link_fault;
+          QCheck_alcotest.to_alcotest prop_loss_rate;
+        ] );
+      ( "partitions",
+        [
+          Alcotest.test_case "partition" `Quick test_partition;
+          Alcotest.test_case "cuts inflight" `Quick test_partition_cuts_inflight;
+        ] );
+      ( "accounting",
+        [ Alcotest.test_case "bytes" `Quick test_byte_accounting ] );
+    ]

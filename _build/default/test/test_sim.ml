@@ -1,0 +1,295 @@
+(* Unit and property tests for the discrete-event substrate. *)
+
+module Engine = Rsmr_sim.Engine
+module Rng = Rsmr_sim.Rng
+module Heap = Rsmr_sim.Heap
+module Histogram = Rsmr_sim.Histogram
+module Timeseries = Rsmr_sim.Timeseries
+module Counters = Rsmr_sim.Counters
+module Trace = Rsmr_sim.Trace
+
+(* --- engine --- *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let push tag () = order := tag :: !order in
+  ignore (Engine.schedule e ~delay:0.3 (push "c"));
+  ignore (Engine.schedule e ~delay:0.1 (push "a"));
+  ignore (Engine.schedule e ~delay:0.2 (push "b"));
+  Engine.run e;
+  Alcotest.(check (list string)) "events in time order" [ "a"; "b"; "c" ]
+    (List.rev !order)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore
+      (Engine.schedule e ~delay:1.0 (fun () -> order := i :: !order))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "simultaneous events keep FIFO order"
+    [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let timer = Engine.schedule e ~delay:0.1 (fun () -> fired := true) in
+  Engine.cancel e timer;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled timer does not fire" false !fired
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule e ~delay:(float_of_int i) (fun () -> incr fired))
+  done;
+  Engine.run ~until:5.5 e;
+  Alcotest.(check int) "only events before horizon run" 5 !fired;
+  Alcotest.(check (float 1e-9)) "clock at horizon" 5.5 (Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "remaining events run later" 10 !fired
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let hits = ref [] in
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         hits := ("outer", Engine.now e) :: !hits;
+         ignore
+           (Engine.schedule e ~delay:0.5 (fun () ->
+                hits := ("inner", Engine.now e) :: !hits))));
+  Engine.run e;
+  match List.rev !hits with
+  | [ ("outer", t1); ("inner", t2) ] ->
+    Alcotest.(check (float 1e-9)) "outer at 1.0" 1.0 t1;
+    Alcotest.(check (float 1e-9)) "inner at 1.5" 1.5 t2
+  | _ -> Alcotest.fail "unexpected event sequence"
+
+let test_engine_negative_delay_clamped () =
+  let e = Engine.create () in
+  let t = ref (-1.0) in
+  ignore (Engine.schedule e ~delay:5.0 (fun () ->
+      ignore (Engine.schedule e ~delay:(-3.0) (fun () -> t := Engine.now e))));
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "negative delay runs now" 5.0 !t
+
+let test_engine_determinism () =
+  let run () =
+    let e = Engine.create ~seed:42 () in
+    let rng = Rng.split (Engine.rng e) in
+    let acc = ref [] in
+    let rec step n =
+      if n > 0 then
+        ignore
+          (Engine.schedule e ~delay:(Rng.float rng 1.0) (fun () ->
+               acc := Engine.now e :: !acc;
+               step (n - 1)))
+    in
+    step 50;
+    Engine.run e;
+    !acc
+  in
+  Alcotest.(check (list (float 0.0))) "same seed, same trajectory" (run ()) (run ())
+
+(* --- rng --- *)
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "int out of bounds";
+    let f = Rng.float rng 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.fail "float out of bounds";
+    let i = Rng.int_in rng 3 7 in
+    if i < 3 || i > 7 then Alcotest.fail "int_in out of bounds"
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 20 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "split streams differ" false (xs = ys)
+
+let test_rng_deterministic () =
+  let draws seed = List.init 100 (fun _ -> Rng.int (Rng.create seed) 1000) in
+  Alcotest.(check (list int)) "same seed same draws" (draws 5) (draws 5)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 11 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:3.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if mean < 2.8 || mean > 3.2 then
+    Alcotest.failf "exponential mean off: %f" mean
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 3 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation"
+    (Array.init 50 Fun.id) sorted
+
+(* --- heap --- *)
+
+let test_heap_sorts () =
+  let h = Heap.create () in
+  let rng = Rng.create 9 in
+  for i = 0 to 199 do
+    Heap.push h ~time:(Rng.float rng 100.0) ~seq:i i
+  done;
+  let rec drain last acc =
+    match Heap.pop h with
+    | None -> List.rev acc
+    | Some (time, _, v) ->
+      if time < last then Alcotest.fail "heap pop not monotone";
+      drain time (v :: acc)
+  in
+  let drained = drain neg_infinity [] in
+  Alcotest.(check int) "all elements drained" 200 (List.length drained)
+
+let prop_heap_pop_sorted =
+  QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:200
+    QCheck.(list (pair (float_bound_exclusive 1000.0) small_int))
+    (fun items ->
+      let h = Heap.create () in
+      List.iteri (fun i (time, v) -> Heap.push h ~time ~seq:i v) items;
+      let rec check last =
+        match Heap.pop h with
+        | None -> true
+        | Some (time, _, _) -> time >= last && check time
+      in
+      check neg_infinity)
+
+(* --- histogram --- *)
+
+let test_histogram_percentiles () =
+  let h = Histogram.create () in
+  for i = 1 to 1000 do
+    Histogram.record h (float_of_int i /. 1000.0)
+  done;
+  let p50 = Histogram.percentile h 50.0 in
+  let p99 = Histogram.percentile h 99.0 in
+  if abs_float (p50 -. 0.5) > 0.03 then Alcotest.failf "p50 off: %f" p50;
+  if abs_float (p99 -. 0.99) > 0.05 then Alcotest.failf "p99 off: %f" p99;
+  Alcotest.(check int) "count" 1000 (Histogram.count h)
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check (float 0.0)) "empty p99 is 0" 0.0 (Histogram.percentile h 99.0);
+  Alcotest.(check (float 0.0)) "empty mean is 0" 0.0 (Histogram.mean h)
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.record a 0.001;
+  Histogram.record b 0.1;
+  let m = Histogram.merge a b in
+  Alcotest.(check int) "merged count" 2 (Histogram.count m);
+  if Histogram.max_value m < 0.09 then Alcotest.fail "merge lost max"
+
+let prop_histogram_percentile_bounds =
+  QCheck.Test.make ~name:"percentile stays within [min,max] envelope" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 100) (float_bound_exclusive 10.0))
+    (fun values ->
+      let h = Histogram.create () in
+      List.iter (fun v -> Histogram.record h v) values;
+      let p v = Histogram.percentile h v in
+      (* allow 3% bucket slack *)
+      p 50.0 <= Histogram.max_value h +. 1e-9
+      && p 100.0 <= Histogram.max_value h +. 1e-9
+      && p 1.0 >= Histogram.min_value h *. 0.95)
+
+(* --- timeseries --- *)
+
+let test_timeseries_buckets () =
+  let ts = Timeseries.create () in
+  Timeseries.add ts ~time:0.1 1.0;
+  Timeseries.add ts ~time:0.2 3.0;
+  Timeseries.add ts ~time:1.5 10.0;
+  (match Timeseries.bucketize ts ~width:1.0 with
+   | [ (s0, c0, m0); (s1, c1, m1) ] ->
+     Alcotest.(check (float 1e-9)) "bucket 0 start" 0.0 s0;
+     Alcotest.(check int) "bucket 0 count" 2 c0;
+     Alcotest.(check (float 1e-9)) "bucket 0 mean" 2.0 m0;
+     Alcotest.(check (float 1e-9)) "bucket 1 start" 1.0 s1;
+     Alcotest.(check int) "bucket 1 count" 1 c1;
+     Alcotest.(check (float 1e-9)) "bucket 1 mean" 10.0 m1
+   | l -> Alcotest.failf "expected 2 buckets, got %d" (List.length l));
+  match Timeseries.max_in_window ts ~lo:0.0 ~hi:1.0 with
+  | Some m -> Alcotest.(check (float 1e-9)) "window max" 3.0 m
+  | None -> Alcotest.fail "expected a max"
+
+let test_counters () =
+  let c = Counters.create () in
+  Counters.incr c "a";
+  Counters.add c "a" 4;
+  Counters.incr c "b";
+  Alcotest.(check int) "a" 5 (Counters.get c "a");
+  Alcotest.(check int) "b" 1 (Counters.get c "b");
+  Alcotest.(check int) "missing" 0 (Counters.get c "zzz");
+  Alcotest.(check (list (pair string int))) "to_list sorted"
+    [ ("a", 5); ("b", 1) ] (Counters.to_list c)
+
+let test_trace_counts_and_retention () =
+  let tr = Trace.create () in
+  let seen = ref 0 in
+  Trace.subscribe tr (fun _ -> incr seen);
+  Trace.emit tr ~time:1.0 ~node:0 ~topic:"x" "one";
+  Trace.keep tr true;
+  Trace.emit tr ~time:2.0 ~node:1 ~topic:"x" "two";
+  Trace.emit tr ~time:3.0 ~node:1 ~topic:"y" "three";
+  Alcotest.(check int) "subscriber saw all" 3 !seen;
+  Alcotest.(check int) "topic x count" 2 (Trace.count tr ~topic:"x");
+  Alcotest.(check int) "retained only after keep" 2
+    (List.length (Trace.events tr))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_engine_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "nested" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "negative delay" `Quick
+            test_engine_negative_delay_clamped;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split independence" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "determinism" `Quick test_rng_deterministic;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "sorts" `Quick test_heap_sorts;
+          QCheck_alcotest.to_alcotest prop_heap_pop_sorted;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          QCheck_alcotest.to_alcotest prop_histogram_percentile_bounds;
+        ] );
+      ( "timeseries",
+        [ Alcotest.test_case "buckets" `Quick test_timeseries_buckets ] );
+      ("counters", [ Alcotest.test_case "basic" `Quick test_counters ]);
+      ( "trace",
+        [ Alcotest.test_case "counts+retention" `Quick test_trace_counts_and_retention ]
+      );
+    ]

@@ -1,0 +1,521 @@
+(* Tests for the static Multi-Paxos building block: elections, ordered
+   delivery, agreement under crashes / loss / partitions. *)
+
+module Engine = Rsmr_sim.Engine
+module Network = Rsmr_net.Network
+module Latency = Rsmr_net.Latency
+module Ballot = Rsmr_smr.Ballot
+module Config = Rsmr_smr.Config
+module Log = Rsmr_smr.Log
+module Msg = Rsmr_smr.Msg
+module Replica = Rsmr_smr.Replica
+
+(* --- unit tests for sub-modules --- *)
+
+let test_ballot_order () =
+  let b1 = { Ballot.round = 1; node = 2 } in
+  let b2 = { Ballot.round = 1; node = 3 } in
+  let b3 = { Ballot.round = 2; node = 0 } in
+  Alcotest.(check bool) "zero smallest" true Ballot.(zero < b1);
+  Alcotest.(check bool) "node breaks ties" true Ballot.(b1 < b2);
+  Alcotest.(check bool) "round dominates" true Ballot.(b2 < b3);
+  let n = Ballot.next b2 7 in
+  Alcotest.(check bool) "next is larger" true Ballot.(b2 < n);
+  Alcotest.(check int) "next owned by me" 7 n.Ballot.node
+
+let test_config_quorum () =
+  let c = Config.make ~instance_id:0 ~members:[ 3; 1; 2; 1 ] in
+  Alcotest.(check int) "dedup" 3 (Config.size c);
+  Alcotest.(check int) "quorum of 3" 2 (Config.quorum c);
+  Alcotest.(check bool) "member" true (Config.is_member c 2);
+  Alcotest.(check bool) "non member" false (Config.is_member c 9);
+  Alcotest.(check (list int)) "others" [ 1; 3 ] (Config.others c 2);
+  let c5 = Config.make ~instance_id:1 ~members:[ 0; 1; 2; 3; 4 ] in
+  Alcotest.(check int) "quorum of 5" 3 (Config.quorum c5)
+
+let test_log_basics () =
+  let l = Log.create () in
+  Alcotest.(check int) "empty length" 0 (Log.length l);
+  Log.set l 2 { Log.ballot = Ballot.zero; kind = Log.Value "x" };
+  Alcotest.(check int) "length tracks highest" 3 (Log.length l);
+  Alcotest.(check bool) "hole is None" true (Log.get l 0 = None);
+  Log.set l 0 { Log.ballot = Ballot.zero; kind = Log.Value "a" };
+  Log.mark_committed l 0;
+  Alcotest.(check int) "prefix after 0" 1 (Log.committed_prefix l);
+  Log.mark_committed l 2;
+  Alcotest.(check int) "gap blocks prefix" 1 (Log.committed_prefix l);
+  Log.set_committed l 1 Log.Noop;
+  Alcotest.(check int) "prefix jumps over filled gap" 3 (Log.committed_prefix l)
+
+let test_log_uncommitted_range () =
+  let l = Log.create () in
+  for i = 0 to 4 do
+    Log.set l i { Log.ballot = Ballot.zero; kind = Log.Value (string_of_int i) }
+  done;
+  Log.mark_committed l 0;
+  Log.mark_committed l 1;
+  let unc = Log.uncommitted_range l ~lo:(Log.committed_prefix l) in
+  Alcotest.(check (list int)) "uncommitted indices" [ 2; 3; 4 ]
+    (List.map fst unc)
+
+let msg_roundtrip_cases =
+  [
+    Msg.Prepare { ballot = { Ballot.round = 3; node = 1 }; from_index = 7 };
+    Msg.Promise
+      {
+        ballot = { Ballot.round = 3; node = 1 };
+        from_index = 7;
+        entries =
+          [
+            (7, { Log.ballot = { Ballot.round = 2; node = 0 }; kind = Log.Noop });
+            (9, { Log.ballot = { Ballot.round = 1; node = 2 }; kind = Log.Value "cmd" });
+          ];
+        commit_index = 6;
+      };
+    Msg.Reject
+      { ballot = { Ballot.round = 1; node = 1 }; higher = { Ballot.round = 5; node = 0 } };
+    Msg.Accept
+      {
+        ballot = { Ballot.round = 2; node = 2 };
+        index = 4;
+        kind = Log.Value "v";
+        commit_index = 3;
+      };
+    Msg.Accepted { ballot = { Ballot.round = 2; node = 2 }; index = 4 };
+    Msg.Heartbeat { ballot = { Ballot.round = 2; node = 2 }; commit_index = 10 };
+    Msg.Learn_req { from_index = 3 };
+    Msg.Learn_rsp
+      { entries = [ (3, Log.Value "a"); (4, Log.Noop) ]; commit_index = 5 };
+    Msg.Submit { value = "payload" };
+  ]
+
+let test_msg_roundtrip () =
+  List.iter
+    (fun m ->
+      let m' = Msg.decode (Msg.encode m) in
+      if m' <> m then
+        Alcotest.failf "roundtrip failed for %a" Msg.pp m)
+    msg_roundtrip_cases
+
+let test_msg_size_positive () =
+  List.iter
+    (fun m ->
+      if Msg.size m <= 0 then Alcotest.failf "non-positive size for %a" Msg.pp m)
+    msg_roundtrip_cases
+
+(* --- cluster harness --- *)
+
+module Cluster = struct
+  type t = {
+    engine : Engine.t;
+    net : Msg.t Network.t;
+    replicas : Replica.t array;
+    decided : (int * string) list ref array; (* newest first *)
+  }
+
+  let create ?(seed = 1) ?(drop = 0.0) ?(latency = Latency.lan) ?params n =
+    let engine = Engine.create ~seed () in
+    let net =
+      Network.create engine ~latency ~drop ~tagger:Msg.tag ~sizer:Msg.size ()
+    in
+    let cfg = Config.make ~instance_id:0 ~members:(List.init n Fun.id) in
+    let decided = Array.init n (fun _ -> ref []) in
+    let replicas =
+      Array.init n (fun i ->
+          Replica.create ~engine ?params ~config:cfg ~me:i
+            ~send:(fun ~dst msg -> Network.send net ~src:i ~dst msg)
+            ~on_decide:(fun idx v -> decided.(i) := (idx, v) :: !(decided.(i)))
+            ())
+    in
+    Array.iteri
+      (fun i r ->
+        Network.register net i (fun env ->
+            Replica.handle r ~src:env.Network.src env.Network.payload))
+      replicas;
+    { engine; net; replicas; decided }
+
+  let run t ~until = Engine.run ~until t.engine
+
+  let leader t =
+    let rec find i =
+      if i >= Array.length t.replicas then None
+      else if Replica.is_leader t.replicas.(i) && not (Network.is_crashed t.net i)
+      then Some i
+      else find (i + 1)
+    in
+    find 0
+
+  let decided_values t i = List.rev_map snd !(t.decided.(i))
+
+  (* Submit via the current leader if any, else via replica 0. *)
+  let submit t v =
+    let target = Option.value (leader t) ~default:0 in
+    Replica.submit t.replicas.(target) v
+end
+
+let run_until_leader cluster ~deadline =
+  let rec loop horizon =
+    Cluster.run cluster ~until:horizon;
+    match Cluster.leader cluster with
+    | Some l -> l
+    | None ->
+      if horizon >= deadline then Alcotest.fail "no leader elected in time"
+      else loop (horizon +. 0.05)
+  in
+  loop 0.05
+
+let test_election () =
+  let c = Cluster.create 3 in
+  let leader = run_until_leader c ~deadline:2.0 in
+  Alcotest.(check bool) "leader exists" true (leader >= 0 && leader < 3);
+  (* Exactly one leader in steady state. *)
+  Cluster.run c ~until:3.0;
+  let leaders =
+    Array.to_list c.Cluster.replicas
+    |> List.filter Replica.is_leader |> List.length
+  in
+  Alcotest.(check int) "exactly one leader" 1 leaders
+
+let test_single_command () =
+  let c = Cluster.create 3 in
+  let _ = run_until_leader c ~deadline:2.0 in
+  Cluster.submit c "hello";
+  Cluster.run c ~until:5.0;
+  for i = 0 to 2 do
+    Alcotest.(check (list string))
+      (Printf.sprintf "replica %d decided" i)
+      [ "hello" ]
+      (Cluster.decided_values c i)
+  done
+
+let test_many_commands_agree () =
+  let c = Cluster.create 5 in
+  let _ = run_until_leader c ~deadline:2.0 in
+  for i = 1 to 50 do
+    Cluster.submit c (Printf.sprintf "cmd%02d" i)
+  done;
+  Cluster.run c ~until:10.0;
+  let reference = Cluster.decided_values c 0 in
+  Alcotest.(check int) "all 50 decided" 50 (List.length reference);
+  for i = 1 to 4 do
+    Alcotest.(check (list string))
+      (Printf.sprintf "replica %d agrees" i)
+      reference
+      (Cluster.decided_values c i)
+  done
+
+let test_commands_in_submission_order () =
+  (* With a single stable leader and no loss, decided order must equal
+     submission order. *)
+  let c = Cluster.create 3 in
+  let _ = run_until_leader c ~deadline:2.0 in
+  let cmds = List.init 20 (Printf.sprintf "c%d") in
+  List.iter (Cluster.submit c) cmds;
+  Cluster.run c ~until:5.0;
+  Alcotest.(check (list string)) "order preserved" cmds
+    (Cluster.decided_values c 0)
+
+let test_leader_crash_failover () =
+  let c = Cluster.create 3 in
+  let leader = run_until_leader c ~deadline:2.0 in
+  Cluster.submit c "before-crash";
+  Cluster.run c ~until:(Engine.now c.Cluster.engine +. 1.0);
+  Network.crash c.Cluster.net leader;
+  (* A new leader must emerge among the remaining two. *)
+  let rec wait_new horizon =
+    Cluster.run c ~until:horizon;
+    match Cluster.leader c with
+    | Some l when l <> leader -> l
+    | _ ->
+      if horizon > 20.0 then Alcotest.fail "no failover" else wait_new (horizon +. 0.1)
+  in
+  let new_leader = wait_new (Engine.now c.Cluster.engine +. 0.1) in
+  Replica.submit c.Cluster.replicas.(new_leader) "after-crash";
+  Cluster.run c ~until:(Engine.now c.Cluster.engine +. 2.0);
+  let survivor = List.nth (List.filter (fun i -> i <> leader) [ 0; 1; 2 ]) 0 in
+  Alcotest.(check (list string)) "history preserved across failover"
+    [ "before-crash"; "after-crash" ]
+    (Cluster.decided_values c survivor)
+
+let test_commit_under_message_loss () =
+  let c = Cluster.create ~seed:3 ~drop:0.10 3 in
+  let _ = run_until_leader c ~deadline:5.0 in
+  for i = 1 to 20 do
+    Cluster.submit c (Printf.sprintf "lossy%02d" i)
+  done;
+  Cluster.run c ~until:30.0;
+  (* All submitted commands eventually decided on every live replica, in
+     identical order (submissions go through one leader; drops only delay). *)
+  let d0 = Cluster.decided_values c 0 in
+  Alcotest.(check int) "all decided despite loss" 20 (List.length d0);
+  for i = 1 to 2 do
+    Alcotest.(check (list string)) "replica agrees" d0 (Cluster.decided_values c i)
+  done
+
+let test_minority_partition_blocks_commit () =
+  let c = Cluster.create 5 in
+  let leader = run_until_leader c ~deadline:2.0 in
+  (* Partition the leader together with exactly one other node: a minority. *)
+  let other = if leader = 0 then 1 else 0 in
+  let rest = List.filter (fun i -> i <> leader && i <> other) [ 0; 1; 2; 3; 4 ] in
+  Network.partition c.Cluster.net [ [ leader; other ]; rest ];
+  Replica.submit c.Cluster.replicas.(leader) "minority-cmd";
+  Cluster.run c ~until:(Engine.now c.Cluster.engine +. 2.0);
+  Alcotest.(check (list string)) "minority cannot commit" []
+    (Cluster.decided_values c leader);
+  (* Majority side elects its own leader and can commit. *)
+  let majority_leader =
+    match List.find_opt (fun i -> Replica.is_leader c.Cluster.replicas.(i)) rest with
+    | Some l -> l
+    | None -> Alcotest.fail "majority side has no leader"
+  in
+  Replica.submit c.Cluster.replicas.(majority_leader) "majority-cmd";
+  Cluster.run c ~until:(Engine.now c.Cluster.engine +. 2.0);
+  Alcotest.(check (list string)) "majority commits"
+    [ "majority-cmd" ]
+    (Cluster.decided_values c majority_leader);
+  (* Heal: the old leader must abandon its uncommitted command and adopt
+     the majority history. *)
+  Network.heal c.Cluster.net;
+  Cluster.run c ~until:(Engine.now c.Cluster.engine +. 5.0);
+  let d = Cluster.decided_values c leader in
+  Alcotest.(check bool) "healed node catches up with majority history" true
+    (List.mem "majority-cmd" d);
+  (* Prefix agreement across all replicas. *)
+  let dvals = List.init 5 (Cluster.decided_values c) in
+  List.iter
+    (fun d' ->
+      let rec prefix a b =
+        match (a, b) with
+        | [], _ | _, [] -> true
+        | x :: xs, y :: ys -> x = y && prefix xs ys
+      in
+      Alcotest.(check bool) "pairwise prefix agreement" true
+        (prefix d' (List.nth dvals 0) || prefix (List.nth dvals 0) d'))
+    dvals
+
+let test_single_member_cluster () =
+  let c = Cluster.create 1 in
+  let _ = run_until_leader c ~deadline:2.0 in
+  Cluster.submit c "solo";
+  Cluster.run c ~until:3.0;
+  Alcotest.(check (list string)) "solo commit" [ "solo" ]
+    (Cluster.decided_values c 0)
+
+let test_halt_stops_participation () =
+  let c = Cluster.create 3 in
+  let leader = run_until_leader c ~deadline:2.0 in
+  Replica.halt c.Cluster.replicas.(leader);
+  Alcotest.(check bool) "halted" true (Replica.is_halted c.Cluster.replicas.(leader));
+  (* Remaining replicas elect a replacement and still commit. *)
+  let rec wait horizon =
+    Cluster.run c ~until:horizon;
+    match Cluster.leader c with
+    | Some l when l <> leader -> l
+    | _ -> if horizon > 20.0 then Alcotest.fail "no new leader" else wait (horizon +. 0.1)
+  in
+  let nl = wait (Engine.now c.Cluster.engine +. 0.1) in
+  Replica.submit c.Cluster.replicas.(nl) "post-halt";
+  Cluster.run c ~until:(Engine.now c.Cluster.engine +. 2.0);
+  Alcotest.(check (list string)) "commit after halt" [ "post-halt" ]
+    (Cluster.decided_values c nl);
+  Alcotest.(check (list string)) "halted replica delivered nothing new" []
+    (Cluster.decided_values c leader)
+
+let test_follower_submit_forwards () =
+  let c = Cluster.create 3 in
+  let leader = run_until_leader c ~deadline:2.0 in
+  let follower = if leader = 0 then 1 else 0 in
+  Replica.submit c.Cluster.replicas.(follower) "via-follower";
+  Cluster.run c ~until:(Engine.now c.Cluster.engine +. 2.0);
+  Alcotest.(check (list string)) "forwarded and decided" [ "via-follower" ]
+    (Cluster.decided_values c follower)
+
+let test_duplicated_messages_agree () =
+  (* Message duplication must not double-apply or break agreement. *)
+  let engine = Engine.create ~seed:17 () in
+  let net =
+    Rsmr_net.Network.create engine ~duplicate:0.3 ~sizer:Msg.size ()
+  in
+  let cfg = Config.make ~instance_id:0 ~members:[ 0; 1; 2 ] in
+  let decided = Array.init 3 (fun _ -> ref []) in
+  let replicas =
+    Array.init 3 (fun i ->
+        Replica.create ~engine ~config:cfg ~me:i
+          ~send:(fun ~dst msg -> Rsmr_net.Network.send net ~src:i ~dst msg)
+          ~on_decide:(fun idx v -> decided.(i) := (idx, v) :: !(decided.(i)))
+          ())
+  in
+  Array.iteri
+    (fun i r ->
+      Rsmr_net.Network.register net i (fun env ->
+          Replica.handle r ~src:env.Rsmr_net.Network.src
+            env.Rsmr_net.Network.payload))
+    replicas;
+  Engine.run ~until:2.0 engine;
+  for i = 1 to 10 do
+    (match
+       Array.to_list replicas |> List.find_opt Replica.is_leader
+     with
+     | Some leader -> Replica.submit leader (Printf.sprintf "dup%d" i)
+     | None -> Alcotest.fail "no leader");
+    Engine.run ~until:(Engine.now engine +. 0.2) engine
+  done;
+  Engine.run ~until:(Engine.now engine +. 2.0) engine;
+  let d0 = List.rev_map snd !(decided.(0)) in
+  Alcotest.(check int) "exactly 10 decided despite duplicates" 10
+    (List.length d0);
+  for i = 1 to 2 do
+    Alcotest.(check (list string)) "replicas agree" d0
+      (List.rev_map snd !(decided.(i)))
+  done
+
+let test_lagging_follower_catches_up_via_learn () =
+  (* Cut one follower off, commit traffic, reconnect: it must recover the
+     missed decisions through the Learn protocol. *)
+  let c = Cluster.create 3 in
+  let leader = run_until_leader c ~deadline:2.0 in
+  let laggard = if leader = 0 then 1 else 0 in
+  (* Block everything to the laggard. *)
+  List.iter
+    (fun src ->
+      if src <> laggard then
+        Network.set_link_fault c.Cluster.net ~src ~dst:laggard ~drop:1.0)
+    [ 0; 1; 2 ];
+  for i = 1 to 15 do
+    Cluster.submit c (Printf.sprintf "gap%02d" i)
+  done;
+  Cluster.run c ~until:(Engine.now c.Cluster.engine +. 3.0);
+  Alcotest.(check int) "laggard saw nothing" 0
+    (List.length (Cluster.decided_values c laggard));
+  Network.clear_link_faults c.Cluster.net;
+  Cluster.run c ~until:(Engine.now c.Cluster.engine +. 5.0);
+  Alcotest.(check int) "laggard caught up" 15
+    (List.length (Cluster.decided_values c laggard));
+  Alcotest.(check (list string)) "identical order"
+    (Cluster.decided_values c leader)
+    (Cluster.decided_values c laggard)
+
+let test_submit_during_election_eventually_decides () =
+  (* Commands submitted before any leader exists are queued/forwarded and
+     decided once the election completes. *)
+  let c = Cluster.create ~seed:9 3 in
+  Replica.submit c.Cluster.replicas.(0) "early-bird";
+  Cluster.run c ~until:5.0;
+  Alcotest.(check (list string)) "queued command decided" [ "early-bird" ]
+    (Cluster.decided_values c 0)
+
+let test_batching_reduces_messages () =
+  (* Same 60 commands, with and without the 2ms batching window: batching
+     must deliver identical results with far fewer accept messages. *)
+  let run params =
+    let c = Cluster.create ?params 3 in
+    let _ = run_until_leader c ~deadline:2.0 in
+    for i = 1 to 60 do
+      Cluster.submit c (Printf.sprintf "b%02d" i)
+    done;
+    Cluster.run c ~until:10.0;
+    let counters = Network.counters c.Cluster.net in
+    ( Cluster.decided_values c 0,
+      Cluster.decided_values c 1,
+      Rsmr_sim.Counters.get counters "sent.accept",
+      Rsmr_sim.Counters.get counters "sent.accept_multi" )
+  in
+  let d0, d1, accepts, multi = run None in
+  Alcotest.(check int) "unbatched: all decided" 60 (List.length d0);
+  Alcotest.(check (list string)) "unbatched: agreement" d0 d1;
+  Alcotest.(check int) "unbatched: no multi messages" 0 multi;
+  let d0', d1', accepts', multi' =
+    run (Some (Rsmr_smr.Params.with_batching 0.002))
+  in
+  Alcotest.(check int) "batched: all decided" 60 (List.length d0');
+  Alcotest.(check (list string)) "batched: agreement" d0' d1';
+  Alcotest.(check bool) "batched: multi messages used" true (multi' > 0);
+  Alcotest.(check bool) "batched: fewer accepts" true
+    (accepts' + (multi' * 2) < accepts)
+
+let test_batching_preserves_order () =
+  let c = Cluster.create ~params:(Rsmr_smr.Params.with_batching 0.005) 3 in
+  let _ = run_until_leader c ~deadline:2.0 in
+  let cmds = List.init 30 (Printf.sprintf "o%02d") in
+  List.iter (Cluster.submit c) cmds;
+  Cluster.run c ~until:5.0;
+  Alcotest.(check (list string)) "submission order preserved through batches"
+    cmds (Cluster.decided_values c 0)
+
+(* Agreement property under randomized seeds, loss, and a mid-run crash. *)
+let prop_agreement_under_faults =
+  QCheck.Test.make ~name:"prefix agreement under loss and one crash" ~count:25
+    QCheck.(pair small_int (float_range 0.0 0.15))
+    (fun (seed, drop) ->
+      let c = Cluster.create ~seed:(seed + 1) ~drop 5 in
+      (* Submit commands periodically from varying replicas. *)
+      for i = 0 to 29 do
+        ignore
+          (Engine.schedule c.Cluster.engine
+             ~delay:(0.5 +. (float_of_int i *. 0.05))
+             (fun () ->
+               Replica.submit c.Cluster.replicas.(i mod 5)
+                 (Printf.sprintf "p%02d" i)))
+      done;
+      (* Crash one replica mid-run. *)
+      ignore
+        (Engine.schedule c.Cluster.engine ~delay:1.2 (fun () ->
+             Network.crash c.Cluster.net (seed mod 5)));
+      Cluster.run c ~until:30.0;
+      (* Every pair of replicas must agree on the common decided prefix. *)
+      let decided = List.init 5 (fun i -> Cluster.decided_values c i) in
+      let rec common_prefix a b =
+        match (a, b) with
+        | x :: xs, y :: ys -> x = y && common_prefix xs ys
+        | _, [] | [], _ -> true
+      in
+      List.for_all
+        (fun a -> List.for_all (fun b -> common_prefix a b) decided)
+        decided)
+
+let () =
+  Alcotest.run "smr"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "ballot order" `Quick test_ballot_order;
+          Alcotest.test_case "config quorum" `Quick test_config_quorum;
+          Alcotest.test_case "log basics" `Quick test_log_basics;
+          Alcotest.test_case "log uncommitted range" `Quick
+            test_log_uncommitted_range;
+          Alcotest.test_case "msg roundtrip" `Quick test_msg_roundtrip;
+          Alcotest.test_case "msg sizes" `Quick test_msg_size_positive;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "election" `Quick test_election;
+          Alcotest.test_case "single command" `Quick test_single_command;
+          Alcotest.test_case "many commands agree" `Quick
+            test_many_commands_agree;
+          Alcotest.test_case "submission order" `Quick
+            test_commands_in_submission_order;
+          Alcotest.test_case "leader crash failover" `Quick
+            test_leader_crash_failover;
+          Alcotest.test_case "commit under loss" `Quick
+            test_commit_under_message_loss;
+          Alcotest.test_case "minority partition" `Quick
+            test_minority_partition_blocks_commit;
+          Alcotest.test_case "single-member cluster" `Quick
+            test_single_member_cluster;
+          Alcotest.test_case "halt" `Quick test_halt_stops_participation;
+          Alcotest.test_case "follower forwards" `Quick
+            test_follower_submit_forwards;
+          Alcotest.test_case "duplicated messages" `Quick
+            test_duplicated_messages_agree;
+          Alcotest.test_case "laggard catches up via learn" `Quick
+            test_lagging_follower_catches_up_via_learn;
+          Alcotest.test_case "submit during election" `Quick
+            test_submit_during_election_eventually_decides;
+          Alcotest.test_case "batching reduces messages" `Quick
+            test_batching_reduces_messages;
+          Alcotest.test_case "batching preserves order" `Quick
+            test_batching_preserves_order;
+          QCheck_alcotest.to_alcotest prop_agreement_under_faults;
+        ] );
+    ]
