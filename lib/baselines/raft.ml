@@ -1,6 +1,7 @@
 module Engine = Rsmr_sim.Engine
 module Rng = Rsmr_sim.Rng
 module Counters = Rsmr_sim.Counters
+module Stable = Rsmr_sim.Stable
 module Network = Rsmr_net.Network
 module Node_id = Rsmr_net.Node_id
 module Params = Rsmr_smr.Params
@@ -88,7 +89,7 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
   let log_base_of t id = Option.map (fun n -> Raft_log.base_index n.log) (node_opt t id)
 
   let leader t =
-    Hashtbl.fold
+    Stable.fold_sorted ~compare:Node_id.compare
       (fun id n acc ->
         match n.role with
         | Leader _ when (not n.halted) && not (Network.is_crashed t.net id) ->
@@ -381,7 +382,7 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
          (* Push this (now committed) entry to servers the change removed:
             they are out of [peers] and would otherwise never learn of
             their removal and keep campaigning. *)
-         Hashtbl.iter
+         Stable.iter_sorted ~compare:Node_id.compare
            (fun f _ ->
              if not (List.exists (Node_id.equal f) node.config) then
                send_append_to t node f)
@@ -889,11 +890,14 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
         | Leader ls ->
           "L{"
           ^ String.concat ","
-              (Hashtbl.fold
-                 (fun m next acc ->
-                   let mi = Option.value (Hashtbl.find_opt ls.matched m) ~default:(-1) in
-                   Printf.sprintf "n%d:next=%d,match=%d" m next mi :: acc)
-                 ls.next [])
+              (List.rev
+                 (Stable.fold_sorted ~compare:Node_id.compare
+                    (fun m next acc ->
+                      let mi =
+                        Option.value (Hashtbl.find_opt ls.matched m) ~default:(-1)
+                      in
+                      Printf.sprintf "n%d:next=%d,match=%d" m next mi :: acc)
+                    ls.next []))
           ^ "}"
       in
       Printf.sprintf

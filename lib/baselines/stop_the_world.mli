@@ -8,7 +8,7 @@
     unavailability window is therefore election + full state transfer,
     which is what the speculative handoff experiment (T2/F5) quantifies. *)
 
-module Make (Sm : Rsmr_app.State_machine.S) : sig
+module Make (_ : Rsmr_app.State_machine.S) : sig
   type t
 
   val create :

@@ -8,7 +8,7 @@
     time; a [max_states] budget guards against the exponential worst
     case. *)
 
-module Make (Sm : Rsmr_app.State_machine.S) : sig
+module Make (_ : Rsmr_app.State_machine.S) : sig
   type result =
     | Linearizable
     | Not_linearizable

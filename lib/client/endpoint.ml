@@ -77,6 +77,7 @@ let rec attempt t seq =
     o.attempts <- o.attempts + 1;
     Counters.incr t.counters "sent";
     let low_water =
+      (* lint: order-insensitive — min over the pending seqs is commutative *)
       Hashtbl.fold (fun s _ acc -> min s acc) t.pending (t.max_seq + 1)
     in
     t.send ~dst:(target t)
@@ -151,6 +152,7 @@ let handle t msg =
      | None -> ())
   | Client_msg.Request _ -> (* not addressed to clients *) ()
 
+let me t = t.me
 let outstanding t = Hashtbl.length t.pending
 let counters t = t.counters
 let believed_members t = t.members

@@ -33,6 +33,9 @@ val submit : t -> seq:int -> payload:Client_msg.payload -> unit
 val handle : t -> Client_msg.t -> unit
 (** Feed a message addressed to this client. *)
 
+val me : t -> Rsmr_net.Node_id.t
+(** The node id this endpoint sends from. *)
+
 val outstanding : t -> int
 (** Requests not yet answered. *)
 

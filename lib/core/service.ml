@@ -1,7 +1,6 @@
 module Engine = Rsmr_sim.Engine
 module Counters = Rsmr_sim.Counters
-module Trace = Rsmr_sim.Trace
-module Rng = Rsmr_sim.Rng
+module Stable = Rsmr_sim.Stable
 module Network = Rsmr_net.Network
 module Node_id = Rsmr_net.Node_id
 module Config = Rsmr_smr.Config
@@ -98,7 +97,7 @@ struct
   let current_members t = Directory.members t.dir
 
   let newest_instance host ~pred =
-    Hashtbl.fold
+    Stable.fold_sorted ~compare:Int.compare
       (fun _ inst acc ->
         if pred inst then
           match acc with
@@ -127,7 +126,7 @@ struct
     match Hashtbl.find_opt t.hosts node with
     | None -> 0
     | Some host ->
-      Hashtbl.fold
+      Stable.fold_sorted ~compare:Int.compare
         (fun _ inst acc ->
           match inst.replica with
           | Some r when not (Replica.is_halted r) -> acc + 1
@@ -135,7 +134,7 @@ struct
         host.instances 0
 
   let current_leader t =
-    Hashtbl.fold
+    Stable.fold_sorted ~compare:Node_id.compare
       (fun id host acc ->
         if Network.is_crashed t.net id then acc
         else
@@ -413,8 +412,14 @@ struct
        | None -> ());
       if inst.replica = None then start_replica t host inst;
       (* Execute everything the speculative instance ordered while the
-         snapshot was in flight, in log order. *)
-      let buffered = List.sort compare (List.rev inst.spec_buf) in
+         snapshot was in flight, in log order.  Sort by slot index only:
+         polymorphic compare on envelopes would order replay by payload
+         bytes on (impossible, but cheap to exclude) duplicate indices. *)
+      let buffered =
+        List.sort
+          (fun (i, _) (j, _) -> Int.compare i j)
+          (List.rev inst.spec_buf)
+      in
       inst.spec_buf <- [];
       List.iter (fun (idx, env) -> dispatch t host inst idx env) buffered;
       announce_poll t host inst
@@ -480,7 +485,7 @@ struct
       end
 
   let handle_retire t host ~epoch =
-    Hashtbl.iter
+    Stable.iter_sorted ~compare:Int.compare
       (fun e inst -> if e < epoch then retire_instance t inst)
       host.instances
 

@@ -75,7 +75,7 @@ module type S = sig
       crashed). *)
 end
 
-module Make_on (B : Rsmr_smr.Block_intf.S) (Sm : Rsmr_app.State_machine.S) :
+module Make_on (_ : Rsmr_smr.Block_intf.S) (Sm : Rsmr_app.State_machine.S) :
   S with type app_state = Sm.t
 (** Compose an arbitrary building block. *)
 

@@ -5,7 +5,6 @@ module Options = Rsmr_core.Options
 module Driver = Rsmr_workload.Driver
 module KvCore = Rsmr_core.Service.Make (Rsmr_app.Kv)
 module KvCoreVr = Rsmr_core.Service.Make_on (Rsmr_smr.Vr) (Rsmr_app.Kv)
-module KvStopworld = Rsmr_baselines.Stop_the_world.Make (Rsmr_app.Kv)
 module KvRaft = Rsmr_baselines.Raft.Make (Rsmr_app.Kv)
 
 type proto = Core | Core_vr | Core_nospec | Core_noresidual | Stopworld | Raft

@@ -1,0 +1,7 @@
+(** Batching ablation: window vs messages/command vs latency. *)
+
+val id : string
+val title : string
+
+val run : ?quick:bool -> unit -> Table.t
+(** [quick] shrinks durations/sweeps for smoke runs (default [false]). *)

@@ -1,0 +1,7 @@
+(** Throughput vs cluster size (no reconfiguration). *)
+
+val id : string
+val title : string
+
+val run : ?quick:bool -> unit -> Table.t
+(** [quick] shrinks durations/sweeps for smoke runs (default [false]). *)

@@ -1,0 +1,7 @@
+(** Latency vs offered load (open loop, core protocol). *)
+
+val id : string
+val title : string
+
+val run : ?quick:bool -> unit -> Table.t
+(** [quick] shrinks durations/sweeps for smoke runs (default [false]). *)

@@ -1,0 +1,7 @@
+(** Ablation: speculative handoff x residual re-submission. *)
+
+val id : string
+val title : string
+
+val run : ?quick:bool -> unit -> Table.t
+(** [quick] shrinks durations/sweeps for smoke runs (default [false]). *)

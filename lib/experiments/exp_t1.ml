@@ -3,11 +3,9 @@
    block's (the layer adds nothing on the fast path); its reconfiguration
    cost is bootstrap + phase-1 of the new instance + snapshot chunks. *)
 
-module Rng = Rsmr_sim.Rng
 module Engine = Rsmr_sim.Engine
 module Counters = Rsmr_sim.Counters
 module Keys = Rsmr_workload.Keys
-module Kv_gen = Rsmr_workload.Kv_gen
 module Driver = Rsmr_workload.Driver
 
 let id = "T1"

@@ -1,0 +1,7 @@
+(** Messages / bytes per command and per reconfiguration. *)
+
+val id : string
+val title : string
+
+val run : ?quick:bool -> unit -> Table.t
+(** [quick] shrinks durations/sweeps for smoke runs (default [false]). *)

@@ -1,0 +1,20 @@
+(* Deterministic iteration over hash tables.  Protocol code must not let
+   Hashtbl's bucket order leak into message order, commit order or log
+   output (rsmr-lint rule R1 "hashtbl-iteration"); these helpers snapshot
+   the key set, sort it, and visit bindings in that order. *)
+
+(* lint: order-insensitive — collects keys only; the sort fixes the order *)
+let sorted_keys ~compare tbl =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let iter_sorted ~compare f tbl =
+  List.iter
+    (fun k -> match Hashtbl.find_opt tbl k with Some v -> f k v | None -> ())
+    (sorted_keys ~compare tbl)
+
+let fold_sorted ~compare f tbl init =
+  List.fold_left
+    (fun acc k ->
+      match Hashtbl.find_opt tbl k with Some v -> f k v acc | None -> acc)
+    init
+    (sorted_keys ~compare tbl)

@@ -1,0 +1,22 @@
+(** Deterministic (sorted-key) iteration over [Hashtbl.t].
+
+    [Hashtbl.iter]/[Hashtbl.fold] visit bindings in bucket order, which
+    depends on insertion history and the hash function — replaying a run
+    bit-for-bit forbids that order from reaching anything observable.
+    Protocol libraries use these wrappers instead (rsmr-lint rule R1). *)
+
+val sorted_keys : compare:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k list
+(** All keys of the table, sorted by [compare]. *)
+
+val iter_sorted :
+  compare:('k -> 'k -> int) -> ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+(** [iter_sorted ~compare f tbl] applies [f] to the current bindings in
+    ascending key order.  Keys added by [f] itself are not visited. *)
+
+val fold_sorted :
+  compare:('k -> 'k -> int) ->
+  ('k -> 'v -> 'acc -> 'acc) ->
+  ('k, 'v) Hashtbl.t ->
+  'acc ->
+  'acc
+(** Fold over the current bindings in ascending key order. *)

@@ -2,6 +2,7 @@ module Engine = Rsmr_sim.Engine
 module Rng = Rsmr_sim.Rng
 module Trace = Rsmr_sim.Trace
 module Counters = Rsmr_sim.Counters
+module Stable = Rsmr_sim.Stable
 module Node_id = Rsmr_net.Node_id
 
 type status = Leader | Candidate | Follower
@@ -199,7 +200,8 @@ and become_leader t cand =
   Counters.incr t.counters "takeovers";
   let ballot = cand.c_ballot in
   let max_index =
-    Hashtbl.fold (fun i _ acc -> max i acc) cand.merged (cand.from_index - 1)
+    List.fold_left max (cand.from_index - 1)
+      (Stable.sorted_keys ~compare:Int.compare cand.merged)
   in
   let lead =
     { l_ballot = ballot; next_index = max_index + 1; acks = Hashtbl.create 64 }
@@ -234,7 +236,9 @@ and maybe_commit_solo t lead =
   (* In a single-member configuration the leader's own acceptance is a
      quorum, so slots commit without any message exchange. *)
   if Config.quorum t.cfg = 1 then begin
-    Hashtbl.iter (fun i _ -> Log.mark_committed t.log i) lead.acks;
+    List.iter
+      (fun i -> Log.mark_committed t.log i)
+      (Stable.sorted_keys ~compare:Int.compare lead.acks);
     Hashtbl.reset lead.acks;
     deliver t
   end

@@ -1,0 +1,297 @@
+(* Round-trip properties for the top-level wire codecs: decode (encode m)
+   must be the identity for every constructor of Rsmr_core.Wire.t and
+   Rsmr_baselines.Raft_wire.t (including the nested Client_msg and
+   Raft_msg payloads), and malformed input must raise Codec.Truncated.
+   Complements the rsmr-lint codec-exhaustive rule: lint proves every
+   constructor appears in encode/decode, these tests prove the two sides
+   agree byte-for-byte. *)
+
+module Wire = Rsmr_core.Wire
+module Raft_wire = Rsmr_baselines.Raft_wire
+module Raft_msg = Rsmr_baselines.Raft_msg
+module Raft_log = Rsmr_baselines.Raft_log
+module Client_msg = Rsmr_client.Client_msg
+
+(* ------------------------------------------------------------ generators *)
+
+let num = QCheck.Gen.int_bound 1_000_000
+let nid = QCheck.Gen.int_range (-8) 32 (* node ids travel as zigzag *)
+let nids = QCheck.Gen.(list_size (int_bound 6) nid)
+let opt_nid = QCheck.Gen.option nid
+let short_string = QCheck.Gen.(string_size (int_bound 32))
+
+let client_payload_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun c -> Client_msg.Cmd c) short_string;
+        map (fun ms -> Client_msg.Change_membership ms) nids;
+      ])
+
+let client_msg_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map3
+          (fun seq low_water payload ->
+            Client_msg.Request { seq; low_water; payload })
+          num num client_payload_gen;
+        map2 (fun seq rsp -> Client_msg.Reply { seq; rsp }) num short_string;
+        map3
+          (fun seq (leader, members) epoch ->
+            Client_msg.Redirect { seq; leader; members; epoch })
+          num (pair opt_nid nids) num;
+      ])
+
+let raft_payload_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Raft_log.Noop;
+        map3
+          (fun client (seq, low_water) cmd ->
+            Raft_log.App { client; seq; low_water; cmd })
+          nid (pair num num) short_string;
+        map (fun ms -> Raft_log.Config ms) nids;
+      ])
+
+let raft_entries_gen =
+  QCheck.Gen.(
+    list_size (int_bound 4)
+      (map3
+         (fun i term payload -> (i, { Raft_log.term; payload }))
+         num num raft_payload_gen))
+
+let raft_msg_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map3
+          (fun term last_index last_term ->
+            Raft_msg.Request_vote { term; last_index; last_term })
+          num num num;
+        map2 (fun term granted -> Raft_msg.Vote { term; granted }) num bool;
+        map3
+          (fun term (prev_index, prev_term) (entries, commit) ->
+            Raft_msg.Append { term; prev_index; prev_term; entries; commit })
+          num (pair num num)
+          (pair raft_entries_gen num);
+        map3
+          (fun term success match_index ->
+            Raft_msg.Append_reply { term; success; match_index })
+          num bool num;
+        map3
+          (fun (term, last_index, last_term) (members, offset) (data, is_last) ->
+            Raft_msg.Install_snapshot
+              { term; last_index; last_term; members; offset; data; is_last })
+          (triple num num num) (pair nids num)
+          (pair short_string bool);
+        map2
+          (fun term offset -> Raft_msg.Snapshot_chunk_ok { term; offset })
+          num num;
+        map2
+          (fun term last_index -> Raft_msg.Snapshot_reply { term; last_index })
+          num num;
+      ])
+
+let wire_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun epoch data -> Wire.Block { epoch; data }) num short_string;
+        map (fun m -> Wire.Client m) client_msg_gen;
+        map3
+          (fun epoch members (prev_epoch, prev_members) ->
+            Wire.Bootstrap { epoch; members; prev_epoch; prev_members })
+          num nids (pair num nids);
+        map (fun epoch -> Wire.Fetch_state { epoch }) num;
+        map3
+          (fun epoch (index, total) data ->
+            Wire.State_chunk { epoch; index; total; data })
+          num (pair num num) short_string;
+        map (fun epoch -> Wire.Retire { epoch }) num;
+        map3
+          (fun epoch members leader -> Wire.Dir_update { epoch; members; leader })
+          num nids opt_nid;
+        return Wire.Dir_lookup;
+        map3
+          (fun epoch members leader -> Wire.Dir_info { epoch; members; leader })
+          num nids opt_nid;
+      ])
+
+let raft_wire_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun m -> Raft_wire.Rpc m) raft_msg_gen;
+        map (fun m -> Raft_wire.Client m) client_msg_gen;
+        map3
+          (fun epoch members leader ->
+            Raft_wire.Dir_update { epoch; members; leader })
+          num nids opt_nid;
+        return Raft_wire.Dir_lookup;
+        map3
+          (fun epoch members leader ->
+            Raft_wire.Dir_info { epoch; members; leader })
+          num nids opt_nid;
+      ])
+
+(* --------------------------------------- one handcrafted case per tag *)
+
+let wire_samples =
+  [
+    Wire.Block { epoch = 3; data = "abc" };
+    Wire.Client
+      (Client_msg.Request
+         { seq = 1; low_water = 0; payload = Client_msg.Cmd "set k v" });
+    Wire.Client
+      (Client_msg.Request
+         {
+           seq = 2;
+           low_water = 1;
+           payload = Client_msg.Change_membership [ 0; 1; 2 ];
+         });
+    Wire.Client (Client_msg.Reply { seq = 7; rsp = "" });
+    Wire.Client
+      (Client_msg.Redirect
+         { seq = 9; leader = Some 4; members = [ 4; 5; 6 ]; epoch = 2 });
+    Wire.Bootstrap
+      { epoch = 2; members = [ 3; 4; 5 ]; prev_epoch = 1; prev_members = [ 0 ] };
+    Wire.Fetch_state { epoch = 0 };
+    Wire.State_chunk { epoch = 5; index = 1; total = 3; data = "\x00\xffbin" };
+    Wire.Retire { epoch = 4 };
+    Wire.Dir_update { epoch = 6; members = [ 1; 2 ]; leader = Some 2 };
+    Wire.Dir_lookup;
+    Wire.Dir_info { epoch = 6; members = [ 1; 2 ]; leader = None };
+  ]
+
+let raft_msg_samples =
+  [
+    Raft_msg.Request_vote { term = 4; last_index = 10; last_term = 3 };
+    Raft_msg.Vote { term = 4; granted = true };
+    Raft_msg.Append
+      {
+        term = 5;
+        prev_index = 9;
+        prev_term = 4;
+        entries =
+          [
+            (10, { Raft_log.term = 5; payload = Raft_log.Noop });
+            ( 11,
+              {
+                Raft_log.term = 5;
+                payload =
+                  Raft_log.App
+                    { client = -2; seq = 3; low_water = 1; cmd = "incr" };
+              } );
+            (12, { Raft_log.term = 5; payload = Raft_log.Config [ 0; 1; 2 ] });
+          ];
+        commit = 9;
+      };
+    Raft_msg.Append_reply { term = 5; success = false; match_index = 8 };
+    Raft_msg.Install_snapshot
+      {
+        term = 6;
+        last_index = 20;
+        last_term = 5;
+        members = [ 0; 1; 2; 3 ];
+        offset = 512;
+        data = String.make 64 '\x7f';
+        is_last = false;
+      };
+    Raft_msg.Snapshot_chunk_ok { term = 6; offset = 512 };
+    Raft_msg.Snapshot_reply { term = 6; last_index = 20 };
+  ]
+
+let raft_wire_samples =
+  List.map (fun m -> Raft_wire.Rpc m) raft_msg_samples
+  @ [
+      Raft_wire.Client (Client_msg.Reply { seq = 3; rsp = "ok" });
+      Raft_wire.Dir_update { epoch = 1; members = [ 0; 1 ]; leader = Some 0 };
+      Raft_wire.Dir_lookup;
+      Raft_wire.Dir_info { epoch = 1; members = [ 0; 1 ]; leader = None };
+    ]
+
+(* ----------------------------------------------------------------- tests *)
+
+let test_wire_samples () =
+  (* every Wire tag is represented... *)
+  Alcotest.(check int)
+    "all 9 Wire tags covered" 9
+    (List.length (List.sort_uniq compare (List.map Wire.tag wire_samples)));
+  (* ...and each sample round-trips *)
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Format.asprintf "roundtrip %a" Wire.pp m)
+        true
+        (Wire.decode (Wire.encode m) = m))
+    wire_samples
+
+let test_raft_wire_samples () =
+  Alcotest.(check int)
+    "all 5 Raft_wire tags + 7 Raft_msg tags covered" 11
+    (List.length
+       (List.sort_uniq compare (List.map Raft_wire.tag raft_wire_samples)));
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        ("roundtrip " ^ Raft_wire.tag m)
+        true
+        (Raft_wire.decode (Raft_wire.encode m) = m))
+    raft_wire_samples
+
+let test_bad_input () =
+  List.iter
+    (fun (name, f) ->
+      Alcotest.check_raises name Rsmr_app.Codec.Truncated (fun () ->
+          ignore (f ())))
+    [
+      ("wire bad tag", fun () -> ignore (Wire.decode "\xff"));
+      ("wire empty", fun () -> ignore (Wire.decode ""));
+      ("raft_wire bad tag", fun () -> ignore (Raft_wire.decode "\xff"));
+      ("raft_msg bad tag", fun () -> ignore (Raft_msg.decode "\x09"));
+      ("client_msg bad tag", fun () -> ignore (Client_msg.decode "\x03"));
+      ( "wire truncated block",
+        fun () ->
+          let s = Wire.encode (Wire.Block { epoch = 1; data = "abcdef" }) in
+          ignore (Wire.decode (String.sub s 0 (String.length s - 3))) );
+    ]
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"Wire decode∘encode = id" ~count:1000
+    (QCheck.make wire_gen) (fun m -> Wire.decode (Wire.encode m) = m)
+
+let prop_raft_wire_roundtrip =
+  QCheck.Test.make ~name:"Raft_wire decode∘encode = id" ~count:1000
+    (QCheck.make raft_wire_gen) (fun m ->
+      Raft_wire.decode (Raft_wire.encode m) = m)
+
+let prop_client_msg_roundtrip =
+  QCheck.Test.make ~name:"Client_msg decode∘encode = id" ~count:1000
+    (QCheck.make client_msg_gen) (fun m ->
+      Client_msg.decode (Client_msg.encode m) = m)
+
+let prop_raft_msg_roundtrip =
+  QCheck.Test.make ~name:"Raft_msg decode∘encode = id" ~count:1000
+    (QCheck.make raft_msg_gen) (fun m ->
+      Raft_msg.decode (Raft_msg.encode m) = m)
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "core-wire",
+        [
+          Alcotest.test_case "per-constructor samples" `Quick test_wire_samples;
+          QCheck_alcotest.to_alcotest prop_wire_roundtrip;
+          QCheck_alcotest.to_alcotest prop_client_msg_roundtrip;
+        ] );
+      ( "raft-wire",
+        [
+          Alcotest.test_case "per-constructor samples" `Quick
+            test_raft_wire_samples;
+          QCheck_alcotest.to_alcotest prop_raft_wire_roundtrip;
+          QCheck_alcotest.to_alcotest prop_raft_msg_roundtrip;
+        ] );
+      ("malformed", [ Alcotest.test_case "tagged errors" `Quick test_bad_input ]);
+    ]

@@ -1,0 +1,646 @@
+(* rsmr-lint — determinism & protocol-safety static analysis for this repo.
+
+   Parses every .ml under the given directories with compiler-libs and
+   enforces repo-specific rules that the type checker cannot:
+
+   R1 determinism
+     [hashtbl-iteration]  no [Hashtbl.iter]/[Hashtbl.fold] in protocol
+                          libraries (lib/smr, lib/baselines, lib/core,
+                          lib/client): bucket order is a function of
+                          insertion history and must not reach message,
+                          commit or log order.  Use
+                          [Rsmr_sim.Stable.iter_sorted]/[fold_sorted], or
+                          annotate a genuinely commutative use with
+                          [(* lint: order-insensitive *)].
+     [wall-clock]         no [Unix.gettimeofday]/[Unix.time]/[Sys.time]:
+                          simulated time comes from [Engine.now].
+     [ambient-random]     no [Random.*] (the stdlib global PRNG) anywhere:
+                          all randomness flows from the seeded
+                          [Rsmr_sim.Rng].
+   R2 protocol safety
+     [poly-compare]       no bare polymorphic [compare]/[Stdlib.compare] in
+                          protocol libraries, and no [=]/[<>] whose operand
+                          syntactically involves a wire-codec type's
+                          constructors or module: use the dedicated
+                          [equal_*]/[compare_*] functions or a keyed sort.
+     [codec-exhaustive]   in every wire-codec module (a module defining
+                          top-level [encode] and [decode]), each
+                          constructor of each variant type declared there
+                          must appear in BOTH the encode and the decode
+                          body — catching silently-dropped message tags.
+   R3 hygiene
+     [missing-mli]        every module under lib/ has an .mli.
+     [decode-failwith]    no [failwith]/[assert false] inside [decode*]
+                          functions: decode paths raise a tagged error
+                          (e.g. [Codec.Truncated]) so callers can reject
+                          malformed input deterministically.
+
+   Suppression: a comment [(* lint: <rule-id> ... *)] on the violating line
+   or the line directly above disables that rule for that line
+   ([order-insensitive] is an alias for [hashtbl-iteration]).  Severities
+   and path exemptions come from a config file (see --config). *)
+
+module P = Parsetree
+
+(* ---------------------------------------------------------------- rules *)
+
+type severity = Sev_error | Sev_warn | Sev_off
+
+let all_rules =
+  [
+    "hashtbl-iteration";
+    "wall-clock";
+    "ambient-random";
+    "poly-compare";
+    "codec-exhaustive";
+    "missing-mli";
+    "decode-failwith";
+    "parse-error";
+  ]
+
+let alias = function "order-insensitive" -> "hashtbl-iteration" | t -> t
+
+let protocol_dirs = [ "lib/smr"; "lib/baselines"; "lib/core"; "lib/client" ]
+
+(* ---------------------------------------------------------------- config *)
+
+type config = {
+  severities : (string, severity) Hashtbl.t;
+  mutable exempts : (string * string) list; (* rule, path prefix *)
+}
+
+let default_config () = { severities = Hashtbl.create 8; exempts = [] }
+
+let parse_config path =
+  let cfg = default_config () in
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "rsmr_lint: cannot open config: %s\n" msg;
+      exit 2
+  in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       let line =
+         match String.index_opt line '#' with
+         | Some i -> String.sub line 0 i
+         | None -> line
+       in
+       match
+         String.split_on_char ' ' line
+         |> List.concat_map (String.split_on_char '\t')
+         |> List.filter (fun s -> s <> "")
+       with
+       | [] -> ()
+       | [ "severity"; rule; sev ] when List.mem rule all_rules ->
+         let sev =
+           match sev with
+           | "error" -> Sev_error
+           | "warn" -> Sev_warn
+           | "off" -> Sev_off
+           | s ->
+             Printf.eprintf "%s:%d: unknown severity %S\n" path !lineno s;
+             exit 2
+         in
+         Hashtbl.replace cfg.severities rule sev
+       | [ "exempt"; rule; prefix ] when List.mem rule all_rules ->
+         cfg.exempts <- (rule, prefix) :: cfg.exempts
+       | _ ->
+         Printf.eprintf "%s:%d: cannot parse config line\n" path !lineno;
+         exit 2
+     done
+   with End_of_file -> ());
+  close_in ic;
+  cfg
+
+let severity cfg rule =
+  match Hashtbl.find_opt cfg.severities rule with
+  | Some s -> s
+  | None -> Sev_error
+
+let exempt cfg rule relpath =
+  List.exists
+    (fun (r, prefix) ->
+      r = rule
+      && String.length relpath >= String.length prefix
+      && String.sub relpath 0 (String.length prefix) = prefix)
+    cfg.exempts
+
+(* ----------------------------------------------------------- diagnostics *)
+
+type violation = {
+  v_file : string;
+  v_line : int;
+  v_col : int;
+  v_rule : string;
+  v_msg : string;
+  v_sev : severity;
+}
+
+type report = {
+  mutable violations : violation list;
+  mutable suppressed : int;
+  mutable files : int;
+}
+
+let report = { violations = []; suppressed = 0; files = 0 }
+
+let loc_pos (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  (max 1 p.Lexing.pos_lnum, max 0 (p.Lexing.pos_cnum - p.Lexing.pos_bol))
+
+(* -------------------------------------------------- per-file scan context *)
+
+type ctx = {
+  relpath : string;
+  protocol : bool; (* protocol-library scope: R1/R2 expression rules *)
+  cfg : config;
+  suppressions : (int, string list) Hashtbl.t; (* line -> tokens *)
+  toplevel : (string, unit) Hashtbl.t; (* top-level value names *)
+}
+
+let suppressed ctx rule line =
+  let tokens l =
+    Option.value (Hashtbl.find_opt ctx.suppressions l) ~default:[]
+  in
+  List.exists (fun t -> alias t = rule) (tokens line @ tokens (line - 1))
+
+let flag ctx ~loc rule msg =
+  let line, col = loc_pos loc in
+  if severity ctx.cfg rule = Sev_off then ()
+  else if exempt ctx.cfg rule ctx.relpath then ()
+  else if suppressed ctx rule line then
+    report.suppressed <- report.suppressed + 1
+  else
+    report.violations <-
+      {
+        v_file = ctx.relpath;
+        v_line = line;
+        v_col = col;
+        v_rule = rule;
+        v_msg = msg;
+        v_sev = severity ctx.cfg rule;
+      }
+      :: report.violations
+
+(* Scan for single-line "(* lint: ... *)" suppression comments. *)
+let scan_suppressions src =
+  let tbl = Hashtbl.create 8 in
+  let lines = String.split_on_char '\n' src in
+  List.iteri
+    (fun i line ->
+      let marker = "(* lint:" in
+      match
+        let rec find from =
+          if from + String.length marker > String.length line then None
+          else if String.sub line from (String.length marker) = marker then
+            Some from
+          else find (from + 1)
+        in
+        find 0
+      with
+      | None -> ()
+      | Some at ->
+        let rest = String.sub line (at + String.length marker)
+            (String.length line - at - String.length marker)
+        in
+        let rest =
+          match
+            let rec find from =
+              if from + 2 > String.length rest then None
+              else if String.sub rest from 2 = "*)" then Some from
+              else find (from + 1)
+            in
+            find 0
+          with
+          | Some e -> String.sub rest 0 e
+          | None -> rest
+        in
+        let tokens =
+          String.split_on_char ' ' rest
+          |> List.concat_map (String.split_on_char ',')
+          |> List.filter (fun s -> s <> "")
+        in
+        Hashtbl.replace tbl (i + 1) tokens)
+    lines;
+  tbl
+
+(* --------------------------------------------------------- codec registry *)
+
+(* Wire-codec modules (top-level [encode] + [decode]) feed two things:
+   the codec-exhaustive check, and the constructor/module registry that
+   poly-compare uses to spot equality on message values. *)
+
+type codec = {
+  c_relpath : string;
+  c_variants : (string * (string * Location.t) list * Location.t) list;
+      (* type name, (constructor, loc) list, type loc *)
+  c_encode : P.expression option;
+  c_decode : P.expression option;
+}
+
+let registry_constructors : (string, unit) Hashtbl.t = Hashtbl.create 64
+let registry_modules : (string, unit) Hashtbl.t = Hashtbl.create 16
+
+let module_name_of relpath =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename relpath))
+
+let toplevel_values structure =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (si : P.structure_item) ->
+      match si.pstr_desc with
+      | P.Pstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : P.value_binding) ->
+            match vb.pvb_pat.P.ppat_desc with
+            | P.Ppat_var { txt; _ } -> Hashtbl.replace tbl txt vb.pvb_expr
+            | _ -> ())
+          vbs
+      | _ -> ())
+    structure;
+  tbl
+
+let codec_of_structure relpath structure =
+  let tops = toplevel_values structure in
+  match (Hashtbl.find_opt tops "encode", Hashtbl.find_opt tops "decode") with
+  | Some enc, Some dec ->
+    let variants =
+      List.filter_map
+        (fun (si : P.structure_item) ->
+          match si.pstr_desc with
+          | P.Pstr_type (_, decls) ->
+            Some
+              (List.filter_map
+                 (fun (d : P.type_declaration) ->
+                   match d.ptype_kind with
+                   | P.Ptype_variant cds ->
+                     Some
+                       ( d.ptype_name.txt,
+                         List.map
+                           (fun (cd : P.constructor_declaration) ->
+                             (cd.pcd_name.txt, cd.pcd_loc))
+                           cds,
+                         d.ptype_loc )
+                   | _ -> None)
+                 decls)
+          | _ -> None)
+        structure
+      |> List.concat
+    in
+    Some { c_relpath = relpath; c_variants = variants;
+           c_encode = Some enc; c_decode = Some dec }
+  | _ -> None
+
+let register_codec codec =
+  Hashtbl.replace registry_modules (module_name_of codec.c_relpath) ();
+  List.iter
+    (fun (_, ctors, _) ->
+      List.iter (fun (c, _) -> Hashtbl.replace registry_constructors c ()) ctors)
+    codec.c_variants
+
+(* Constructor names mentioned (as pattern or expression) in a subtree. *)
+let mentioned_constructors expr =
+  let acc = Hashtbl.create 16 in
+  let last lid =
+    match List.rev (Longident.flatten lid) with c :: _ -> Some c | [] -> None
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.P.pexp_desc with
+           | P.Pexp_construct ({ txt; _ }, _) -> (
+             match last txt with
+             | Some c -> Hashtbl.replace acc c ()
+             | None -> ())
+           | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+      pat =
+        (fun self p ->
+          (match p.P.ppat_desc with
+           | P.Ppat_construct ({ txt; _ }, _) -> (
+             match last txt with
+             | Some c -> Hashtbl.replace acc c ()
+             | None -> ())
+           | _ -> ());
+          Ast_iterator.default_iterator.pat self p);
+    }
+  in
+  it.expr it expr;
+  acc
+
+(* Does an expression syntactically involve a registered wire-codec value:
+   a registered constructor, or an identifier/constructor qualified with a
+   registered codec module? *)
+let mentions_registry expr =
+  let hit = ref false in
+  let check_lid lid =
+    (match Longident.flatten lid with
+     | [ c ] when Hashtbl.mem registry_constructors c -> hit := true
+     | m :: _ :: _ when Hashtbl.mem registry_modules m -> hit := true
+     | _ -> ())
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          match e.P.pexp_desc with
+          | P.Pexp_ident { txt; _ } -> check_lid txt
+          | P.Pexp_construct ({ txt; _ }, _) ->
+            check_lid txt;
+            Ast_iterator.default_iterator.expr self e
+          | P.Pexp_apply (_, args) ->
+            (* A codec-module *function* in head position (e.g.
+               [Config.quorum cfg = 1]) does not make the result a codec
+               value; only walk the arguments. *)
+            List.iter (fun (_, a) -> self.expr self a) args
+          | _ -> Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it expr;
+  !hit
+
+(* ------------------------------------------------------ expression rules *)
+
+let hashtbl_iterators = [ "iter"; "fold" ]
+let equality_ops = [ "="; "<>"; "=="; "!=" ]
+
+let wall_clock_idents =
+  [ [ "Unix"; "gettimeofday" ]; [ "Unix"; "time" ]; [ "Sys"; "time" ] ]
+
+let strip_stdlib = function "Stdlib" :: rest -> rest | l -> l
+
+let check_expression ctx (e : P.expression) =
+  let loc = e.pexp_loc in
+  match e.pexp_desc with
+  | P.Pexp_ident { txt; _ } -> (
+    let raw = Longident.flatten txt in
+    let path = strip_stdlib raw in
+    match path with
+    | [ "Hashtbl"; f ] when ctx.protocol && List.mem f hashtbl_iterators ->
+      flag ctx ~loc "hashtbl-iteration"
+        (Printf.sprintf
+           "Hashtbl.%s in a protocol library: bucket order is \
+            nondeterministic; use Rsmr_sim.Stable.%s_sorted or annotate \
+            with (* lint: order-insensitive *)"
+           f
+           (if f = "iter" then "iter" else "fold"))
+    | _ when List.mem path wall_clock_idents ->
+      flag ctx ~loc "wall-clock"
+        (Printf.sprintf
+           "%s reads the host wall clock; simulated time comes from \
+            Engine.now"
+           (String.concat "." path))
+    | "Random" :: _ :: _ ->
+      flag ctx ~loc "ambient-random"
+        (Printf.sprintf
+           "%s uses the ambient stdlib PRNG; all randomness must flow from \
+            the seeded Rsmr_sim.Rng"
+           (String.concat "." path))
+    | [ "compare" ]
+      when ctx.protocol
+           && (raw = [ "Stdlib"; "compare" ]
+              || not (Hashtbl.mem ctx.toplevel "compare")) ->
+      flag ctx ~loc "poly-compare"
+        "polymorphic compare in a protocol library; use the dedicated \
+         compare_* function or a keyed comparison"
+    | _ -> ())
+  | P.Pexp_apply
+      ({ pexp_desc = P.Pexp_ident { txt = Longident.Lident op; _ }; _ },
+       [ (_, a); (_, b) ])
+    when ctx.protocol && List.mem op equality_ops ->
+    if mentions_registry a || mentions_registry b then
+      flag ctx ~loc "poly-compare"
+        (Printf.sprintf
+           "polymorphic %s applied to a wire-codec value; use the \
+            dedicated equal_*/compare_* function"
+           op)
+  | _ -> ()
+
+let check_decode_body ctx (body : P.expression) =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.P.pexp_desc with
+           | P.Pexp_ident { txt = Longident.Lident "failwith"; _ }
+           | P.Pexp_ident
+               { txt = Longident.Ldot (Longident.Lident "Stdlib",
+                                       "failwith"); _ } ->
+             flag ctx ~loc:e.pexp_loc "decode-failwith"
+               "failwith in a decode path; raise a tagged error (e.g. \
+                Codec.Truncated) so malformed input is rejected \
+                deterministically"
+           | P.Pexp_assert
+               { pexp_desc =
+                   P.Pexp_construct
+                     ({ txt = Longident.Lident "false"; _ }, None);
+                 _ } ->
+             flag ctx ~loc:e.pexp_loc "decode-failwith"
+               "assert false in a decode path; raise a tagged error (e.g. \
+                Codec.Truncated) instead"
+           | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it body
+
+let check_codec ctx codec =
+  match (codec.c_encode, codec.c_decode) with
+  | Some enc, Some dec ->
+    let in_encode = mentioned_constructors enc in
+    let in_decode = mentioned_constructors dec in
+    List.iter
+      (fun (tname, ctors, _tloc) ->
+        List.iter
+          (fun (c, cloc) ->
+            if not (Hashtbl.mem in_encode c) then
+              flag ctx ~loc:cloc "codec-exhaustive"
+                (Printf.sprintf
+                   "constructor %s of type %s never appears in this \
+                    module's encode: the tag would be silently \
+                    unencodable" c tname);
+            if not (Hashtbl.mem in_decode c) then
+              flag ctx ~loc:cloc "codec-exhaustive"
+                (Printf.sprintf
+                   "constructor %s of type %s never appears in this \
+                    module's decode: the tag would be silently dropped on \
+                    the wire" c tname))
+          ctors)
+      codec.c_variants
+  | _ -> ()
+
+(* ------------------------------------------------------------- file scan *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let scan_ml ~cfg ~scope_all ~root relpath =
+  report.files <- report.files + 1;
+  let src = read_file (Filename.concat root relpath) in
+  let protocol =
+    scope_all || List.exists (fun d -> starts_with d relpath) protocol_dirs
+  in
+  let ctx =
+    {
+      relpath;
+      protocol;
+      cfg;
+      suppressions = scan_suppressions src;
+      toplevel = Hashtbl.create 32;
+    }
+  in
+  match
+    let lexbuf = Lexing.from_string src in
+    Location.init lexbuf relpath;
+    Parse.implementation lexbuf
+  with
+  | exception _ ->
+    flag ctx
+      ~loc:Location.(in_file relpath)
+      "parse-error" "file does not parse; rsmr-lint cannot analyze it"
+  | structure ->
+    (* hygiene: every lib/ module carries an interface *)
+    if
+      (scope_all || starts_with "lib/" relpath)
+      && not (Sys.file_exists (Filename.concat root (relpath ^ "i")))
+    then
+      flag ctx
+        ~loc:Location.(in_file relpath)
+        "missing-mli" "module has no .mli interface";
+    Hashtbl.iter
+      (fun name _ -> Hashtbl.replace ctx.toplevel name ())
+      (toplevel_values structure);
+    (* codec cross-check *)
+    (match codec_of_structure relpath structure with
+     | Some codec -> check_codec ctx codec
+     | None -> ());
+    (* expression-level rules *)
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun self e ->
+            check_expression ctx e;
+            Ast_iterator.default_iterator.expr self e);
+        value_binding =
+          (fun self vb ->
+            (match vb.P.pvb_pat.P.ppat_desc with
+             | P.Ppat_var { txt; _ } when starts_with "decode" txt ->
+               check_decode_body ctx vb.pvb_expr
+             | _ -> ());
+            Ast_iterator.default_iterator.value_binding self vb);
+      }
+    in
+    it.structure it structure
+
+(* Pre-pass: register codec modules so poly-compare knows the wire types,
+   wherever they are referenced from. *)
+let prescan_ml ~root relpath =
+  let src = read_file (Filename.concat root relpath) in
+  match
+    let lexbuf = Lexing.from_string src in
+    Location.init lexbuf relpath;
+    Parse.implementation lexbuf
+  with
+  | exception _ -> ()
+  | structure -> (
+    match codec_of_structure relpath structure with
+    | Some codec -> register_codec codec
+    | None -> ())
+
+let rec walk ~root rel acc =
+  let abs = Filename.concat root rel in
+  if Sys.is_directory abs then
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "_build" || entry = ".git" then acc
+        else walk ~root (Filename.concat rel entry) acc)
+      acc
+      (let entries = Sys.readdir abs in
+       Array.sort compare entries;
+       entries)
+  else if Filename.check_suffix rel ".ml" then rel :: acc
+  else acc
+
+(* ------------------------------------------------------------------ main *)
+
+let usage = "usage: rsmr_lint [--root DIR] [--config FILE] [--scope-all] DIR..."
+
+let () =
+  let root = ref "." in
+  let config_file = ref None in
+  let scope_all = ref false in
+  let dirs = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--root" :: d :: rest ->
+      root := d;
+      parse_args rest
+    | "--config" :: f :: rest ->
+      config_file := Some f;
+      parse_args rest
+    | "--scope-all" :: rest ->
+      scope_all := true;
+      parse_args rest
+    | d :: rest when not (starts_with "--" d) ->
+      dirs := d :: !dirs;
+      parse_args rest
+    | arg :: _ ->
+      Printf.eprintf "rsmr_lint: unknown argument %S\n%s\n" arg usage;
+      exit 2
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if !dirs = [] then begin
+    Printf.eprintf "%s\n" usage;
+    exit 2
+  end;
+  let cfg =
+    match !config_file with
+    | Some f -> parse_config f
+    | None -> default_config ()
+  in
+  let files =
+    List.concat_map (fun d -> List.rev (walk ~root:!root d [])) (List.rev !dirs)
+  in
+  List.iter (prescan_ml ~root:!root) files;
+  List.iter (scan_ml ~cfg ~scope_all:!scope_all ~root:!root) files;
+  let violations =
+    List.sort
+      (fun a b ->
+        match compare a.v_file b.v_file with
+        | 0 -> compare (a.v_line, a.v_col) (b.v_line, b.v_col)
+        | c -> c)
+      report.violations
+  in
+  List.iter
+    (fun v ->
+      Printf.printf "%s:%d:%d: [%s/%s] %s\n" v.v_file v.v_line v.v_col
+        (match v.v_sev with Sev_error -> "error" | _ -> "warn")
+        v.v_rule v.v_msg)
+    violations;
+  let errors =
+    List.length (List.filter (fun v -> v.v_sev = Sev_error) violations)
+  in
+  let warns = List.length violations - errors in
+  Printf.printf
+    "rsmr-lint: %d file(s) scanned, %d error(s), %d warning(s), %d \
+     suppression(s) honoured\n"
+    report.files errors warns report.suppressed;
+  exit (if errors > 0 then 1 else 0)

@@ -1,0 +1,10 @@
+(* Seeded R2/R3 violations: constructor [C] is encodable but silently
+   dropped by decode, a message value is compared with polymorphic [=],
+   and a decode path uses failwith.  Never compiled, only parsed. *)
+
+type t = A | B of int | C
+
+let encode = function A -> 0 | B _ -> 1 | C -> 2
+let decode tag = if tag = 0 then A else B tag
+let is_default v = v = A
+let decode_strict tag = if tag > 2 then failwith "bad tag" else decode tag

@@ -1,0 +1,7 @@
+(* Seeded R1/R3 violations — rsmr-lint must exit non-zero on this tree.
+   Never compiled, only parsed by the lint self-test. *)
+
+let tally tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0
+let now () = Unix.gettimeofday ()
+let jitter () = Random.float 1.0
+let same a b = compare a b = 0

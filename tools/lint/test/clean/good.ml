@@ -1,0 +1,9 @@
+(* A well-behaved module: has an .mli, and its one Hashtbl.fold carries a
+   documented order-insensitivity annotation.  Exercises the suppression
+   path of the lint self-test. *)
+
+let add x y = x + y
+
+let total tbl =
+  (* lint: order-insensitive — addition commutes *)
+  Hashtbl.fold (fun _ v acc -> acc + v) tbl 0

@@ -1,0 +1,2 @@
+val add : int -> int -> int
+val total : (string, int) Hashtbl.t -> int
