@@ -61,6 +61,7 @@ let decode_command s =
   | 2 -> Balance (Codec.Reader.string r)
   | 3 -> Total
   | _ -> raise Codec.Truncated
+[@@rsmr.deterministic] [@@rsmr.total]
 
 let encode_response resp =
   let w = Codec.Writer.create () in
@@ -81,6 +82,7 @@ let decode_response s =
   | 2 -> No_account
   | 3 -> Amount (Codec.Reader.zigzag r)
   | _ -> raise Codec.Truncated
+[@@rsmr.deterministic] [@@rsmr.total]
 
 let snapshot t =
   let w = Codec.Writer.create ~size_hint:1024 () in

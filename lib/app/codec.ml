@@ -4,7 +4,9 @@ module Writer = struct
   type t = Buffer.t
 
   let create ?(size_hint = 64) () = Buffer.create size_hint
-  let u8 t v = Buffer.add_char t (Char.chr (v land 0xFF))
+  (* Buffer.add_uint8 truncates to the low byte rather than raising, so
+     the writer stays total (rsmr-flow) — the mask keeps that visible. *)
+  let u8 t v = Buffer.add_uint8 t (v land 0xFF)
 
   let varint t v =
     if v < 0 then invalid_arg "Codec.Writer.varint: negative";

@@ -24,6 +24,7 @@ let decode_command s =
   | 0 -> Incr (Codec.Reader.zigzag r)
   | 1 -> Read
   | _ -> raise Codec.Truncated
+[@@rsmr.deterministic] [@@rsmr.total]
 
 let encode_response (Current n) =
   let w = Codec.Writer.create () in
@@ -32,6 +33,7 @@ let encode_response (Current n) =
 
 let decode_response s =
   Current (Codec.Reader.zigzag (Codec.Reader.of_string s))
+[@@rsmr.deterministic] [@@rsmr.total]
 
 let snapshot t = encode_response (Current t)
 let restore s = match decode_response s with Current n -> n

@@ -64,6 +64,7 @@ let decode_command s =
     let k = Codec.Reader.string r in
     Append (k, Codec.Reader.string r)
   | _ -> raise Codec.Truncated
+[@@rsmr.deterministic] [@@rsmr.total]
 
 let encode_response resp =
   let w = Codec.Writer.create () in
@@ -84,6 +85,7 @@ let decode_response s =
   | 1 -> Ok
   | 2 -> Cas_result (Codec.Reader.bool r)
   | _ -> raise Codec.Truncated
+[@@rsmr.deterministic] [@@rsmr.total]
 
 let snapshot t =
   let w = Codec.Writer.create ~size_hint:4096 () in

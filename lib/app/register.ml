@@ -33,6 +33,7 @@ let decode_command s =
     let e = Codec.Reader.zigzag r in
     Cas (e, Codec.Reader.zigzag r)
   | _ -> raise Codec.Truncated
+[@@rsmr.deterministic] [@@rsmr.total]
 
 let encode_response resp =
   let w = Codec.Writer.create () in
@@ -53,6 +54,7 @@ let decode_response s =
   | 1 -> Written
   | 2 -> Cas_result (Codec.Reader.bool r)
   | _ -> raise Codec.Truncated
+[@@rsmr.deterministic] [@@rsmr.total]
 
 let snapshot t =
   let w = Codec.Writer.create () in

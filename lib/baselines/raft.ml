@@ -344,11 +344,17 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
     | Follower | Candidate _ -> ()
 
   and apply_loop t node =
-    while node.applied < node.commit && not node.halted do
-      node.applied <- node.applied + 1;
-      match Raft_log.get node.log node.applied with
-      | None -> assert false
-      | Some { Raft_log.payload; _ } -> apply_payload t node node.applied payload
+    let stuck = ref false in
+    while (not !stuck) && node.applied < node.commit && not node.halted do
+      match Raft_log.get node.log (node.applied + 1) with
+      | None ->
+        (* A gap below the commit index cannot happen (commit never moves
+           past the log tail, compaction only discards applied entries);
+           stop applying rather than crash if it ever does. *)
+        stuck := true
+      | Some { Raft_log.payload; _ } ->
+        node.applied <- node.applied + 1;
+        apply_payload t node node.applied payload
     done;
     maybe_compact t node
 
@@ -753,6 +759,7 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
       | Raft_wire.Client (Client_msg.Reply _ | Client_msg.Redirect _) -> ()
       | Raft_wire.Dir_update _ | Raft_wire.Dir_lookup | Raft_wire.Dir_info _ ->
         ()
+  [@@rsmr.deterministic] [@@rsmr.total]
 
   let dir_handler t (env : Raft_wire.t Network.envelope) =
     match env.Network.payload with
@@ -767,6 +774,7 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
              leader = Directory.leader t.dir;
            })
     | _ -> ()
+  [@@rsmr.deterministic] [@@rsmr.total]
 
   let client_handler record (env : Raft_wire.t Network.envelope) =
     match env.Network.payload with
@@ -778,6 +786,7 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
         k members
       | None -> ())
     | _ -> ()
+  [@@rsmr.deterministic] [@@rsmr.total]
 
   let add_client t cid =
     if not (Hashtbl.mem t.clients cid) then begin
@@ -807,7 +816,7 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
     | Some record ->
       Endpoint.submit record.endpoint ~seq:t.admin_seq
         ~payload:(Client_msg.Change_membership members)
-    | None -> assert false
+    | None -> (* admin client is created with the cluster *) ()
 
   let create ~engine ?latency ?drop ?bandwidth ?params
       ?(snapshot_threshold = 512) ?universe ~members () =

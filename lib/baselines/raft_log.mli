@@ -57,3 +57,4 @@ val latest_config : t -> Rsmr_net.Node_id.t list option
 
 val encode_payload : Rsmr_app.Codec.Writer.t -> payload -> unit
 val decode_payload : Rsmr_app.Codec.Reader.t -> payload
+[@@rsmr.deterministic] [@@rsmr.total]

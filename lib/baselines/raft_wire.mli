@@ -21,4 +21,5 @@ type t =
 val size : t -> int
 val encode : t -> string
 val decode : string -> t
+[@@rsmr.deterministic] [@@rsmr.total]
 val tag : t -> string

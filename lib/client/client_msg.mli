@@ -27,4 +27,5 @@ type t =
 val size : t -> int
 val encode : t -> string
 val decode : string -> t
+[@@rsmr.deterministic] [@@rsmr.total]
 val pp : Format.formatter -> t -> unit

@@ -1,6 +1,7 @@
 module Engine = Rsmr_sim.Engine
 module Rng = Rsmr_sim.Rng
 module Counters = Rsmr_sim.Counters
+module Stable = Rsmr_sim.Stable
 module Node_id = Rsmr_net.Node_id
 
 type outstanding = {
@@ -54,10 +55,13 @@ let target t =
   let chosen =
     match t.leader with
     | Some l -> l
-    | None ->
+    | None -> (
       let n = List.length t.members in
-      t.rr <- (t.rr + 1) mod n;
-      List.nth t.members t.rr
+      if n = 0 then t.me (* request will time out and refresh the members *)
+      else begin
+        t.rr <- (t.rr + 1) mod n;
+        match List.nth_opt t.members t.rr with Some m -> m | None -> t.me
+      end)
   in
   t.last_target <- Some chosen;
   chosen
@@ -77,8 +81,9 @@ let rec attempt t seq =
     o.attempts <- o.attempts + 1;
     Counters.incr t.counters "sent";
     let low_water =
-      (* lint: order-insensitive — min over the pending seqs is commutative *)
-      Hashtbl.fold (fun s _ acc -> min s acc) t.pending (t.max_seq + 1)
+      Stable.fold_sorted ~compare:Int.compare
+        (fun s _ acc -> min s acc)
+        t.pending (t.max_seq + 1)
     in
     t.send ~dst:(target t)
       (Client_msg.Request { seq; low_water; payload = o.payload });

@@ -31,6 +31,7 @@ val submit : t -> seq:int -> payload:Client_msg.payload -> unit
     endpoint and increasing. *)
 
 val handle : t -> Client_msg.t -> unit
+[@@rsmr.deterministic] [@@rsmr.total]
 (** Feed a message addressed to this client. *)
 
 val me : t -> Rsmr_net.Node_id.t

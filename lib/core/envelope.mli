@@ -21,4 +21,5 @@ type t =
 
 val encode : t -> string
 val decode : string -> t
+[@@rsmr.deterministic] [@@rsmr.total]
 val pp : Format.formatter -> t -> unit

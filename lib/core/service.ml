@@ -274,54 +274,61 @@ struct
   (* --- wedging and the next configuration --- *)
 
   and wedge t host inst widx members' =
-    assert (inst.wedged_at = None);
-    inst.wedged_at <- Some widx;
-    inst.next_members <- members';
-    Counters.incr t.counters "wedges";
-    let snapshot =
-      Snapshot.encode
-        { Snapshot.app = Sm.snapshot inst.app;
-          sessions = Session.encode inst.sessions }
-    in
-    inst.final_snapshot <- Some snapshot;
-    let new_epoch = inst.epoch + 1 in
-    if new_epoch > host.top_epoch then begin
-      host.top_epoch <- new_epoch;
-      host.latest_members <- members'
-    end;
-    (* Anyone who asked for this snapshot before we wedged. *)
-    (match Hashtbl.find_opt host.pending_fetches new_epoch with
-     | Some waiting ->
-       Hashtbl.remove host.pending_fetches new_epoch;
-       List.iter (fun dst -> send_snapshot t host ~dst ~epoch:new_epoch snapshot)
-         !waiting
-     | None -> ());
-    (* Tell the new configuration it exists. *)
-    List.iter
-      (fun m ->
-        if not (Node_id.equal m host.me) then
-          send t ~src:host.me ~dst:m
-            (Wire.Bootstrap
-               {
-                 epoch = new_epoch;
-                 members = members';
-                 prev_epoch = inst.epoch;
-                 prev_members = inst.cfg.Config.members;
-               }))
-      members';
-    send t ~src:host.me ~dst:t.dir_id
-      (Wire.Dir_update { epoch = new_epoch; members = members'; leader = None });
-    (* A host in both configurations transfers state locally: its own
-       wedge-point state is exactly the new instance's initial state. *)
-    if List.exists (Node_id.equal host.me) members' then begin
-      match Hashtbl.find_opt host.instances new_epoch with
-      | Some next -> activate t host next ~app:inst.app ~sessions:inst.sessions ~local:true
-      | None ->
-        let next =
-          create_instance t host ~epoch:new_epoch ~members:members'
-            ~prev_members:inst.cfg.Config.members ~boot:`Await
-        in
-        activate t host next ~app:inst.app ~sessions:inst.sessions ~local:true
+    (* Reconfig commands from two different clients can both be decided in
+       the same instance (session dedup is per-client); the first decided
+       one wins the wedge and later ones are no-ops, so this stays total
+       on any wire input. *)
+    if inst.wedged_at = None then begin
+      inst.wedged_at <- Some widx;
+      inst.next_members <- members';
+      Counters.incr t.counters "wedges";
+      let snapshot =
+        Snapshot.encode
+          { Snapshot.app = Sm.snapshot inst.app;
+            sessions = Session.encode inst.sessions }
+      in
+      inst.final_snapshot <- Some snapshot;
+      let new_epoch = inst.epoch + 1 in
+      if new_epoch > host.top_epoch then begin
+        host.top_epoch <- new_epoch;
+        host.latest_members <- members'
+      end;
+      (* Anyone who asked for this snapshot before we wedged. *)
+      (match Hashtbl.find_opt host.pending_fetches new_epoch with
+       | Some waiting ->
+         Hashtbl.remove host.pending_fetches new_epoch;
+         List.iter
+           (fun dst -> send_snapshot t host ~dst ~epoch:new_epoch snapshot)
+           !waiting
+       | None -> ());
+      (* Tell the new configuration it exists. *)
+      List.iter
+        (fun m ->
+          if not (Node_id.equal m host.me) then
+            send t ~src:host.me ~dst:m
+              (Wire.Bootstrap
+                 {
+                   epoch = new_epoch;
+                   members = members';
+                   prev_epoch = inst.epoch;
+                   prev_members = inst.cfg.Config.members;
+                 }))
+        members';
+      send t ~src:host.me ~dst:t.dir_id
+        (Wire.Dir_update { epoch = new_epoch; members = members'; leader = None });
+      (* A host in both configurations transfers state locally: its own
+         wedge-point state is exactly the new instance's initial state. *)
+      if List.exists (Node_id.equal host.me) members' then begin
+        match Hashtbl.find_opt host.instances new_epoch with
+        | Some next ->
+          activate t host next ~app:inst.app ~sessions:inst.sessions ~local:true
+        | None ->
+          let next =
+            create_instance t host ~epoch:new_epoch ~members:members'
+              ~prev_members:inst.cfg.Config.members ~boot:`Await
+          in
+          activate t host next ~app:inst.app ~sessions:inst.sessions ~local:true
+      end
     end
 
   and create_instance t host ~epoch ~members ~prev_members ~boot =
@@ -389,13 +396,15 @@ struct
          joiners pull from different old members instead of all melting one
          uplink. *)
       if inst.fetch_rr = 0 then inst.fetch_rr <- host.me;
-      let dst = List.nth targets (inst.fetch_rr mod List.length targets) in
-      inst.fetch_rr <- inst.fetch_rr + 1;
-      send t ~src:host.me ~dst (Wire.Fetch_state { epoch = inst.epoch });
-      inst.fetch_timer <-
-        Some
-          (Engine.schedule t.engine ~delay:t.opts.Options.fetch_timeout
-             (fun () -> if not inst.activated then start_fetch t host inst))
+      match List.nth_opt targets (inst.fetch_rr mod List.length targets) with
+      | None -> ()
+      | Some dst ->
+        inst.fetch_rr <- inst.fetch_rr + 1;
+        send t ~src:host.me ~dst (Wire.Fetch_state { epoch = inst.epoch });
+        inst.fetch_timer <-
+          Some
+            (Engine.schedule t.engine ~delay:t.opts.Options.fetch_timeout
+               (fun () -> if not inst.activated then start_fetch t host inst))
     end
 
   and activate t host inst ~app ~sessions ~local =
@@ -437,7 +446,9 @@ struct
   (* --- wire handlers --- *)
 
   let handle_bootstrap t host ~epoch ~members ~prev_epoch:_ ~prev_members =
-    if not (Hashtbl.mem host.instances epoch) then
+    (* An empty member list off the wire would make Config.make blow up;
+       such a bootstrap is garbage, not a configuration. *)
+    if members <> [] && not (Hashtbl.mem host.instances epoch) then
       ignore (create_instance t host ~epoch ~members ~prev_members ~boot:`Await)
 
   let handle_fetch t host ~src ~epoch =
@@ -474,10 +485,9 @@ struct
           inst.chunks_got <- inst.chunks_got + 1
         end;
         if inst.chunks_got = total then begin
-          let pieces =
-            Array.to_list inst.chunks
-            |> List.map (function Some d -> d | None -> assert false)
-          in
+          (* chunks_got = total implies every cell is filled, so the
+             filter_map drops nothing. *)
+          let pieces = Array.to_list inst.chunks |> List.filter_map Fun.id in
           let snapshot = Snapshot.decode (Snapshot.assemble pieces) in
           activate t host inst ~app:(Sm.restore snapshot.Snapshot.app)
             ~sessions:(Session.decode snapshot.Snapshot.sessions) ~local:false
@@ -553,6 +563,7 @@ struct
       handle_chunk t host ~epoch ~index ~total ~data
     | Wire.Retire { epoch } -> handle_retire t host ~epoch
     | Wire.Dir_update _ | Wire.Dir_lookup | Wire.Dir_info _ -> ()
+  [@@rsmr.deterministic] [@@rsmr.total]
 
   let dir_handler t (env : Wire.t Network.envelope) =
     match env.Network.payload with
@@ -567,6 +578,7 @@ struct
              leader = Directory.leader t.dir;
            })
     | _ -> ()
+  [@@rsmr.deterministic] [@@rsmr.total]
 
   let client_handler _t record (env : Wire.t Network.envelope) =
     match env.Network.payload with
@@ -578,6 +590,7 @@ struct
         k members
       | None -> ())
     | _ -> ()
+  [@@rsmr.deterministic] [@@rsmr.total]
 
   let add_client t cid =
     if not (Hashtbl.mem t.clients cid) then begin
@@ -608,7 +621,7 @@ struct
      | Some record ->
        Endpoint.submit record.endpoint ~seq:t.admin_seq
          ~payload:(Client_msg.Change_membership members)
-     | None -> assert false)
+     | None -> (* admin client is created with the service *) ())
 
   let create ~engine ?latency ?drop ?bandwidth ?smr_params ?options ?universe
       ~members () =

@@ -39,3 +39,4 @@ val cardinal : t -> int
 
 val encode : t -> string
 val decode : string -> t
+[@@rsmr.deterministic] [@@rsmr.total]

@@ -5,6 +5,7 @@ type t = { app : string; sessions : string }
 
 val encode : t -> string
 val decode : string -> t
+[@@rsmr.deterministic] [@@rsmr.total]
 
 val chunk : string -> size:int -> string list
 (** Split into pieces of at most [size] bytes (at least one piece, even for

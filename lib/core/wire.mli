@@ -38,5 +38,6 @@ type t =
 val size : t -> int
 val encode : t -> string
 val decode : string -> t
+[@@rsmr.deterministic] [@@rsmr.total]
 val pp : Format.formatter -> t -> unit
 val tag : t -> string

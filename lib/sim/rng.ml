@@ -53,4 +53,7 @@ let shuffle t arr =
 
 let pick t = function
   | [] -> invalid_arg "Rng.pick: empty list"
-  | l -> List.nth l (int t (List.length l))
+  | x :: _ as l -> (
+    match List.nth_opt l (int t (List.length l)) with
+    | Some y -> y
+    | None -> x (* unreachable: int t n < n *))

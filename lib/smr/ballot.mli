@@ -17,3 +17,4 @@ val next : t -> Rsmr_net.Node_id.t -> t
 val pp : Format.formatter -> t -> unit
 val encode : Rsmr_app.Codec.Writer.t -> t -> unit
 val decode : Rsmr_app.Codec.Reader.t -> t
+[@@rsmr.deterministic] [@@rsmr.total]

@@ -18,3 +18,4 @@ val others : t -> Rsmr_net.Node_id.t -> Rsmr_net.Node_id.t list
 val pp : Format.formatter -> t -> unit
 val encode : Rsmr_app.Codec.Writer.t -> t -> unit
 val decode : Rsmr_app.Codec.Reader.t -> t
+[@@rsmr.deterministic] [@@rsmr.total]

@@ -48,9 +48,11 @@ let set_committed t i kind =
   if i < 0 then invalid_arg "Log.set_committed: negative index";
   ensure t i;
   (match t.slots.(i).entry with
-   | Some e when t.slots.(i).committed ->
-     (* A committed slot never changes value: chosen is chosen. *)
-     assert (e.kind = kind)
+   | Some _ when t.slots.(i).committed ->
+     (* A committed slot never changes value: chosen is chosen.  A
+        conflicting commit can only come from a faulty peer, so keep the
+        first value rather than crash on hostile wire input. *)
+     ()
    | _ -> t.slots.(i).entry <- Some { ballot = Ballot.zero; kind });
   t.slots.(i).committed <- true;
   advance_prefix t

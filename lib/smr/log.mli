@@ -38,3 +38,4 @@ val committed_values : t -> lo:int -> hi:int -> (int * kind) list
 val pp_kind : Format.formatter -> kind -> unit
 val encode_kind : Rsmr_app.Codec.Writer.t -> kind -> unit
 val decode_kind : Rsmr_app.Codec.Reader.t -> kind
+[@@rsmr.deterministic] [@@rsmr.total]

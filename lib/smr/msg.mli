@@ -34,6 +34,7 @@ val size : t -> int
 
 val encode : t -> string
 val decode : string -> t
+[@@rsmr.deterministic] [@@rsmr.total]
 val pp : Format.formatter -> t -> unit
 
 val tag : t -> string

@@ -101,10 +101,14 @@ let deliver t =
      | Some { Log.kind = Log.Value v; _ } -> t.on_decide t.deliver_index v
      | Some { Log.kind = Log.Noop; _ } -> ()
      | None ->
-       (* committed_prefix only advances over populated slots *)
-       assert false);
-    t.deliver_index <- t.deliver_index + 1;
-    if t.halted then stop := true
+       (* committed_prefix only advances over populated slots, so a gap
+          here cannot happen; stop delivering rather than crash the
+          replica if the invariant is ever violated. *)
+       stop := true);
+    if not !stop then begin
+      t.deliver_index <- t.deliver_index + 1;
+      if t.halted then stop := true
+    end
   done
 
 (* Try to locally commit slots covered by the leader's watermark. *)
@@ -356,19 +360,22 @@ and flush_batch t =
   | _ -> ()
 
 and drain_pending t =
+  let rec drain f =
+    match Queue.take_opt t.pending with
+    | Some value ->
+      f value;
+      drain f
+    | None -> ()
+  in
   match t.role with
   | R_leader _ ->
-    while not (Queue.is_empty t.pending) do
-      enqueue_value t (Queue.pop t.pending)
-    done;
+    drain (fun value -> enqueue_value t value);
     flush_batch t
   | R_candidate _ -> ()
   | R_follower -> (
     match t.hint with
     | Some dst when not (Node_id.equal dst t.me) ->
-      while not (Queue.is_empty t.pending) do
-        t.send ~dst (Msg.Submit { value = Queue.pop t.pending })
-      done
+      drain (fun value -> t.send ~dst (Msg.Submit { value }))
     | _ -> ())
 
 let step_down t ~higher =

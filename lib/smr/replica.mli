@@ -33,9 +33,13 @@ val create :
 (** [me] must be a member of [config]. *)
 
 val handle : t -> src:Rsmr_net.Node_id.t -> Msg.t -> unit
-(** Feed an incoming message.  Ignored once {!halt}ed. *)
+[@@rsmr.deterministic] [@@rsmr.total]
+(** Feed an incoming message.  Ignored once {!halt}ed.  The flow
+    annotations are enforced by rsmr-flow: everything reachable from
+    [handle] must be deterministic and total. *)
 
 val submit : t -> string -> unit
+[@@rsmr.deterministic] [@@rsmr.total]
 (** Offer a command for ordering.  If this replica is not the leader it
     forwards the command (best effort — the client layer owns retries). *)
 

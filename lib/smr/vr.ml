@@ -323,16 +323,18 @@ and propose t value =
   maybe_commit_solo t
 
 and drain_pending t =
-  if is_leader t then
-    while not (Queue.is_empty t.pending) do
-      propose t (Queue.pop t.pending)
-    done
+  let rec drain f =
+    match Queue.take_opt t.pending with
+    | Some value ->
+      f value;
+      drain f
+    | None -> ()
+  in
+  if is_leader t then drain (fun value -> propose t value)
   else if t.status = Normal then begin
     let p = primary t in
     if not (Node_id.equal p t.me) then
-      while not (Queue.is_empty t.pending) do
-        t.send ~dst:p (Msg.Request { value = Queue.pop t.pending })
-      done
+      drain (fun value -> t.send ~dst:p (Msg.Request { value }))
   end
 
 and start_heartbeat t =
@@ -463,6 +465,7 @@ let submit t value =
       drain_pending t
     end
   end
+[@@rsmr.deterministic] [@@rsmr.total]
 
 let handle t ~src msg =
   if not t.halted then
@@ -490,6 +493,7 @@ let handle t ~src msg =
     | Msg.Get_state { view; from } -> on_get_state t ~src ~view ~from
     | Msg.New_state { view; from; ops; commit } ->
       on_new_state t ~view ~from ~ops ~commit
+[@@rsmr.deterministic] [@@rsmr.total]
 
 let halt t =
   if not t.halted then begin

@@ -29,6 +29,7 @@ module Msg : sig
 
   val encode : t -> string
   val decode : string -> t
+  [@@rsmr.deterministic] [@@rsmr.total]
   val size : t -> int
   val tag : t -> string
 end

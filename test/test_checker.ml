@@ -108,6 +108,57 @@ let test_real_time_order_enforced () =
   Alcotest.(check bool) "old value after overwrite rejected" true
     (check_ops ops = Lin.Not_linearizable)
 
+let test_budget_inconclusive () =
+  (* Enough overlapping operations that one visited configuration cannot
+     settle the question: a starved budget must answer Inconclusive, never
+     a false verdict in either direction. *)
+  let ops =
+    List.concat_map
+      (fun c ->
+        [
+          op ~client:c ~cmd:(Register.Write c) ~rsp:Register.Written
+            ~invoked:0.0 ~replied:10.0;
+        ])
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check bool) "starved budget is inconclusive" true
+    (let h = History.create () in
+     List.iter (History.add h) ops;
+     Lin.check ~max_states:1 h = Lin.Inconclusive)
+
+module LinCounter = Rsmr_checker.Linearizability.Make (Rsmr_app.Counter)
+module Counter = Rsmr_app.Counter
+
+let counter_op ~client ~cmd ~rsp ~invoked ~replied =
+  {
+    History.client;
+    cmd = Counter.encode_command cmd;
+    rsp = Counter.encode_response rsp;
+    invoked;
+    replied;
+  }
+
+let test_counter_exactly_once () =
+  (* The checker is generic in the state machine: over Counter, a reply
+     that could only arise from a doubly-applied increment is rejected,
+     while the single-application reply is accepted. *)
+  let history final_rsp =
+    let h = History.create () in
+    List.iter (History.add h)
+      [
+        counter_op ~client:1 ~cmd:(Counter.Incr 1)
+          ~rsp:(Counter.Current 1) ~invoked:0.0 ~replied:1.0;
+        counter_op ~client:2 ~cmd:(Counter.Incr 1) ~rsp:final_rsp
+          ~invoked:2.0 ~replied:3.0;
+      ];
+    h
+  in
+  Alcotest.(check bool) "single application ok" true
+    (LinCounter.check (history (Counter.Current 2)) = LinCounter.Linearizable);
+  Alcotest.(check bool) "double application rejected" true
+    (LinCounter.check (history (Counter.Current 3))
+    = LinCounter.Not_linearizable)
+
 let test_history_concurrency_probe () =
   let h = History.create () in
   History.add h
@@ -235,6 +286,10 @@ let () =
           Alcotest.test_case "cas ordering" `Quick test_cas_ordering;
           Alcotest.test_case "real-time order" `Quick
             test_real_time_order_enforced;
+          Alcotest.test_case "budget inconclusive" `Quick
+            test_budget_inconclusive;
+          Alcotest.test_case "counter exactly-once" `Quick
+            test_counter_exactly_once;
           Alcotest.test_case "concurrency probe" `Quick
             test_history_concurrency_probe;
         ] );

@@ -7,6 +7,7 @@ module Histogram = Rsmr_sim.Histogram
 module Timeseries = Rsmr_sim.Timeseries
 module Counters = Rsmr_sim.Counters
 module Trace = Rsmr_sim.Trace
+module Stable = Rsmr_sim.Stable
 
 (* --- engine --- *)
 
@@ -251,6 +252,58 @@ let test_trace_counts_and_retention () =
   Alcotest.(check int) "retained only after keep" 2
     (List.length (Trace.events tr))
 
+(* --- stable (sorted hash-table iteration) --- *)
+
+let table_of bindings =
+  let t = Hashtbl.create 8 in
+  List.iter (fun (k, v) -> Hashtbl.replace t k v) bindings;
+  t
+
+let test_stable_sorted_order () =
+  (* Iteration order must be the sorted key order regardless of the
+     insertion history that shaped the buckets. *)
+  let bindings = List.map (fun k -> (k, 10 * k)) [ 42; 7; 19; 3; 100; 56 ] in
+  let forwards = table_of bindings and backwards = table_of (List.rev bindings) in
+  let visit t =
+    let acc = ref [] in
+    Stable.iter_sorted ~compare:Int.compare
+      (fun k v -> acc := (k, v) :: !acc)
+      t;
+    List.rev !acc
+  in
+  let expected = List.sort (fun (a, _) (b, _) -> Int.compare a b) bindings in
+  Alcotest.(check (list (pair int int))) "sorted ascending" expected
+    (visit forwards);
+  Alcotest.(check (list (pair int int)))
+    "independent of insertion order" (visit forwards) (visit backwards);
+  Alcotest.(check (list int))
+    "sorted_keys agrees" (List.map fst expected)
+    (Stable.sorted_keys ~compare:Int.compare forwards)
+
+let test_stable_fold_order () =
+  (* fold_sorted must present keys ascending: a fold that appends sees the
+     sorted sequence, and a non-commutative fold is reproducible. *)
+  let t = table_of [ (3, "c"); (1, "a"); (2, "b") ] in
+  Alcotest.(check (list int)) "fold visits ascending" [ 1; 2; 3 ]
+    (List.rev (Stable.fold_sorted ~compare:Int.compare (fun k _ acc -> k :: acc) t []));
+  Alcotest.(check string) "non-commutative fold reproducible" "abc"
+    (Stable.fold_sorted ~compare:Int.compare (fun _ v acc -> acc ^ v) t "")
+
+let test_stable_no_revisit_of_added_keys () =
+  (* Keys added during iteration are not visited (the key list is
+     snapshotted first), so iteration cannot diverge. *)
+  let t = table_of [ (1, "a"); (2, "b") ] in
+  let visited = ref [] in
+  Stable.iter_sorted ~compare:Int.compare
+    (fun k _ ->
+      visited := k :: !visited;
+      if k = 1 then Hashtbl.replace t 99 "late")
+    t;
+  Alcotest.(check (list int)) "snapshot semantics" [ 1; 2 ]
+    (List.rev !visited);
+  Alcotest.(check bool) "late key present afterwards" true
+    (Hashtbl.mem t 99)
+
 let () =
   Alcotest.run "sim"
     [
@@ -288,6 +341,13 @@ let () =
         ] );
       ( "timeseries",
         [ Alcotest.test_case "buckets" `Quick test_timeseries_buckets ] );
+      ( "stable",
+        [
+          Alcotest.test_case "sorted order" `Quick test_stable_sorted_order;
+          Alcotest.test_case "fold order" `Quick test_stable_fold_order;
+          Alcotest.test_case "snapshot semantics" `Quick
+            test_stable_no_revisit_of_added_keys;
+        ] );
       ("counters", [ Alcotest.test_case "basic" `Quick test_counters ]);
       ( "trace",
         [ Alcotest.test_case "counts+retention" `Quick test_trace_counts_and_retention ]

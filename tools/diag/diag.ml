@@ -1,0 +1,101 @@
+type severity = Error | Warn | Off
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  sev : severity;
+  msg : string;
+  chain : string list;
+}
+
+type format = Text | Json
+
+let format_of_string = function
+  | "text" -> Some Text
+  | "json" -> Some Json
+  | _ -> None
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Stdlib.compare (a.line, a.col) (b.line, b.col) with
+    | 0 -> (
+      match String.compare a.rule b.rule with
+      | 0 -> String.compare a.msg b.msg
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let errors ds = List.length (List.filter (fun d -> d.sev = Error) ds)
+let warnings ds = List.length (List.filter (fun d -> d.sev = Warn) ds)
+
+let sev_name = function Error -> "error" | Warn -> "warn" | Off -> "off"
+
+let render_msg d =
+  match d.chain with
+  | [] -> d.msg
+  | chain -> d.msg ^ ": " ^ String.concat " \xe2\x86\x92 " chain
+
+let print_text ds ~summary =
+  List.iter
+    (fun d ->
+      Printf.printf "%s:%d:%d: [%s/%s] %s\n" d.file d.line d.col
+        (sev_name d.sev) d.rule (render_msg d))
+    ds;
+  print_string summary;
+  print_newline ()
+
+(* Minimal JSON string escaping: control characters, quote, backslash. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let print_json ~tool ds ~summary =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (Printf.sprintf "{\"tool\":\"%s\",\n" (json_escape tool));
+  Buffer.add_string b "\"diagnostics\":[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\
+            \"severity\":\"%s\",\"message\":\"%s\""
+           (json_escape d.file) d.line d.col (json_escape d.rule)
+           (sev_name d.sev) (json_escape d.msg));
+      (match d.chain with
+       | [] -> ()
+       | chain ->
+         Buffer.add_string b ",\"chain\":[";
+         List.iteri
+           (fun j hop ->
+             if j > 0 then Buffer.add_string b ",";
+             Buffer.add_string b (Printf.sprintf "\"%s\"" (json_escape hop)))
+           chain;
+         Buffer.add_string b "]");
+      Buffer.add_string b "}")
+    ds;
+  Buffer.add_string b "],\n";
+  Buffer.add_string b
+    (Printf.sprintf "\"errors\":%d,\"warnings\":%d,\"summary\":\"%s\"}\n"
+       (errors ds) (warnings ds) (json_escape summary));
+  print_string (Buffer.contents b)
+
+let print ~format ~tool ds ~summary =
+  match format with
+  | Text -> print_text ds ~summary
+  | Json -> print_json ~tool ds ~summary

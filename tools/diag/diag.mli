@@ -1,0 +1,40 @@
+(** Diagnostics shared by the repo's static-analysis tools (rsmr-lint,
+    rsmr-flow): one record per finding, stable sorting, and the two output
+    formats — the human [Text] form both tools have always printed, and a
+    machine-readable [Json] form for CI annotation. *)
+
+type severity = Error | Warn | Off
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  sev : severity;
+  msg : string;
+  chain : string list;
+      (** Interprocedural call chain, root first, effect last.  Empty for
+          per-expression findings (rsmr-lint). *)
+}
+
+type format = Text | Json
+
+val format_of_string : string -> format option
+
+val compare : t -> t -> int
+(** Order by file, then position, then rule, then message — the order both
+    tools print in, so self-test fixtures diff deterministically. *)
+
+val errors : t list -> int
+val warnings : t list -> int
+
+val print_text : t list -> summary:string -> unit
+(** One [file:line:col: [sev/rule] msg] line per finding (the chain, when
+    present, is appended to the message), then the summary line. *)
+
+val print_json : tool:string -> t list -> summary:string -> unit
+(** A single JSON object: [{"tool":…,"diagnostics":[…],"errors":n,
+    "warnings":n,"summary":…}].  Each diagnostic carries file, line, col,
+    rule, severity, message and (when non-empty) the call chain. *)
+
+val print : format:format -> tool:string -> t list -> summary:string -> unit

@@ -1,0 +1,101 @@
+let all_rules =
+  [
+    (* rsmr-lint (per-expression, parsetree) *)
+    "hashtbl-iteration";
+    "wall-clock";
+    "ambient-random";
+    "poly-compare";
+    "codec-exhaustive";
+    "missing-mli";
+    "decode-failwith";
+    "parse-error";
+    "stale-exemption";
+    (* rsmr-flow (interprocedural, typedtree) *)
+    "flow-nondet";
+    "flow-raise";
+  ]
+
+let alias = function "order-insensitive" -> "hashtbl-iteration" | t -> t
+
+type t = {
+  severities : (string, Diag.severity) Hashtbl.t;
+  mutable exempts : (string * string * int) list;
+  mutable allow_raise : string list;
+}
+
+let default () =
+  { severities = Hashtbl.create 8; exempts = []; allow_raise = [] }
+
+let parse path =
+  let cfg = default () in
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "lint config: cannot open: %s\n" msg;
+      exit 2
+  in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       let line =
+         match String.index_opt line '#' with
+         | Some i -> String.sub line 0 i
+         | None -> line
+       in
+       match
+         String.split_on_char ' ' line
+         |> List.concat_map (String.split_on_char '\t')
+         |> List.filter (fun s -> s <> "")
+       with
+       | [] -> ()
+       | [ "severity"; rule; sev ] when List.mem rule all_rules ->
+         let sev =
+           match sev with
+           | "error" -> Diag.Error
+           | "warn" -> Diag.Warn
+           | "off" -> Diag.Off
+           | s ->
+             Printf.eprintf "%s:%d: unknown severity %S\n" path !lineno s;
+             exit 2
+         in
+         Hashtbl.replace cfg.severities rule sev
+       | [ "exempt"; rule; prefix ] when List.mem rule all_rules ->
+         cfg.exempts <- (rule, prefix, !lineno) :: cfg.exempts
+       | [ "allow-raise"; exn ] -> cfg.allow_raise <- exn :: cfg.allow_raise
+       | _ ->
+         Printf.eprintf "%s:%d: cannot parse config line\n" path !lineno;
+         exit 2
+     done
+   with End_of_file -> ());
+  close_in ic;
+  cfg
+
+let severity cfg rule =
+  match Hashtbl.find_opt cfg.severities rule with
+  | Some s -> s
+  | None -> ( match rule with "stale-exemption" -> Diag.Warn | _ -> Diag.Error)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let exempt cfg rule relpath =
+  List.exists
+    (fun (r, prefix, _) -> r = rule && starts_with prefix relpath)
+    cfg.exempts
+
+(* A prefix is live if it names an existing file/directory, or is a proper
+   prefix of a sibling entry's name (e.g. [lib/smr/repl] covering
+   replica.ml); anything else is a dead suppression. *)
+let prefix_live ~root prefix =
+  let abs = Filename.concat root prefix in
+  Sys.file_exists abs
+  ||
+  let dir = Filename.dirname abs and base = Filename.basename abs in
+  Sys.file_exists dir && Sys.is_directory dir
+  && Array.exists (starts_with base) (Sys.readdir dir)
+
+let stale_exempts cfg ~root =
+  List.filter (fun (_, prefix, _) -> not (prefix_live ~root prefix)) cfg.exempts

@@ -1,0 +1,41 @@
+(** The shared configuration file (repo-root [lint.conf]) read by both
+    rsmr-lint and rsmr-flow.
+
+    Syntax, one directive per line ('#' starts a comment):
+    {v
+      severity <rule> <error|warn|off>
+      exempt <rule> <path-prefix>     # repo-root-relative prefix
+      allow-raise <Module.Exception>  # tagged error, permitted under
+                                      # [@@rsmr.total] (rsmr-flow only)
+    v} *)
+
+val all_rules : string list
+(** Every rule either tool understands; [severity]/[exempt] lines naming
+    anything else are rejected. *)
+
+val alias : string -> string
+(** Suppression-token aliases ([order-insensitive] → [hashtbl-iteration]). *)
+
+type t = {
+  severities : (string, Diag.severity) Hashtbl.t;
+  mutable exempts : (string * string * int) list;
+      (** rule, path prefix, config line *)
+  mutable allow_raise : string list;
+      (** normalized exception constructor paths, e.g. ["Codec.Truncated"] *)
+}
+
+val default : unit -> t
+val parse : string -> t
+(** [parse path] reads a config file; prints to stderr and exits 2 on a
+    malformed line. *)
+
+val severity : t -> string -> Diag.severity
+(** Configured severity, falling back to the rule's default ([warn] for
+    [stale-exemption], [error] for everything else). *)
+
+val exempt : t -> string -> string -> bool
+(** [exempt cfg rule relpath]: is [relpath] covered by an [exempt] line? *)
+
+val stale_exempts : t -> root:string -> (string * string * int) list
+(** [exempt] entries whose path prefix matches nothing under [root] — the
+    file moved or was deleted, leaving a dead suppression. *)

@@ -1,0 +1,2 @@
+(* The partial call sits two hops below the annotated root. *)
+let pick l = Util.first l

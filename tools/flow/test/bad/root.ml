@@ -1,0 +1,3 @@
+let handle l =
+  let stamp = Helper.now () in
+  (Mid.pick l, stamp)

@@ -1,0 +1,2 @@
+val handle : int list -> int * float
+[@@rsmr.deterministic] [@@rsmr.total]

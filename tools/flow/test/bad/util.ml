@@ -1,0 +1,1 @@
+let first l = List.hd l

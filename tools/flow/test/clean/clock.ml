@@ -1,0 +1,5 @@
+(* The sanctioned shape: simulated time advanced explicitly by the
+   caller, no ambient host clock anywhere. *)
+let current = ref 0.0
+let advance dt = current := !current +. dt
+let now () = !current

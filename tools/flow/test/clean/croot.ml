@@ -1,0 +1,5 @@
+let handle s =
+  let tag = Proto.decode s in
+  (* int_of_string is partial, but the try/with masks it. *)
+  let guarded = try int_of_string s with Failure _ -> 0 in
+  (tag + guarded, Clock.now ())

@@ -1,0 +1,2 @@
+val handle : string -> int * float
+[@@rsmr.deterministic] [@@rsmr.total]

@@ -1,0 +1,5 @@
+exception Bad_tag of int
+
+(* Raising the allow-listed tagged error is permitted under
+   [@@rsmr.total] (flow.conf: allow-raise Proto.Bad_tag). *)
+let decode s = if String.length s = 0 then raise (Bad_tag 0) else Char.code s.[0]

@@ -38,110 +38,29 @@
    Suppression: a comment [(* lint: <rule-id> ... *)] on the violating line
    or the line directly above disables that rule for that line
    ([order-insensitive] is an alias for [hashtbl-iteration]).  Severities
-   and path exemptions come from a config file (see --config). *)
+   and path exemptions come from a config file shared with rsmr-flow (see
+   --config and tools/diag/lint_config.mli); an [exempt] line whose path
+   prefix no longer matches anything on disk is itself reported as
+   [stale-exemption], so suppressions cannot silently outlive the files
+   they covered. *)
 
 module P = Parsetree
+module Diag = Rsmr_diag.Diag
+module Lint_config = Rsmr_diag.Lint_config
 
-(* ---------------------------------------------------------------- rules *)
-
-type severity = Sev_error | Sev_warn | Sev_off
-
-let all_rules =
-  [
-    "hashtbl-iteration";
-    "wall-clock";
-    "ambient-random";
-    "poly-compare";
-    "codec-exhaustive";
-    "missing-mli";
-    "decode-failwith";
-    "parse-error";
-  ]
-
-let alias = function "order-insensitive" -> "hashtbl-iteration" | t -> t
+let alias = Lint_config.alias
 
 let protocol_dirs = [ "lib/smr"; "lib/baselines"; "lib/core"; "lib/client" ]
 
-(* ---------------------------------------------------------------- config *)
+type config = Lint_config.t
 
-type config = {
-  severities : (string, severity) Hashtbl.t;
-  mutable exempts : (string * string) list; (* rule, path prefix *)
-}
-
-let default_config () = { severities = Hashtbl.create 8; exempts = [] }
-
-let parse_config path =
-  let cfg = default_config () in
-  let ic =
-    try open_in path
-    with Sys_error msg ->
-      Printf.eprintf "rsmr_lint: cannot open config: %s\n" msg;
-      exit 2
-  in
-  let lineno = ref 0 in
-  (try
-     while true do
-       let line = input_line ic in
-       incr lineno;
-       let line =
-         match String.index_opt line '#' with
-         | Some i -> String.sub line 0 i
-         | None -> line
-       in
-       match
-         String.split_on_char ' ' line
-         |> List.concat_map (String.split_on_char '\t')
-         |> List.filter (fun s -> s <> "")
-       with
-       | [] -> ()
-       | [ "severity"; rule; sev ] when List.mem rule all_rules ->
-         let sev =
-           match sev with
-           | "error" -> Sev_error
-           | "warn" -> Sev_warn
-           | "off" -> Sev_off
-           | s ->
-             Printf.eprintf "%s:%d: unknown severity %S\n" path !lineno s;
-             exit 2
-         in
-         Hashtbl.replace cfg.severities rule sev
-       | [ "exempt"; rule; prefix ] when List.mem rule all_rules ->
-         cfg.exempts <- (rule, prefix) :: cfg.exempts
-       | _ ->
-         Printf.eprintf "%s:%d: cannot parse config line\n" path !lineno;
-         exit 2
-     done
-   with End_of_file -> ());
-  close_in ic;
-  cfg
-
-let severity cfg rule =
-  match Hashtbl.find_opt cfg.severities rule with
-  | Some s -> s
-  | None -> Sev_error
-
-let exempt cfg rule relpath =
-  List.exists
-    (fun (r, prefix) ->
-      r = rule
-      && String.length relpath >= String.length prefix
-      && String.sub relpath 0 (String.length prefix) = prefix)
-    cfg.exempts
+let severity = Lint_config.severity
+let exempt = Lint_config.exempt
 
 (* ----------------------------------------------------------- diagnostics *)
 
-type violation = {
-  v_file : string;
-  v_line : int;
-  v_col : int;
-  v_rule : string;
-  v_msg : string;
-  v_sev : severity;
-}
-
 type report = {
-  mutable violations : violation list;
+  mutable violations : Diag.t list;
   mutable suppressed : int;
   mutable files : int;
 }
@@ -170,19 +89,20 @@ let suppressed ctx rule line =
 
 let flag ctx ~loc rule msg =
   let line, col = loc_pos loc in
-  if severity ctx.cfg rule = Sev_off then ()
+  if severity ctx.cfg rule = Diag.Off then ()
   else if exempt ctx.cfg rule ctx.relpath then ()
   else if suppressed ctx rule line then
     report.suppressed <- report.suppressed + 1
   else
     report.violations <-
       {
-        v_file = ctx.relpath;
-        v_line = line;
-        v_col = col;
-        v_rule = rule;
-        v_msg = msg;
-        v_sev = severity ctx.cfg rule;
+        Diag.file = ctx.relpath;
+        line;
+        col;
+        rule;
+        msg;
+        sev = severity ctx.cfg rule;
+        chain = [];
       }
       :: report.violations
 
@@ -581,12 +501,38 @@ let rec walk ~root rel acc =
 
 (* ------------------------------------------------------------------ main *)
 
-let usage = "usage: rsmr_lint [--root DIR] [--config FILE] [--scope-all] DIR..."
+(* exempt lines whose path prefix matches nothing on disk: the file moved
+   or was deleted, leaving a suppression that covers nothing. *)
+let check_stale_exempts cfg ~root ~config_file =
+  if severity cfg "stale-exemption" <> Diag.Off then
+    List.iter
+      (fun (rule, prefix, lineno) ->
+        report.violations <-
+          {
+            Diag.file = config_file;
+            line = lineno;
+            col = 0;
+            rule = "stale-exemption";
+            msg =
+              Printf.sprintf
+                "exempt %s %s matches no file under the root: dead \
+                 suppression (file moved or deleted?)"
+                rule prefix;
+            sev = severity cfg "stale-exemption";
+            chain = [];
+          }
+          :: report.violations)
+      (Lint_config.stale_exempts cfg ~root)
+
+let usage =
+  "usage: rsmr_lint [--root DIR] [--config FILE] [--format text|json] \
+   [--scope-all] DIR..."
 
 let () =
   let root = ref "." in
   let config_file = ref None in
   let scope_all = ref false in
+  let format = ref Diag.Text in
   let dirs = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -599,6 +545,14 @@ let () =
     | "--scope-all" :: rest ->
       scope_all := true;
       parse_args rest
+    | "--format" :: f :: rest -> (
+      match Diag.format_of_string f with
+      | Some f ->
+        format := f;
+        parse_args rest
+      | None ->
+        Printf.eprintf "rsmr_lint: unknown format %S\n%s\n" f usage;
+        exit 2)
     | d :: rest when not (starts_with "--" d) ->
       dirs := d :: !dirs;
       parse_args rest
@@ -613,34 +567,25 @@ let () =
   end;
   let cfg =
     match !config_file with
-    | Some f -> parse_config f
-    | None -> default_config ()
+    | Some f ->
+      let cfg = Lint_config.parse f in
+      check_stale_exempts cfg ~root:!root ~config_file:f;
+      cfg
+    | None -> Lint_config.default ()
   in
   let files =
     List.concat_map (fun d -> List.rev (walk ~root:!root d [])) (List.rev !dirs)
   in
   List.iter (prescan_ml ~root:!root) files;
   List.iter (scan_ml ~cfg ~scope_all:!scope_all ~root:!root) files;
-  let violations =
-    List.sort
-      (fun a b ->
-        match compare a.v_file b.v_file with
-        | 0 -> compare (a.v_line, a.v_col) (b.v_line, b.v_col)
-        | c -> c)
-      report.violations
+  let violations = List.sort Diag.compare report.violations in
+  let errors = Diag.errors violations in
+  let warns = Diag.warnings violations in
+  let summary =
+    Printf.sprintf
+      "rsmr-lint: %d file(s) scanned, %d error(s), %d warning(s), %d \
+       suppression(s) honoured"
+      report.files errors warns report.suppressed
   in
-  List.iter
-    (fun v ->
-      Printf.printf "%s:%d:%d: [%s/%s] %s\n" v.v_file v.v_line v.v_col
-        (match v.v_sev with Sev_error -> "error" | _ -> "warn")
-        v.v_rule v.v_msg)
-    violations;
-  let errors =
-    List.length (List.filter (fun v -> v.v_sev = Sev_error) violations)
-  in
-  let warns = List.length violations - errors in
-  Printf.printf
-    "rsmr-lint: %d file(s) scanned, %d error(s), %d warning(s), %d \
-     suppression(s) honoured\n"
-    report.files errors warns report.suppressed;
+  Diag.print ~format:!format ~tool:"rsmr-lint" violations ~summary;
   exit (if errors > 0 then 1 else 0)
