@@ -10,10 +10,19 @@
      dune exec bench/main.exe -- --quick      # scaled-down tables
      dune exec bench/main.exe -- f2 t2        # subset by experiment id
      dune exec bench/main.exe -- --bechamel   # bechamel section only
-     dune exec bench/main.exe -- --tables     # tables only *)
+     dune exec bench/main.exe -- --tables     # tables only
+     dune exec bench/main.exe -- --json LABEL # also write BENCH_LABEL.json
+
+   With --quick the bechamel section drops the per-table meso-benchmarks
+   and shrinks the measurement quota — the shape CI's bench-smoke step
+   runs.  --json LABEL writes BENCH_<LABEL>.json (schema: DESIGN.md §8)
+   capturing whatever sections ran, plus a deterministic wire-cost probe
+   (messages and bytes per committed command, from the network
+   counters). *)
 
 module Registry = Rsmr_experiments.Registry
 module Table = Rsmr_experiments.Table
+module Counters = Rsmr_sim.Counters
 
 let run_experiments ~quick ids =
   let entries =
@@ -33,33 +42,53 @@ let run_experiments ~quick ids =
     "Reconfigurable SMR from non-reconfigurable building blocks — evaluation \
      suite (%s mode)\n"
     (if quick then "quick" else "full");
-  List.iter
+  List.map
     (fun (e : Registry.entry) ->
       let t0 = Unix.gettimeofday () in
       let table = e.Registry.run ~quick () in
       Table.print table;
-      Printf.printf "  [%s finished in %.1fs wall]\n%!" e.Registry.id
-        (Unix.gettimeofday () -. t0))
+      let wall = Unix.gettimeofday () -. t0 in
+      Printf.printf "  [%s finished in %.1fs wall]\n%!" e.Registry.id wall;
+      (e.Registry.id, wall))
     entries
 
 (* --- Bechamel --- *)
 
-let bechamel_tests () =
-  let open Bechamel in
-  (* One Test.make per experiment table, running its quick variant. *)
-  let experiment_tests =
-    List.map
-      (fun (e : Registry.entry) ->
-        Test.make
-          ~name:("table-" ^ String.lowercase_ascii e.Registry.id)
-          (Staged.stage (fun () -> ignore (e.Registry.run ~quick:true ()))))
-      Registry.all
+(* A representative tunnelled payload for the wire micro-benchmarks: a
+   16-command Accept_multi batch inside a Wire.Block, the shape the
+   sizer sees on every leader fan-out under batching. *)
+let bench_block_msg () =
+  let kinds =
+    List.init 16 (fun i ->
+        Rsmr_smr.Log.Value (String.make 32 (Char.chr (97 + (i mod 26)))))
   in
+  let msg =
+    Rsmr_smr.Msg.Accept_multi
+      {
+        ballot = { Rsmr_smr.Ballot.round = 7; node = 2 };
+        from_index = 42;
+        kinds;
+        commit_index = 41;
+      }
+  in
+  Rsmr_core.Wire.Block { epoch = 3; data = Rsmr_smr.Msg.encode msg }
+
+let micro_tests () =
+  let open Bechamel in
   let codec =
     let cmd = Rsmr_app.Kv.Put ("key00000042", String.make 64 'x') in
     Test.make ~name:"kv-command-codec-roundtrip"
       (Staged.stage (fun () ->
            ignore (Rsmr_app.Kv.decode_command (Rsmr_app.Kv.encode_command cmd))))
+  in
+  let wire_block = bench_block_msg () in
+  let wire_size =
+    Test.make ~name:"wire-block-size"
+      (Staged.stage (fun () -> ignore (Rsmr_core.Wire.size wire_block)))
+  in
+  let wire_encode =
+    Test.make ~name:"wire-block-encode"
+      (Staged.stage (fun () -> ignore (Rsmr_core.Wire.encode wire_block)))
   in
   let histogram =
     let h = Rsmr_sim.Histogram.create () in
@@ -90,17 +119,33 @@ let bechamel_tests () =
                (Rsmr_workload.Kv_gen.preload_commands ~n_keys:100 ~value_size:32)
              ~deadline:30.0 ()))
   in
-  [ codec; histogram; engine; paxos ] @ experiment_tests
+  [ codec; wire_size; wire_encode; histogram; engine; paxos ]
 
-let run_bechamel () =
+let experiment_table_tests () =
+  let open Bechamel in
+  (* One Test.make per experiment table, running its quick variant. *)
+  List.map
+    (fun (e : Registry.entry) ->
+      Test.make
+        ~name:("table-" ^ String.lowercase_ascii e.Registry.id)
+        (Staged.stage (fun () -> ignore (e.Registry.run ~quick:true ()))))
+    Registry.all
+
+let run_bechamel ~quick () =
   let open Bechamel in
   print_endline "\n== Bechamel micro/meso benchmarks ==";
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let instance = Toolkit.Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:40 ~quota:(Time.second 1.0) () in
-  let grouped = Test.make_grouped ~name:"rsmr" (bechamel_tests ()) in
+  let cfg =
+    if quick then Benchmark.cfg ~limit:20 ~quota:(Time.second 0.25) ()
+    else Benchmark.cfg ~limit:40 ~quota:(Time.second 1.0) ()
+  in
+  let tests =
+    if quick then micro_tests () else micro_tests () @ experiment_table_tests ()
+  in
+  let grouped = Test.make_grouped ~name:"rsmr" tests in
   let raw = Benchmark.all cfg [ instance ] grouped in
   let results = Analyze.all ols instance raw in
   let rows =
@@ -122,18 +167,109 @@ let run_bechamel () =
       else if ns > 1e6 then Printf.printf "%-45s %12.2f ms/run\n" name (ns /. 1e6)
       else if ns > 1e3 then Printf.printf "%-45s %12.2f us/run\n" name (ns /. 1e3)
       else Printf.printf "%-45s %12.0f ns/run\n" name ns)
-    rows
+    rows;
+  rows
+
+(* --- wire-cost probe --- *)
+
+(* The simulator passes messages by value, so network counters give exact,
+   host-independent wire accounting.  Pump a fixed workload through a
+   3-replica cluster and report messages/bytes per committed command. *)
+let wire_cost () =
+  let module KvCore = Rsmr_core.Service.Make (Rsmr_app.Kv) in
+  let engine = Rsmr_sim.Engine.create ~seed:3 () in
+  let svc = KvCore.create ~engine ~members:[ 0; 1; 2 ] () in
+  let cluster = KvCore.cluster svc in
+  let commands =
+    Rsmr_workload.Kv_gen.preload_commands ~n_keys:500 ~value_size:32
+  in
+  let n = List.length commands in
+  Rsmr_workload.Driver.preload ~cluster ~client:99 ~commands ~deadline:120.0 ();
+  let net = cluster.Rsmr_iface.Cluster.net_counters in
+  let sent = Counters.get net "sent" in
+  let bytes = Counters.get net "bytes_sent" in
+  let fn = float_of_int n in
+  [
+    ("commands", float_of_int n);
+    ("messages_sent", float_of_int sent);
+    ("bytes_sent", float_of_int bytes);
+    ("messages_per_command", float_of_int sent /. fn);
+    ("bytes_per_command", float_of_int bytes /. fn);
+  ]
+
+(* --- machine-readable output (--json) --- *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 -> Printf.bprintf b "\\u%04x" (Char.code c)
+      | c -> Buffer.add_char b c)
+    s
+
+let json_assoc b fields =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_char b '"';
+      json_escape b k;
+      Buffer.add_string b "\": ";
+      if Float.is_nan v then Buffer.add_string b "null"
+      else Printf.bprintf b "%.6g" v)
+    fields;
+  Buffer.add_char b '}'
+
+let write_json ~label ~bechamel ~experiments ~wire =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"schema\": \"rsmr-bench/1\",\n  \"label\": \"";
+  json_escape b label;
+  Buffer.add_string b "\",\n  \"bechamel_ns_per_run\": ";
+  json_assoc b bechamel;
+  Buffer.add_string b ",\n  \"experiments_wall_s\": ";
+  json_assoc b experiments;
+  Buffer.add_string b ",\n  \"wire_cost\": ";
+  json_assoc b wire;
+  Buffer.add_string b "\n}\n";
+  let path = "BENCH_" ^ label ^ ".json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" path
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let argv = Array.to_list Sys.argv |> List.tl in
+  let json_label = ref None in
+  let rec strip = function
+    | [] -> []
+    | "--json" :: label :: rest
+      when String.length label > 0 && label.[0] <> '-' ->
+      json_label := Some label;
+      strip rest
+    | "--json" :: rest ->
+      json_label := Some "run";
+      strip rest
+    | a :: rest -> a :: strip rest
+  in
+  let args = strip argv in
   let quick = List.mem "--quick" args in
   let bechamel_only = List.mem "--bechamel" args in
   let tables_only = List.mem "--tables" args in
   let ids =
     List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
   in
-  if bechamel_only then run_bechamel ()
+  let experiments = ref [] in
+  let bechamel = ref [] in
+  if bechamel_only then bechamel := run_bechamel ~quick ()
   else begin
-    run_experiments ~quick ids;
-    if not tables_only then run_bechamel ()
-  end
+    experiments := run_experiments ~quick ids;
+    if not tables_only then bechamel := run_bechamel ~quick ()
+  end;
+  match !json_label with
+  | Some label ->
+    let wire = wire_cost () in
+    write_json ~label ~bechamel:!bechamel ~experiments:!experiments ~wire
+  | None -> ()

@@ -1,12 +1,28 @@
 exception Truncated
 
 module Writer = struct
-  type t = Buffer.t
+  (* A writer is an output sink: either a real byte buffer or a pure
+     byte counter.  Every codec expresses its wire format once as a
+     [write] function over this type; [encode] runs it against a buffer
+     sink and [size] against a counting sink, so the two can never
+     drift and sizing allocates nothing. *)
+  type sink = Buf of Buffer.t | Count
 
-  let create ?(size_hint = 64) () = Buffer.create size_hint
+  type t = { sink : sink; mutable written : int }
+
+  let create ?(size_hint = 64) () =
+    { sink = Buf (Buffer.create size_hint); written = 0 }
+
+  let counter () = { sink = Count; written = 0 }
+  let written t = t.written
+
   (* Buffer.add_uint8 truncates to the low byte rather than raising, so
      the writer stays total (rsmr-flow) — the mask keeps that visible. *)
-  let u8 t v = Buffer.add_uint8 t (v land 0xFF)
+  let u8 t v =
+    t.written <- t.written + 1;
+    match t.sink with
+    | Buf b -> Buffer.add_uint8 b (v land 0xFF)
+    | Count -> ()
 
   let varint t v =
     if v < 0 then invalid_arg "Codec.Writer.varint: negative";
@@ -47,7 +63,10 @@ module Writer = struct
 
   let string t s =
     varint t (String.length s);
-    Buffer.add_string t s
+    t.written <- t.written + String.length s;
+    match t.sink with
+    | Buf b -> Buffer.add_string b s
+    | Count -> ()
 
   let option t f = function
     | None -> bool t false
@@ -59,17 +78,42 @@ module Writer = struct
     varint t (List.length l);
     List.iter (f t) l
 
-  let contents = Buffer.contents
-  let length = Buffer.length
+  (* Length-prefixed sub-message, written straight into the parent sink.
+     The prefix needs the body length up front, so the body is measured
+     with a counting pass first; against a buffer sink the body then runs
+     a second time for real, against a counting sink the measurement is
+     the whole job.  Either way no intermediate string is built, unlike
+     the old [string w (Sub.encode v)] idiom which serialized the
+     sub-message into a fresh buffer and copied it. *)
+  let nested t f v =
+    let c = { sink = Count; written = 0 } in
+    f c v;
+    varint t c.written;
+    match t.sink with
+    | Buf _ ->
+      let before = t.written in
+      f t v;
+      if t.written - before <> c.written then
+        invalid_arg "Codec.Writer.nested: non-deterministic sub-writer"
+    | Count -> t.written <- t.written + c.written
+
+  let contents t =
+    match t.sink with
+    | Buf b -> Buffer.contents b
+    | Count -> invalid_arg "Codec.Writer.contents: counting sink"
+
+  let length t = t.written
 end
 
 module Reader = struct
-  type t = { data : string; mutable pos : int }
+  (* [limit] bounds the readable window so a nested [view] shares the
+     parent's backing string instead of copying it out with String.sub. *)
+  type t = { data : string; mutable pos : int; limit : int }
 
-  let of_string data = { data; pos = 0 }
+  let of_string data = { data; pos = 0; limit = String.length data }
 
   let u8 t =
-    if t.pos >= String.length t.data then raise Truncated;
+    if t.pos >= t.limit then raise Truncated;
     let v = Char.code t.data.[t.pos] in
     t.pos <- t.pos + 1;
     v
@@ -109,10 +153,20 @@ module Reader = struct
 
   let string t =
     let n = varint t in
-    if t.pos + n > String.length t.data then raise Truncated;
+    if n < 0 || t.pos + n > t.limit then raise Truncated;
     let s = String.sub t.data t.pos n in
     t.pos <- t.pos + n;
     s
+
+  (* Zero-copy counterpart of [string]: a length-prefixed sub-reader over
+     the same backing bytes.  The parent's position skips the window, so
+     parent and view never race over the same bytes. *)
+  let view t =
+    let n = varint t in
+    if n < 0 || t.pos + n > t.limit then raise Truncated;
+    let v = { data = t.data; pos = t.pos; limit = t.pos + n } in
+    t.pos <- t.pos + n;
+    v
 
   let option t f = if bool t then Some (f t) else None
 
@@ -120,5 +174,5 @@ module Reader = struct
     let n = varint t in
     List.init n (fun _ -> f t)
 
-  let at_end t = t.pos >= String.length t.data
+  let at_end t = t.pos >= t.limit
 end

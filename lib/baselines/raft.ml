@@ -170,7 +170,10 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
           last_term = Raft_log.last_term node.log;
         }
     in
-    List.iter (fun dst -> send t node ~dst msg) (peers node);
+    (* One wire value for the whole fan-out: the network sizes and tags a
+       broadcast payload once instead of once per peer. *)
+    Network.broadcast t.net ~src:node.me ~dsts:(peers node)
+      (Raft_wire.Rpc msg);
     reset_election_timer t node;
     maybe_win t node
 

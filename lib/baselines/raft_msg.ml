@@ -34,51 +34,50 @@ let decode_entry r =
   let term = R.varint r in
   (i, { Raft_log.term; payload = Raft_log.decode_payload r })
 
-let encode t =
-  let w = W.create () in
-  (match t with
-   | Request_vote { term; last_index; last_term } ->
-     W.u8 w 0;
-     W.varint w term;
-     W.varint w last_index;
-     W.varint w last_term
-   | Vote { term; granted } ->
-     W.u8 w 1;
-     W.varint w term;
-     W.bool w granted
-   | Append { term; prev_index; prev_term; entries; commit } ->
-     W.u8 w 2;
-     W.varint w term;
-     W.varint w prev_index;
-     W.varint w prev_term;
-     W.list w encode_entry entries;
-     W.varint w commit
-   | Append_reply { term; success; match_index } ->
-     W.u8 w 3;
-     W.varint w term;
-     W.bool w success;
-     W.varint w match_index
-   | Install_snapshot { term; last_index; last_term; members; offset; data; is_last } ->
-     W.u8 w 4;
-     W.varint w term;
-     W.varint w last_index;
-     W.varint w last_term;
-     W.list w W.zigzag members;
-     W.varint w offset;
-     W.string w data;
-     W.bool w is_last
-   | Snapshot_reply { term; last_index } ->
-     W.u8 w 5;
-     W.varint w term;
-     W.varint w last_index
-   | Snapshot_chunk_ok { term; offset } ->
-     W.u8 w 6;
-     W.varint w term;
-     W.varint w offset);
-  W.contents w
+(* Single wire-format body shared by [encode] (buffer sink) and [size]
+   (counting sink). *)
+let write w t =
+  match t with
+  | Request_vote { term; last_index; last_term } ->
+    W.u8 w 0;
+    W.varint w term;
+    W.varint w last_index;
+    W.varint w last_term
+  | Vote { term; granted } ->
+    W.u8 w 1;
+    W.varint w term;
+    W.bool w granted
+  | Append { term; prev_index; prev_term; entries; commit } ->
+    W.u8 w 2;
+    W.varint w term;
+    W.varint w prev_index;
+    W.varint w prev_term;
+    W.list w encode_entry entries;
+    W.varint w commit
+  | Append_reply { term; success; match_index } ->
+    W.u8 w 3;
+    W.varint w term;
+    W.bool w success;
+    W.varint w match_index
+  | Install_snapshot { term; last_index; last_term; members; offset; data; is_last } ->
+    W.u8 w 4;
+    W.varint w term;
+    W.varint w last_index;
+    W.varint w last_term;
+    W.list w W.zigzag members;
+    W.varint w offset;
+    W.string w data;
+    W.bool w is_last
+  | Snapshot_reply { term; last_index } ->
+    W.u8 w 5;
+    W.varint w term;
+    W.varint w last_index
+  | Snapshot_chunk_ok { term; offset } ->
+    W.u8 w 6;
+    W.varint w term;
+    W.varint w offset
 
-let decode s =
-  let r = R.of_string s in
+let read r =
   match R.u8 r with
   | 0 ->
     let term = R.varint r in
@@ -114,7 +113,17 @@ let decode s =
     Snapshot_chunk_ok { term; offset = R.varint r }
   | _ -> raise Rsmr_app.Codec.Truncated
 
-let size t = String.length (encode t)
+let encode t =
+  let w = W.create () in
+  write w t;
+  W.contents w
+
+let decode s = read (R.of_string s)
+
+let size t =
+  let c = W.counter () in
+  write c t;
+  W.written c
 
 let tag = function
   | Request_vote _ -> "request_vote"

@@ -16,33 +16,33 @@ type t =
       leader : Rsmr_net.Node_id.t option;
     }
 
-let encode t =
-  let w = W.create () in
-  (match t with
-   | Rpc m ->
-     W.u8 w 0;
-     W.string w (Raft_msg.encode m)
-   | Client m ->
-     W.u8 w 1;
-     W.string w (Rsmr_client.Client_msg.encode m)
-   | Dir_update { epoch; members; leader } ->
-     W.u8 w 2;
-     W.varint w epoch;
-     W.list w W.zigzag members;
-     W.option w W.zigzag leader
-   | Dir_lookup -> W.u8 w 3
-   | Dir_info { epoch; members; leader } ->
-     W.u8 w 4;
-     W.varint w epoch;
-     W.list w W.zigzag members;
-     W.option w W.zigzag leader);
-  W.contents w
+(* Single wire-format body shared by [encode] (buffer sink) and [size]
+   (counting sink).  Sub-messages are written in place via
+   [Writer.nested] rather than encoded to an intermediate string. *)
+let write w t =
+  match t with
+  | Rpc m ->
+    W.u8 w 0;
+    W.nested w Raft_msg.write m
+  | Client m ->
+    W.u8 w 1;
+    W.nested w Rsmr_client.Client_msg.write m
+  | Dir_update { epoch; members; leader } ->
+    W.u8 w 2;
+    W.varint w epoch;
+    W.list w W.zigzag members;
+    W.option w W.zigzag leader
+  | Dir_lookup -> W.u8 w 3
+  | Dir_info { epoch; members; leader } ->
+    W.u8 w 4;
+    W.varint w epoch;
+    W.list w W.zigzag members;
+    W.option w W.zigzag leader
 
-let decode s =
-  let r = R.of_string s in
+let read r =
   match R.u8 r with
-  | 0 -> Rpc (Raft_msg.decode (R.string r))
-  | 1 -> Client (Rsmr_client.Client_msg.decode (R.string r))
+  | 0 -> Rpc (Raft_msg.read (R.view r))
+  | 1 -> Client (Rsmr_client.Client_msg.read (R.view r))
   | 2 ->
     let epoch = R.varint r in
     let members = R.list r R.zigzag in
@@ -54,7 +54,17 @@ let decode s =
     Dir_info { epoch; members; leader = R.option r R.zigzag }
   | _ -> raise Rsmr_app.Codec.Truncated
 
-let size t = String.length (encode t)
+let encode t =
+  let w = W.create () in
+  write w t;
+  W.contents w
+
+let decode s = read (R.of_string s)
+
+let size t =
+  let c = W.counter () in
+  write c t;
+  W.written c
 
 let tag = function
   | Rpc m -> "raft." ^ Raft_msg.tag m

@@ -13,34 +13,33 @@ type t =
       epoch : int;
     }
 
-let encode t =
-  let w = W.create () in
-  (match t with
-   | Request { seq; low_water; payload } ->
-     W.u8 w 0;
-     W.varint w seq;
-     W.varint w low_water;
-     (match payload with
-      | Cmd cmd ->
-        W.u8 w 0;
-        W.string w cmd
-      | Change_membership members ->
-        W.u8 w 1;
-        W.list w W.zigzag members)
-   | Reply { seq; rsp } ->
-     W.u8 w 1;
-     W.varint w seq;
-     W.string w rsp
-   | Redirect { seq; leader; members; epoch } ->
-     W.u8 w 2;
-     W.varint w seq;
-     W.option w W.zigzag leader;
-     W.list w W.zigzag members;
-     W.varint w epoch);
-  W.contents w
+(* Single wire-format body shared by [encode] (buffer sink) and [size]
+   (counting sink). *)
+let write w t =
+  match t with
+  | Request { seq; low_water; payload } ->
+    W.u8 w 0;
+    W.varint w seq;
+    W.varint w low_water;
+    (match payload with
+     | Cmd cmd ->
+       W.u8 w 0;
+       W.string w cmd
+     | Change_membership members ->
+       W.u8 w 1;
+       W.list w W.zigzag members)
+  | Reply { seq; rsp } ->
+    W.u8 w 1;
+    W.varint w seq;
+    W.string w rsp
+  | Redirect { seq; leader; members; epoch } ->
+    W.u8 w 2;
+    W.varint w seq;
+    W.option w W.zigzag leader;
+    W.list w W.zigzag members;
+    W.varint w epoch
 
-let decode s =
-  let r = R.of_string s in
+let read r =
   match R.u8 r with
   | 0 ->
     let seq = R.varint r in
@@ -62,7 +61,17 @@ let decode s =
     Redirect { seq; leader; members; epoch = R.varint r }
   | _ -> raise Rsmr_app.Codec.Truncated
 
-let size t = String.length (encode t)
+let encode t =
+  let w = W.create () in
+  write w t;
+  W.contents w
+
+let decode s = read (R.of_string s)
+
+let size t =
+  let c = W.counter () in
+  write c t;
+  W.written c
 
 let pp ppf = function
   | Request { seq; payload = Cmd cmd; _ } ->

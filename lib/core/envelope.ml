@@ -14,24 +14,23 @@ type t =
       members : Rsmr_net.Node_id.t list;
     }
 
-let encode t =
-  let w = W.create () in
-  (match t with
-   | App { client; seq; low_water; cmd } ->
-     W.u8 w 0;
-     W.zigzag w client;
-     W.varint w seq;
-     W.varint w low_water;
-     W.string w cmd
-   | Reconfig { client; seq; members } ->
-     W.u8 w 1;
-     W.zigzag w client;
-     W.varint w seq;
-     W.list w W.zigzag members);
-  W.contents w
+(* Single wire-format body shared by [encode] (buffer sink) and [size]
+   (counting sink). *)
+let write w t =
+  match t with
+  | App { client; seq; low_water; cmd } ->
+    W.u8 w 0;
+    W.zigzag w client;
+    W.varint w seq;
+    W.varint w low_water;
+    W.string w cmd
+  | Reconfig { client; seq; members } ->
+    W.u8 w 1;
+    W.zigzag w client;
+    W.varint w seq;
+    W.list w W.zigzag members
 
-let decode s =
-  let r = R.of_string s in
+let read r =
   match R.u8 r with
   | 0 ->
     let client = R.zigzag r in
@@ -43,6 +42,18 @@ let decode s =
     let seq = R.varint r in
     Reconfig { client; seq; members = R.list r R.zigzag }
   | _ -> raise Rsmr_app.Codec.Truncated
+
+let encode t =
+  let w = W.create () in
+  write w t;
+  W.contents w
+
+let decode s = read (R.of_string s)
+
+let size t =
+  let c = W.counter () in
+  write c t;
+  W.written c
 
 let pp ppf = function
   | App { client; seq; cmd; _ } ->

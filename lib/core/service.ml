@@ -375,11 +375,17 @@ struct
 
   and start_replica t host inst =
     if inst.replica = None && not inst.retired then begin
+      let others = Config.others inst.cfg host.me in
       let replica =
         Replica.create ~engine:t.engine ~params:t.smr_params ~config:inst.cfg
           ~me:host.me
           ~send:(fun ~dst msg ->
             send t ~src:host.me ~dst
+              (Wire.Block { epoch = inst.epoch; data = B.Msg.encode msg }))
+          ~broadcast:(fun msg ->
+            (* One encode for the whole fan-out; the network also sizes
+               and tags the shared wire value exactly once. *)
+            Network.broadcast t.net ~src:host.me ~dsts:others
               (Wire.Block { epoch = inst.epoch; data = B.Msg.encode msg }))
           ~on_decide:(fun idx value -> on_decide t host inst idx value)
           ()
@@ -633,9 +639,19 @@ struct
     let top = List.fold_left max 0 universe in
     let dir_id = top + 1 in
     let admin_id = top + 2 in
+    (* The tagger runs on every send, so classify tunnelled block payloads
+       from their leading wire byte ([tag_of_encoded]) instead of a full
+       decode, and intern the "block." ^ tag strings. *)
+    let block_tags = Hashtbl.create 16 in
     let tagger = function
-      | Wire.Block { data; _ } ->
-        "block." ^ B.Msg.tag (B.Msg.decode data)
+      | Wire.Block { data; _ } -> (
+        let tag = B.Msg.tag_of_encoded data in
+        match Hashtbl.find_opt block_tags tag with
+        | Some interned -> interned
+        | None ->
+          let interned = "block." ^ tag in
+          Hashtbl.add block_tags tag interned;
+          interned)
       | other -> Wire.tag other
     in
     let net =

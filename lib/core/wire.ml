@@ -25,54 +25,53 @@ type t =
       leader : Rsmr_net.Node_id.t option;
     }
 
-let encode t =
-  let w = W.create () in
-  (match t with
-   | Block { epoch; data } ->
-     W.u8 w 0;
-     W.varint w epoch;
-     W.string w data
-   | Client m ->
-     W.u8 w 1;
-     W.string w (Rsmr_client.Client_msg.encode m)
-   | Bootstrap { epoch; members; prev_epoch; prev_members } ->
-     W.u8 w 2;
-     W.varint w epoch;
-     W.list w W.zigzag members;
-     W.varint w prev_epoch;
-     W.list w W.zigzag prev_members
-   | Fetch_state { epoch } ->
-     W.u8 w 3;
-     W.varint w epoch
-   | State_chunk { epoch; index; total; data } ->
-     W.u8 w 4;
-     W.varint w epoch;
-     W.varint w index;
-     W.varint w total;
-     W.string w data
-   | Retire { epoch } ->
-     W.u8 w 5;
-     W.varint w epoch
-   | Dir_update { epoch; members; leader } ->
-     W.u8 w 6;
-     W.varint w epoch;
-     W.list w W.zigzag members;
-     W.option w W.zigzag leader
-   | Dir_lookup -> W.u8 w 7
-   | Dir_info { epoch; members; leader } ->
-     W.u8 w 8;
-     W.varint w epoch;
-     W.list w W.zigzag members;
-     W.option w W.zigzag leader);
-  W.contents w
+(* The one wire-format body: [encode] runs it against a buffer sink,
+   [size] against a counting sink, so they cannot drift. *)
+let write w t =
+  match t with
+  | Block { epoch; data } ->
+    W.u8 w 0;
+    W.varint w epoch;
+    W.string w data
+  | Client m ->
+    W.u8 w 1;
+    W.nested w Rsmr_client.Client_msg.write m
+  | Bootstrap { epoch; members; prev_epoch; prev_members } ->
+    W.u8 w 2;
+    W.varint w epoch;
+    W.list w W.zigzag members;
+    W.varint w prev_epoch;
+    W.list w W.zigzag prev_members
+  | Fetch_state { epoch } ->
+    W.u8 w 3;
+    W.varint w epoch
+  | State_chunk { epoch; index; total; data } ->
+    W.u8 w 4;
+    W.varint w epoch;
+    W.varint w index;
+    W.varint w total;
+    W.string w data
+  | Retire { epoch } ->
+    W.u8 w 5;
+    W.varint w epoch
+  | Dir_update { epoch; members; leader } ->
+    W.u8 w 6;
+    W.varint w epoch;
+    W.list w W.zigzag members;
+    W.option w W.zigzag leader
+  | Dir_lookup -> W.u8 w 7
+  | Dir_info { epoch; members; leader } ->
+    W.u8 w 8;
+    W.varint w epoch;
+    W.list w W.zigzag members;
+    W.option w W.zigzag leader
 
-let decode s =
-  let r = R.of_string s in
+let read r =
   match R.u8 r with
   | 0 ->
     let epoch = R.varint r in
     Block { epoch; data = R.string r }
-  | 1 -> Client (Rsmr_client.Client_msg.decode (R.string r))
+  | 1 -> Client (Rsmr_client.Client_msg.read (R.view r))
   | 2 ->
     let epoch = R.varint r in
     let members = R.list r R.zigzag in
@@ -97,7 +96,17 @@ let decode s =
     Dir_info { epoch; members; leader = R.option r R.zigzag }
   | _ -> raise Rsmr_app.Codec.Truncated
 
-let size t = String.length (encode t)
+let encode t =
+  let w = W.create () in
+  write w t;
+  W.contents w
+
+let decode s = read (R.of_string s)
+
+let size t =
+  let c = W.counter () in
+  write c t;
+  W.written c
 
 let tag = function
   | Block _ -> "block"

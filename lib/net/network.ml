@@ -21,10 +21,21 @@ type 'm t = {
   tagger : ('m -> string) option;
   last_arrival : (Node_id.t * Node_id.t, float) Hashtbl.t;
   counters : Counters.t;
+  (* Cached handles for the counters every send touches, so the hot path
+     bumps refs instead of hashing counter names per message. *)
+  c_sent : int ref;
+  c_bytes_sent : int ref;
+  c_delivered : int ref;
+  c_dropped : int ref;
+  c_duplicated : int ref;
+  (* tag -> ("sent."^tag, "bytes."^tag) handles, so per-tag accounting
+     neither re-concatenates the key strings nor re-hashes them. *)
+  tag_handles : (string, int ref * int ref) Hashtbl.t;
 }
 
 let create engine ?(latency = Latency.lan) ?(drop = 0.0) ?(duplicate = 0.0)
     ?(bandwidth = 1.25e8) ?(fifo = true) ?tagger ?(sizer = fun _ -> 64) () =
+  let counters = Counters.create () in
   {
     engine;
     latency;
@@ -41,7 +52,13 @@ let create engine ?(latency = Latency.lan) ?(drop = 0.0) ?(duplicate = 0.0)
     fifo;
     tagger;
     last_arrival = Hashtbl.create 64;
-    counters = Counters.create ();
+    counters;
+    c_sent = Counters.handle counters "sent";
+    c_bytes_sent = Counters.handle counters "bytes_sent";
+    c_delivered = Counters.handle counters "delivered";
+    c_dropped = Counters.handle counters "dropped";
+    c_duplicated = Counters.handle counters "duplicated";
+    tag_handles = Hashtbl.create 16;
   }
 
 let engine t = t.engine
@@ -81,9 +98,9 @@ let deliver t env =
   if not (Node_id.Set.mem env.dst t.crashed) then
     match Hashtbl.find_opt t.handlers env.dst with
     | Some f ->
-      Counters.incr t.counters "delivered";
+      t.c_delivered := !(t.c_delivered) + 1;
       f env
-    | None -> Counters.incr t.counters "dropped"
+    | None -> t.c_dropped := !(t.c_dropped) + 1
 
 (* Egress serialization: a message holds the sender's uplink for
    size/bandwidth seconds; later messages queue behind it.  Returns the
@@ -102,25 +119,49 @@ let egress_delay t src size =
     free_at +. ser -. now
   end
 
-let send t ~src ~dst payload =
+(* The ("sent."^tag, "bytes."^tag) handle pair for [tag], concatenating
+   and hashing the key strings only the first time the tag appears. *)
+let tag_handles t tag =
+  match Hashtbl.find_opt t.tag_handles tag with
+  | Some h -> h
+  | None ->
+    let h =
+      ( Counters.handle t.counters ("sent." ^ tag),
+        Counters.handle t.counters ("bytes." ^ tag) )
+    in
+    Hashtbl.add t.tag_handles tag h;
+    h
+
+(* Size and per-tag accounting for a payload, resolved once per logical
+   send: [broadcast] shares one [prepare] across its whole fan-out, so a
+   payload sent to n peers is sized and tagged once, not n times. *)
+let prepare t payload =
   let size = t.sizer payload in
-  Counters.incr t.counters "sent";
-  Counters.add t.counters "bytes_sent" size;
-  (match t.tagger with
-   | Some tag ->
-     Counters.incr t.counters ("sent." ^ tag payload);
-     Counters.add t.counters ("bytes." ^ tag payload) size
+  let chan =
+    match t.tagger with
+    | Some tag -> Some (tag_handles t (tag payload))
+    | None -> None
+  in
+  (size, chan)
+
+let transmit t ~src ~dst ~size ~chan payload =
+  t.c_sent := !(t.c_sent) + 1;
+  t.c_bytes_sent := !(t.c_bytes_sent) + size;
+  (match chan with
+   | Some (sent, bytes) ->
+     sent := !sent + 1;
+     bytes := !bytes + size
    | None -> ());
   let env = { src; dst; payload } in
-  if Node_id.Set.mem src t.crashed then Counters.incr t.counters "dropped"
-  else if not (connected t src dst) then Counters.incr t.counters "dropped"
+  if Node_id.Set.mem src t.crashed then t.c_dropped := !(t.c_dropped) + 1
+  else if not (connected t src dst) then t.c_dropped := !(t.c_dropped) + 1
   else begin
     let p_drop = t.drop +. link_drop_prob t src dst in
-    if Rng.bernoulli t.rng p_drop then Counters.incr t.counters "dropped"
+    if Rng.bernoulli t.rng p_drop then t.c_dropped := !(t.c_dropped) + 1
     else begin
       let copies =
         if t.duplicate > 0.0 && Rng.bernoulli t.rng t.duplicate then begin
-          Counters.incr t.counters "duplicated";
+          t.c_duplicated := !(t.c_duplicated) + 1;
           2
         end
         else 1
@@ -153,12 +194,22 @@ let send t ~src ~dst payload =
         ignore
           (Engine.schedule t.engine ~delay (fun () ->
                if connected t src dst then deliver t env
-               else Counters.incr t.counters "dropped"))
+               else t.c_dropped := !(t.c_dropped) + 1))
       done
     end
   end
 
+let send t ~src ~dst payload =
+  let size, chan = prepare t payload in
+  transmit t ~src ~dst ~size ~chan payload
+
 let broadcast t ~src ~dsts payload =
-  List.iter
-    (fun dst -> if not (Node_id.equal dst src) then send t ~src ~dst payload)
-    dsts
+  match dsts with
+  | [] -> ()
+  | dsts ->
+    let size, chan = prepare t payload in
+    List.iter
+      (fun dst ->
+        if not (Node_id.equal dst src) then
+          transmit t ~src ~dst ~size ~chan payload)
+      dsts

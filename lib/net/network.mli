@@ -53,7 +53,9 @@ val send : 'm t -> src:Node_id.t -> dst:Node_id.t -> 'm -> unit
     on. *)
 
 val broadcast : 'm t -> src:Node_id.t -> dsts:Node_id.t list -> 'm -> unit
-(** Send to every node in [dsts] except [src]. *)
+(** Send to every node in [dsts] except [src].  The payload is sized and
+    tagged once for the whole fan-out (not once per destination), so this
+    is the cheap way to deliver one message to n peers. *)
 
 (** {1 Fault injection} *)
 

@@ -7,8 +7,17 @@ val create : unit -> t
 val incr : t -> string -> unit
 val add : t -> string -> int -> unit
 val get : t -> string -> int
+
+val handle : t -> string -> int ref
+(** The cell behind [name], created at zero if absent.  Hot paths can
+    resolve a counter once and bump the ref directly, skipping the hash
+    lookup that {!incr}/{!add} pay on every call.  The cell stays live
+    across {!reset} (which zeroes it in place). *)
+
 val to_list : t -> (string * int) list
 (** Sorted by name. *)
 
 val reset : t -> unit
+(** Zero every counter in place; handles remain valid. *)
+
 val pp : Format.formatter -> t -> unit

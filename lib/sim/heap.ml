@@ -1,33 +1,59 @@
-type 'a entry = { time : float; seq : int; payload : 'a }
+(* Parallel-array layout: [times] is an unboxed float array and [seqs] a
+   plain int array, so key comparisons during sifts touch no boxed
+   records; [payloads] holds the scheduled closures.  Payload slots are
+   ['a option] so a vacated slot can be cleared to [None] on pop — the
+   previous record-array layout left the popped entry reachable at
+   [data.(len)], pinning an arbitrary closure (and everything it
+   captured) until the slot happened to be overwritten. *)
+type 'a t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable payloads : 'a option array;
+  mutable len : int;
+}
 
-type 'a t = { mutable data : 'a entry array; mutable len : int }
-
-let create () = { data = [||]; len = 0 }
+let create () = { times = [||]; seqs = [||]; payloads = [||]; len = 0 }
 let is_empty t = t.len = 0
 let size t = t.len
 
-let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let less t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
 
-let grow t =
-  let cap = Array.length t.data in
-  let ncap = if cap = 0 then 16 else cap * 2 in
-  let nd = Array.make ncap t.data.(0) in
-  Array.blit t.data 0 nd 0 t.len;
-  t.data <- nd
+let swap t i j =
+  let time = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- time;
+  let seq = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- seq;
+  let payload = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- payload
+
+let resize t ncap =
+  let times = Array.make ncap 0.0 in
+  let seqs = Array.make ncap 0 in
+  let payloads = Array.make ncap None in
+  Array.blit t.times 0 times 0 t.len;
+  Array.blit t.seqs 0 seqs 0 t.len;
+  Array.blit t.payloads 0 payloads 0 t.len;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.payloads <- payloads
 
 let push t ~time ~seq payload =
-  let e = { time; seq; payload } in
-  if t.len = 0 && Array.length t.data = 0 then t.data <- Array.make 16 e;
-  if t.len = Array.length t.data then grow t;
-  t.data.(t.len) <- e;
+  if t.len = Array.length t.times then
+    resize t (max 16 (2 * Array.length t.times));
+  t.times.(t.len) <- time;
+  t.seqs.(t.len) <- seq;
+  t.payloads.(t.len) <- Some payload;
   t.len <- t.len + 1;
   (* Sift up. *)
   let i = ref (t.len - 1) in
-  while !i > 0 && less t.data.(!i) t.data.((!i - 1) / 2) do
+  while !i > 0 && less t !i ((!i - 1) / 2) do
     let p = (!i - 1) / 2 in
-    let tmp = t.data.(p) in
-    t.data.(p) <- t.data.(!i);
-    t.data.(!i) <- tmp;
+    swap t !i p;
     i := p
   done
 
@@ -37,29 +63,45 @@ let sift_down t =
   while !continue do
     let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
     let smallest = ref !i in
-    if l < t.len && less t.data.(l) t.data.(!smallest) then smallest := l;
-    if r < t.len && less t.data.(r) t.data.(!smallest) then smallest := r;
+    if l < t.len && less t l !smallest then smallest := l;
+    if r < t.len && less t r !smallest then smallest := r;
     if !smallest = !i then continue := false
     else begin
-      let tmp = t.data.(!i) in
-      t.data.(!i) <- t.data.(!smallest);
-      t.data.(!smallest) <- tmp;
+      swap t !i !smallest;
       i := !smallest
     end
   done
 
+(* Hand storage back after bursts: when occupancy falls below a quarter
+   of capacity, halve the arrays (with a floor so steady-state queues
+   never thrash). *)
+let maybe_shrink t =
+  let cap = Array.length t.times in
+  if cap > 64 && t.len * 4 < cap then resize t (cap / 2)
+
 let pop t =
   if t.len = 0 then None
   else begin
-    let e = t.data.(0) in
+    let time = t.times.(0) and seq = t.seqs.(0) in
+    let payload = t.payloads.(0) in
     t.len <- t.len - 1;
     if t.len > 0 then begin
-      t.data.(0) <- t.data.(t.len);
+      t.times.(0) <- t.times.(t.len);
+      t.seqs.(0) <- t.seqs.(t.len);
+      t.payloads.(0) <- t.payloads.(t.len);
       sift_down t
     end;
-    Some (e.time, e.seq, e.payload)
+    (* Clear the vacated slot so the payload is collectable immediately. *)
+    t.payloads.(t.len) <- None;
+    maybe_shrink t;
+    match payload with
+    | Some p -> Some (time, seq, p)
+    | None -> None (* live slots are always [Some]; defensive only *)
   end
 
-let peek t = if t.len = 0 then None else
-  let e = t.data.(0) in
-  Some (e.time, e.seq, e.payload)
+let peek t =
+  if t.len = 0 then None
+  else
+    match t.payloads.(0) with
+    | Some p -> Some (t.times.(0), t.seqs.(0), p)
+    | None -> None

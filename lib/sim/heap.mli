@@ -13,6 +13,10 @@ val push : 'a t -> time:float -> seq:int -> 'a -> unit
     [seq], so FIFO order among simultaneous events is preserved. *)
 
 val pop : 'a t -> (float * int * 'a) option
-(** Remove and return the minimum entry, or [None] if empty. *)
+(** Remove and return the minimum entry, or [None] if empty.  The popped
+    payload is unreachable from the heap afterwards (the vacated slot is
+    cleared), and capacity shrinks once occupancy drops below a quarter
+    of it — a burst of scheduled events does not pin memory for the rest
+    of the run. *)
 
 val peek : 'a t -> (float * int * 'a) option

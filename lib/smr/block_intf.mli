@@ -20,6 +20,12 @@ module type S = sig
     val decode : string -> t
     val size : t -> int
     val tag : t -> string
+
+    val tag_of_encoded : string -> string
+    (** [tag] recovered from an encoded payload's leading wire byte alone —
+        no allocation, no payload decode — so per-message accounting can
+        classify tunnelled bytes cheaply.  Total: unrecognised input maps
+        to ["invalid"]. *)
   end
 
   type t
@@ -31,11 +37,19 @@ module type S = sig
     config:Config.t ->
     me:Rsmr_net.Node_id.t ->
     send:(dst:Rsmr_net.Node_id.t -> Msg.t -> unit) ->
+    ?broadcast:(Msg.t -> unit) ->
     on_decide:(int -> string -> unit) ->
     unit ->
     t
   (** [on_decide] fires in strict slot order, exactly once per decided
-      command on this replica. *)
+      command on this replica.
+
+      [broadcast msg], when provided, is used instead of per-destination
+      [send] whenever the block addresses every other member of its
+      configuration with the same message — letting the transport encode
+      the payload exactly once for the whole fan-out.  It must be
+      equivalent to calling [send ~dst msg] for every member except the
+      block's own node. *)
 
   val handle : t -> src:Rsmr_net.Node_id.t -> Msg.t -> unit
   val submit : t -> string -> unit

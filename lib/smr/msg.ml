@@ -43,62 +43,61 @@ let decode_learned r =
   let i = R.varint r in
   (i, Log.decode_kind r)
 
-let encode t =
-  let w = W.create () in
-  (match t with
-   | Prepare { ballot; from_index } ->
-     W.u8 w 0;
-     Ballot.encode w ballot;
-     W.varint w from_index
-   | Promise { ballot; from_index; entries; commit_index } ->
-     W.u8 w 1;
-     Ballot.encode w ballot;
-     W.varint w from_index;
-     W.list w encode_entry entries;
-     W.varint w commit_index
-   | Reject { ballot; higher } ->
-     W.u8 w 2;
-     Ballot.encode w ballot;
-     Ballot.encode w higher
-   | Accept { ballot; index; kind; commit_index } ->
-     W.u8 w 3;
-     Ballot.encode w ballot;
-     W.varint w index;
-     Log.encode_kind w kind;
-     W.varint w commit_index
-   | Accepted { ballot; index } ->
-     W.u8 w 4;
-     Ballot.encode w ballot;
-     W.varint w index
-   | Heartbeat { ballot; commit_index } ->
-     W.u8 w 5;
-     Ballot.encode w ballot;
-     W.varint w commit_index
-   | Learn_req { from_index } ->
-     W.u8 w 6;
-     W.varint w from_index
-   | Learn_rsp { entries; commit_index } ->
-     W.u8 w 7;
-     W.list w encode_learned entries;
-     W.varint w commit_index
-   | Submit { value } ->
-     W.u8 w 8;
-     W.string w value
-   | Accept_multi { ballot; from_index; kinds; commit_index } ->
-     W.u8 w 9;
-     Ballot.encode w ballot;
-     W.varint w from_index;
-     W.list w Log.encode_kind kinds;
-     W.varint w commit_index
-   | Accepted_multi { ballot; from_index; upto } ->
-     W.u8 w 10;
-     Ballot.encode w ballot;
-     W.varint w from_index;
-     W.varint w upto);
-  W.contents w
+(* Single wire-format body shared by [encode] (buffer sink) and [size]
+   (counting sink). *)
+let write w t =
+  match t with
+  | Prepare { ballot; from_index } ->
+    W.u8 w 0;
+    Ballot.encode w ballot;
+    W.varint w from_index
+  | Promise { ballot; from_index; entries; commit_index } ->
+    W.u8 w 1;
+    Ballot.encode w ballot;
+    W.varint w from_index;
+    W.list w encode_entry entries;
+    W.varint w commit_index
+  | Reject { ballot; higher } ->
+    W.u8 w 2;
+    Ballot.encode w ballot;
+    Ballot.encode w higher
+  | Accept { ballot; index; kind; commit_index } ->
+    W.u8 w 3;
+    Ballot.encode w ballot;
+    W.varint w index;
+    Log.encode_kind w kind;
+    W.varint w commit_index
+  | Accepted { ballot; index } ->
+    W.u8 w 4;
+    Ballot.encode w ballot;
+    W.varint w index
+  | Heartbeat { ballot; commit_index } ->
+    W.u8 w 5;
+    Ballot.encode w ballot;
+    W.varint w commit_index
+  | Learn_req { from_index } ->
+    W.u8 w 6;
+    W.varint w from_index
+  | Learn_rsp { entries; commit_index } ->
+    W.u8 w 7;
+    W.list w encode_learned entries;
+    W.varint w commit_index
+  | Submit { value } ->
+    W.u8 w 8;
+    W.string w value
+  | Accept_multi { ballot; from_index; kinds; commit_index } ->
+    W.u8 w 9;
+    Ballot.encode w ballot;
+    W.varint w from_index;
+    W.list w Log.encode_kind kinds;
+    W.varint w commit_index
+  | Accepted_multi { ballot; from_index; upto } ->
+    W.u8 w 10;
+    Ballot.encode w ballot;
+    W.varint w from_index;
+    W.varint w upto
 
-let decode s =
-  let r = R.of_string s in
+let read r =
   match R.u8 r with
   | 0 ->
     let ballot = Ballot.decode r in
@@ -138,7 +137,17 @@ let decode s =
     Accepted_multi { ballot; from_index; upto = R.varint r }
   | _ -> raise Rsmr_app.Codec.Truncated
 
-let size t = String.length (encode t)
+let encode t =
+  let w = W.create () in
+  write w t;
+  W.contents w
+
+let decode s = read (R.of_string s)
+
+let size t =
+  let c = W.counter () in
+  write c t;
+  W.written c
 
 let tag = function
   | Prepare _ -> "prepare"
@@ -152,6 +161,26 @@ let tag = function
   | Learn_req _ -> "learn_req"
   | Learn_rsp _ -> "learn_rsp"
   | Submit _ -> "submit"
+
+(* Tag from the leading wire byte alone, so the network tagger can
+   classify an encoded payload without a full decode.  Must agree with
+   [tag] composed with [decode]; property-tested in test_wire.ml. *)
+let tag_of_encoded s =
+  if String.length s = 0 then "invalid"
+  else
+    match Char.code s.[0] with
+    | 0 -> "prepare"
+    | 1 -> "promise"
+    | 2 -> "reject"
+    | 3 -> "accept"
+    | 4 -> "accepted"
+    | 5 -> "heartbeat"
+    | 6 -> "learn_req"
+    | 7 -> "learn_rsp"
+    | 8 -> "submit"
+    | 9 -> "accept_multi"
+    | 10 -> "accepted_multi"
+    | _ -> "invalid"
 
 let pp ppf t =
   match t with

@@ -30,7 +30,15 @@ type t =
   | Submit of { value : string }
 
 val size : t -> int
-(** Wire size in bytes (actual encoded length). *)
+(** Wire size in bytes: a single counting pass over the same body as
+    {!encode}, allocating nothing. *)
+
+val write : Rsmr_app.Codec.Writer.t -> t -> unit
+(** The wire-format body shared by {!encode} and {!size}; also lets a
+    parent codec embed this message via [Writer.nested]. *)
+
+val read : Rsmr_app.Codec.Reader.t -> t
+(** Decode in place from a reader (e.g. a [Reader.view]). *)
 
 val encode : t -> string
 val decode : string -> t
@@ -39,3 +47,8 @@ val pp : Format.formatter -> t -> unit
 
 val tag : t -> string
 (** Short constructor name, for per-message-type counters. *)
+
+val tag_of_encoded : string -> string
+(** {!tag} recovered from an encoded payload's leading wire byte alone,
+    without decoding the payload.  Unrecognised input maps to
+    ["invalid"]. *)

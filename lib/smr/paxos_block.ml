@@ -9,12 +9,13 @@ module Msg = struct
   let decode = M.decode
   let size = M.size
   let tag = M.tag
+  let tag_of_encoded = M.tag_of_encoded
 end
 
 type t = Replica.t
 
-let create ~engine ~params ~config ~me ~send ~on_decide () =
-  Replica.create ~engine ~params ~config ~me ~send ~on_decide ()
+let create ~engine ~params ~config ~me ~send ?broadcast ~on_decide () =
+  Replica.create ~engine ~params ~config ~me ~send ?broadcast ~on_decide ()
 
 let handle = Replica.handle
 let submit = Replica.submit

@@ -29,6 +29,8 @@ type t = {
   cfg : Config.t;
   me : Node_id.t;
   send : dst:Node_id.t -> Msg.t -> unit;
+  bcast : (Msg.t -> unit) option;
+  others : Node_id.t list; (* Config.others cfg me, computed once *)
   on_decide : int -> string -> unit;
   rng : Rng.t;
   log : Log.t;
@@ -44,6 +46,7 @@ type t = {
   mutable known_committed_ballot : Ballot.t;
   pending : string Queue.t;
   mutable batch_buf : string list; (* newest first; leader only *)
+  mutable batch_len : int; (* List.length batch_buf, kept O(1) *)
   mutable batch_timer : Engine.timer option;
   mutable election_timer : Engine.timer option;
   mutable hb_timer : Engine.timer option;
@@ -90,8 +93,13 @@ let cancel_timer t slot =
     None
   | None -> None
 
+(* Same message to every other member: hand the whole fan-out to the
+   transport when it gave us a broadcast hook (it then encodes the
+   payload exactly once), else fall back to per-destination sends. *)
 let broadcast t msg =
-  List.iter (fun dst -> t.send ~dst msg) (Config.others t.cfg t.me)
+  match t.bcast with
+  | Some f -> f msg
+  | None -> List.iter (fun dst -> t.send ~dst msg) t.others
 
 (* Deliver the committed prefix to the application, in order. *)
 let deliver t =
@@ -319,7 +327,8 @@ and enqueue_value t value =
   if t.params.Params.batch_delay <= 0.0 then propose t (Log.Value value)
   else begin
     t.batch_buf <- value :: t.batch_buf;
-    if List.length t.batch_buf >= t.params.Params.batch_max then flush_batch t
+    t.batch_len <- t.batch_len + 1;
+    if t.batch_len >= t.params.Params.batch_max then flush_batch t
     else if t.batch_timer = None then
       t.batch_timer <-
         Some
@@ -334,6 +343,7 @@ and flush_batch t =
   | R_leader lead when t.batch_buf <> [] ->
     let values = List.rev t.batch_buf in
     t.batch_buf <- [];
+    t.batch_len <- 0;
     t.batch_timer <- cancel_timer t t.batch_timer;
     let from_index = lead.next_index in
     let kinds =
@@ -389,6 +399,7 @@ let step_down t ~higher =
         to whoever wins. *)
      List.iter (fun v -> Queue.push v t.pending) (List.rev t.batch_buf);
      t.batch_buf <- [];
+     t.batch_len <- 0;
      t.role <- R_follower
    | R_follower -> ());
   if Ballot.(t.promised < higher) then t.promised <- higher;
@@ -607,7 +618,7 @@ let halt t =
 let kick_election t = if not t.halted then start_election t
 
 let create ~engine ?(params = Params.default) ?trace ~config:cfg ~me ~send
-    ~on_decide () =
+    ?broadcast ~on_decide () =
   if not (Config.is_member cfg me) then
     invalid_arg "Replica.create: not a member of the configuration";
   let t =
@@ -618,6 +629,8 @@ let create ~engine ?(params = Params.default) ?trace ~config:cfg ~me ~send
       cfg;
       me;
       send;
+      bcast = broadcast;
+      others = Config.others cfg me;
       on_decide;
       rng = Rng.split (Engine.rng engine);
       log = Log.create ();
@@ -629,6 +642,7 @@ let create ~engine ?(params = Params.default) ?trace ~config:cfg ~me ~send
       known_committed_ballot = Ballot.zero;
       pending = Queue.create ();
       batch_buf = [];
+      batch_len = 0;
       batch_timer = None;
       election_timer = None;
       hb_timer = None;

@@ -27,10 +27,17 @@ val create :
   config:Config.t ->
   me:Rsmr_net.Node_id.t ->
   send:(dst:Rsmr_net.Node_id.t -> Msg.t -> unit) ->
+  ?broadcast:(Msg.t -> unit) ->
   on_decide:(int -> string -> unit) ->
   unit ->
   t
-(** [me] must be a member of [config]. *)
+(** [me] must be a member of [config].
+
+    [broadcast msg], when provided, replaces per-destination [send] for
+    any message addressed to every other member — the transport can then
+    encode the payload exactly once for the whole fan-out.  It must be
+    equivalent to [send ~dst msg] for each member of [config] except
+    [me]. *)
 
 val handle : t -> src:Rsmr_net.Node_id.t -> Msg.t -> unit
 [@@rsmr.deterministic] [@@rsmr.total]

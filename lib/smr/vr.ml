@@ -23,54 +23,53 @@ module Msg = struct
     | Get_state of { view : int; from : int }
     | New_state of { view : int; from : int; ops : string list; commit : int }
 
-  let encode t =
-    let w = W.create () in
-    (match t with
-     | Request { value } ->
-       W.u8 w 0;
-       W.string w value
-     | Prepare { view; op; value; commit } ->
-       W.u8 w 1;
-       W.varint w view;
-       W.varint w op;
-       W.string w value;
-       W.varint w commit
-     | Prepare_ok { view; op } ->
-       W.u8 w 2;
-       W.varint w view;
-       W.varint w op
-     | Commit { view; commit } ->
-       W.u8 w 3;
-       W.varint w view;
-       W.varint w commit
-     | Start_view_change { view } ->
-       W.u8 w 4;
-       W.varint w view
-     | Do_view_change { view; log; last_normal; commit } ->
-       W.u8 w 5;
-       W.varint w view;
-       W.list w W.string log;
-       W.varint w last_normal;
-       W.varint w commit
-     | Start_view { view; log; commit } ->
-       W.u8 w 6;
-       W.varint w view;
-       W.list w W.string log;
-       W.varint w commit
-     | Get_state { view; from } ->
-       W.u8 w 7;
-       W.varint w view;
-       W.varint w from
-     | New_state { view; from; ops; commit } ->
-       W.u8 w 8;
-       W.varint w view;
-       W.varint w from;
-       W.list w W.string ops;
-       W.varint w commit);
-    W.contents w
+  (* Single wire-format body shared by [encode] (buffer sink) and
+     [size] (counting sink). *)
+  let write w t =
+    match t with
+    | Request { value } ->
+      W.u8 w 0;
+      W.string w value
+    | Prepare { view; op; value; commit } ->
+      W.u8 w 1;
+      W.varint w view;
+      W.varint w op;
+      W.string w value;
+      W.varint w commit
+    | Prepare_ok { view; op } ->
+      W.u8 w 2;
+      W.varint w view;
+      W.varint w op
+    | Commit { view; commit } ->
+      W.u8 w 3;
+      W.varint w view;
+      W.varint w commit
+    | Start_view_change { view } ->
+      W.u8 w 4;
+      W.varint w view
+    | Do_view_change { view; log; last_normal; commit } ->
+      W.u8 w 5;
+      W.varint w view;
+      W.list w W.string log;
+      W.varint w last_normal;
+      W.varint w commit
+    | Start_view { view; log; commit } ->
+      W.u8 w 6;
+      W.varint w view;
+      W.list w W.string log;
+      W.varint w commit
+    | Get_state { view; from } ->
+      W.u8 w 7;
+      W.varint w view;
+      W.varint w from
+    | New_state { view; from; ops; commit } ->
+      W.u8 w 8;
+      W.varint w view;
+      W.varint w from;
+      W.list w W.string ops;
+      W.varint w commit
 
-  let decode s =
-    let r = R.of_string s in
+  let read r =
     match R.u8 r with
     | 0 -> Request { value = R.string r }
     | 1 ->
@@ -104,7 +103,17 @@ module Msg = struct
       New_state { view; from; ops; commit = R.varint r }
     | _ -> raise Rsmr_app.Codec.Truncated
 
-  let size t = String.length (encode t)
+  let encode t =
+    let w = W.create () in
+    write w t;
+    W.contents w
+
+  let decode s = read (R.of_string s)
+
+  let size t =
+    let c = W.counter () in
+    write c t;
+    W.written c
 
   let tag = function
     | Request _ -> "request"
@@ -116,6 +125,24 @@ module Msg = struct
     | Start_view _ -> "start_view"
     | Get_state _ -> "get_state"
     | New_state _ -> "new_state"
+
+  (* Tag from the leading wire byte alone, so the network tagger can
+     classify an encoded payload without a full decode.  Must agree with
+     [tag] composed with [decode]; property-tested in test_wire.ml. *)
+  let tag_of_encoded s =
+    if String.length s = 0 then "invalid"
+    else
+      match Char.code s.[0] with
+      | 0 -> "request"
+      | 1 -> "prepare"
+      | 2 -> "prepare_ok"
+      | 3 -> "commit"
+      | 4 -> "start_view_change"
+      | 5 -> "do_view_change"
+      | 6 -> "start_view"
+      | 7 -> "get_state"
+      | 8 -> "new_state"
+      | _ -> "invalid"
 end
 
 type dvc = { d_log : string list; d_last_normal : int; d_commit : int }
@@ -133,6 +160,7 @@ type t = {
   members : Node_id.t array;
   me : Node_id.t;
   send : dst:Node_id.t -> Msg.t -> unit;
+  bcast : (Msg.t -> unit) option;
   on_decide : int -> string -> unit;
   rng : Rng.t;
   mutable view : int;
@@ -198,10 +226,16 @@ let cancel t slot =
     None
   | None -> None
 
+(* Same message to every other member: hand the whole fan-out to the
+   transport when it gave us a broadcast hook (it then encodes the
+   payload exactly once), else fall back to per-destination sends. *)
 let broadcast t msg =
-  Array.iter
-    (fun dst -> if not (Node_id.equal dst t.me) then t.send ~dst msg)
-    t.members
+  match t.bcast with
+  | Some f -> f msg
+  | None ->
+    Array.iter
+      (fun dst -> if not (Node_id.equal dst t.me) then t.send ~dst msg)
+      t.members
 
 (* --- timers --- *)
 
@@ -503,7 +537,7 @@ let halt t =
     t.resend_timer <- cancel t t.resend_timer
   end
 
-let create ~engine ~params ~config ~me ~send ~on_decide () =
+let create ~engine ~params ~config ~me ~send ?broadcast ~on_decide () =
   if not (Config.is_member config me) then
     invalid_arg "Vr.create: not a member of the configuration";
   let t =
@@ -513,6 +547,7 @@ let create ~engine ~params ~config ~me ~send ~on_decide () =
       members = Array.of_list config.Config.members;
       me;
       send;
+      bcast = broadcast;
       on_decide;
       rng = Rng.split (Engine.rng engine);
       view = 0;

@@ -27,11 +27,25 @@ module Msg : sig
     | Get_state of { view : int; from : int }
     | New_state of { view : int; from : int; ops : string list; commit : int }
 
+  val size : t -> int
+  (** Wire size in bytes: a single counting pass over the same body as
+      {!encode}, allocating nothing. *)
+
+  val write : Rsmr_app.Codec.Writer.t -> t -> unit
+  (** The wire-format body shared by {!encode} and {!size}. *)
+
+  val read : Rsmr_app.Codec.Reader.t -> t
+  (** Decode in place from a reader (e.g. a [Reader.view]). *)
+
   val encode : t -> string
   val decode : string -> t
   [@@rsmr.deterministic] [@@rsmr.total]
-  val size : t -> int
   val tag : t -> string
+
+  val tag_of_encoded : string -> string
+  (** {!tag} recovered from an encoded payload's leading wire byte alone,
+      without decoding the payload.  Unrecognised input maps to
+      ["invalid"]. *)
 end
 
 include Block_intf.S with module Msg := Msg

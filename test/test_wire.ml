@@ -2,15 +2,23 @@
    must be the identity for every constructor of Rsmr_core.Wire.t and
    Rsmr_baselines.Raft_wire.t (including the nested Client_msg and
    Raft_msg payloads), and malformed input must raise Codec.Truncated.
-   Complements the rsmr-lint codec-exhaustive rule: lint proves every
-   constructor appears in encode/decode, these tests prove the two sides
-   agree byte-for-byte. *)
+   Since every codec now derives [size] from a counting pass over the
+   same write body as [encode], size honesty — size m = |encode m| — is
+   property-checked here too, as is the [tag_of_encoded] shortcut the
+   network tagger uses.  Complements the rsmr-lint codec-exhaustive
+   rule: lint proves every constructor appears in encode/decode, these
+   tests prove the two sides agree byte-for-byte. *)
 
 module Wire = Rsmr_core.Wire
+module Envelope = Rsmr_core.Envelope
 module Raft_wire = Rsmr_baselines.Raft_wire
 module Raft_msg = Rsmr_baselines.Raft_msg
 module Raft_log = Rsmr_baselines.Raft_log
 module Client_msg = Rsmr_client.Client_msg
+module Paxos_msg = Rsmr_smr.Msg
+module Ballot = Rsmr_smr.Ballot
+module Log = Rsmr_smr.Log
+module Vr_msg = Rsmr_smr.Vr.Msg
 
 (* ------------------------------------------------------------ generators *)
 
@@ -134,6 +142,104 @@ let raft_wire_gen =
           (fun epoch members leader ->
             Raft_wire.Dir_info { epoch; members; leader })
           num nids opt_nid;
+      ])
+
+let ballot_gen =
+  QCheck.Gen.(map2 (fun round node -> { Ballot.round; node }) num nid)
+
+let kind_gen =
+  QCheck.Gen.(
+    oneof [ return Log.Noop; map (fun v -> Log.Value v) short_string ])
+
+let paxos_entries_gen =
+  QCheck.Gen.(
+    list_size (int_bound 4)
+      (map3
+         (fun i ballot kind -> (i, { Log.ballot; kind }))
+         num ballot_gen kind_gen))
+
+let paxos_msg_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun ballot from_index -> Paxos_msg.Prepare { ballot; from_index })
+          ballot_gen num;
+        map3
+          (fun ballot (from_index, commit_index) entries ->
+            Paxos_msg.Promise { ballot; from_index; entries; commit_index })
+          ballot_gen (pair num num) paxos_entries_gen;
+        map2
+          (fun ballot higher -> Paxos_msg.Reject { ballot; higher })
+          ballot_gen ballot_gen;
+        map3
+          (fun ballot (index, commit_index) kind ->
+            Paxos_msg.Accept { ballot; index; kind; commit_index })
+          ballot_gen (pair num num) kind_gen;
+        map3
+          (fun ballot (from_index, commit_index) kinds ->
+            Paxos_msg.Accept_multi { ballot; from_index; kinds; commit_index })
+          ballot_gen (pair num num)
+          (list_size (int_bound 5) kind_gen);
+        map2
+          (fun ballot index -> Paxos_msg.Accepted { ballot; index })
+          ballot_gen num;
+        map3
+          (fun ballot from_index upto ->
+            Paxos_msg.Accepted_multi { ballot; from_index; upto })
+          ballot_gen num num;
+        map2
+          (fun ballot commit_index ->
+            Paxos_msg.Heartbeat { ballot; commit_index })
+          ballot_gen num;
+        map (fun from_index -> Paxos_msg.Learn_req { from_index }) num;
+        map2
+          (fun entries commit_index ->
+            Paxos_msg.Learn_rsp { entries; commit_index })
+          (list_size (int_bound 4) (pair num kind_gen))
+          num;
+        map (fun value -> Paxos_msg.Submit { value }) short_string;
+      ])
+
+let vr_msg_gen =
+  QCheck.Gen.(
+    let ops = list_size (int_bound 4) short_string in
+    oneof
+      [
+        map (fun value -> Vr_msg.Request { value }) short_string;
+        map3
+          (fun view (op, commit) value ->
+            Vr_msg.Prepare { view; op; value; commit })
+          num (pair num num) short_string;
+        map2 (fun view op -> Vr_msg.Prepare_ok { view; op }) num num;
+        map2 (fun view commit -> Vr_msg.Commit { view; commit }) num num;
+        map (fun view -> Vr_msg.Start_view_change { view }) num;
+        map3
+          (fun view (last_normal, commit) log ->
+            Vr_msg.Do_view_change { view; log; last_normal; commit })
+          num (pair num num) ops;
+        map3
+          (fun view commit log -> Vr_msg.Start_view { view; log; commit })
+          num num ops;
+        map2 (fun view from -> Vr_msg.Get_state { view; from }) num num;
+        map3
+          (fun view (from, commit) ops ->
+            Vr_msg.New_state { view; from; ops; commit })
+          num (pair num num) ops;
+      ])
+
+let envelope_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map3
+          (fun client (seq, low_water) cmd ->
+            Envelope.App { client; seq; low_water; cmd })
+          nid (pair num num) short_string;
+        map3
+          (fun client seq members ->
+            Envelope.Reconfig { client; seq; members })
+          nid num nids;
       ])
 
 (* --------------------------------------- one handcrafted case per tag *)
@@ -277,6 +383,47 @@ let prop_raft_msg_roundtrip =
     (QCheck.make raft_msg_gen) (fun m ->
       Raft_msg.decode (Raft_msg.encode m) = m)
 
+(* --- size honesty: the counting sink must agree with the buffer sink --- *)
+
+let prop_wire_size =
+  QCheck.Test.make ~name:"Wire size = |encode|" ~count:1000
+    (QCheck.make wire_gen) (fun m ->
+      Wire.size m = String.length (Wire.encode m))
+
+let prop_paxos_msg_size =
+  QCheck.Test.make ~name:"Paxos Msg size = |encode|" ~count:1000
+    (QCheck.make paxos_msg_gen) (fun m ->
+      Paxos_msg.size m = String.length (Paxos_msg.encode m)
+      && Paxos_msg.decode (Paxos_msg.encode m) = m)
+
+let prop_vr_msg_size =
+  QCheck.Test.make ~name:"Vr Msg size = |encode|" ~count:1000
+    (QCheck.make vr_msg_gen) (fun m ->
+      Vr_msg.size m = String.length (Vr_msg.encode m))
+
+let prop_raft_wire_size =
+  QCheck.Test.make ~name:"Raft_wire size = |encode|" ~count:1000
+    (QCheck.make raft_wire_gen) (fun m ->
+      Raft_wire.size m = String.length (Raft_wire.encode m))
+
+let prop_envelope_size =
+  QCheck.Test.make ~name:"Envelope size = |encode|" ~count:1000
+    (QCheck.make envelope_gen) (fun m ->
+      Envelope.size m = String.length (Envelope.encode m)
+      && Envelope.decode (Envelope.encode m) = m)
+
+(* --- tag_of_encoded: first-byte classification agrees with tag --- *)
+
+let prop_paxos_tag_of_encoded =
+  QCheck.Test.make ~name:"Paxos Msg tag_of_encoded∘encode = tag" ~count:500
+    (QCheck.make paxos_msg_gen) (fun m ->
+      Paxos_msg.tag_of_encoded (Paxos_msg.encode m) = Paxos_msg.tag m)
+
+let prop_vr_tag_of_encoded =
+  QCheck.Test.make ~name:"Vr Msg tag_of_encoded∘encode = tag" ~count:500
+    (QCheck.make vr_msg_gen) (fun m ->
+      Vr_msg.tag_of_encoded (Vr_msg.encode m) = Vr_msg.tag m)
+
 let () =
   Alcotest.run "wire"
     [
@@ -292,6 +439,19 @@ let () =
             test_raft_wire_samples;
           QCheck_alcotest.to_alcotest prop_raft_wire_roundtrip;
           QCheck_alcotest.to_alcotest prop_raft_msg_roundtrip;
+        ] );
+      ( "size-honesty",
+        [
+          QCheck_alcotest.to_alcotest prop_wire_size;
+          QCheck_alcotest.to_alcotest prop_paxos_msg_size;
+          QCheck_alcotest.to_alcotest prop_vr_msg_size;
+          QCheck_alcotest.to_alcotest prop_raft_wire_size;
+          QCheck_alcotest.to_alcotest prop_envelope_size;
+        ] );
+      ( "tag-of-encoded",
+        [
+          QCheck_alcotest.to_alcotest prop_paxos_tag_of_encoded;
+          QCheck_alcotest.to_alcotest prop_vr_tag_of_encoded;
         ] );
       ("malformed", [ Alcotest.test_case "tagged errors" `Quick test_bad_input ]);
     ]

@@ -158,8 +158,10 @@ type codec = {
   c_relpath : string;
   c_variants : (string * (string * Location.t) list * Location.t) list;
       (* type name, (constructor, loc) list, type loc *)
-  c_encode : P.expression option;
-  c_decode : P.expression option;
+  c_encode : P.expression list;
+      (* [encode] plus every sibling top-level binding it reaches *)
+  c_decode : P.expression list;
+      (* [decode] plus every sibling top-level binding it reaches *)
 }
 
 let registry_constructors : (string, unit) Hashtbl.t = Hashtbl.create 64
@@ -185,10 +187,44 @@ let toplevel_values structure =
     structure;
   tbl
 
+(* The wire-format body may be factored into sibling top-level bindings:
+   the single-pass codec style defines [write]/[read] bodies (shared by
+   [encode], [size] and nested embedding) plus per-field helpers, and
+   [encode]/[decode] are thin wrappers over them.  Follow unqualified
+   identifier references from a root binding through its siblings (to a
+   fixpoint) so the exhaustiveness check sees constructors wherever the
+   shared body actually lives. *)
+let delegation_closure tops root =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec visit name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      match Hashtbl.find_opt tops name with
+      | None -> ()
+      | Some expr ->
+        acc := expr :: !acc;
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr =
+              (fun self e ->
+                (match e.P.pexp_desc with
+                 | P.Pexp_ident { txt = Longident.Lident id; _ } -> visit id
+                 | _ -> ());
+                Ast_iterator.default_iterator.expr self e);
+          }
+        in
+        it.expr it expr
+    end
+  in
+  visit root;
+  !acc
+
 let codec_of_structure relpath structure =
   let tops = toplevel_values structure in
   match (Hashtbl.find_opt tops "encode", Hashtbl.find_opt tops "decode") with
-  | Some enc, Some dec ->
+  | Some _, Some _ ->
     let variants =
       List.filter_map
         (fun (si : P.structure_item) ->
@@ -213,7 +249,8 @@ let codec_of_structure relpath structure =
       |> List.concat
     in
     Some { c_relpath = relpath; c_variants = variants;
-           c_encode = Some enc; c_decode = Some dec }
+           c_encode = delegation_closure tops "encode";
+           c_decode = delegation_closure tops "decode" }
   | _ -> None
 
 let register_codec codec =
@@ -374,29 +411,35 @@ let check_decode_body ctx (body : P.expression) =
   it.expr it body
 
 let check_codec ctx codec =
-  match (codec.c_encode, codec.c_decode) with
-  | Some enc, Some dec ->
-    let in_encode = mentioned_constructors enc in
-    let in_decode = mentioned_constructors dec in
+  let union exprs =
+    let acc = Hashtbl.create 32 in
     List.iter
-      (fun (tname, ctors, _tloc) ->
-        List.iter
-          (fun (c, cloc) ->
-            if not (Hashtbl.mem in_encode c) then
-              flag ctx ~loc:cloc "codec-exhaustive"
-                (Printf.sprintf
-                   "constructor %s of type %s never appears in this \
-                    module's encode: the tag would be silently \
-                    unencodable" c tname);
-            if not (Hashtbl.mem in_decode c) then
-              flag ctx ~loc:cloc "codec-exhaustive"
-                (Printf.sprintf
-                   "constructor %s of type %s never appears in this \
-                    module's decode: the tag would be silently dropped on \
-                    the wire" c tname))
-          ctors)
-      codec.c_variants
-  | _ -> ()
+      (fun e ->
+        Hashtbl.iter (fun c () -> Hashtbl.replace acc c ())
+          (mentioned_constructors e))
+      exprs;
+    acc
+  in
+  let in_encode = union codec.c_encode in
+  let in_decode = union codec.c_decode in
+  List.iter
+    (fun (tname, ctors, _tloc) ->
+      List.iter
+        (fun (c, cloc) ->
+          if not (Hashtbl.mem in_encode c) then
+            flag ctx ~loc:cloc "codec-exhaustive"
+              (Printf.sprintf
+                 "constructor %s of type %s never appears in this \
+                  module's encode: the tag would be silently \
+                  unencodable" c tname);
+          if not (Hashtbl.mem in_decode c) then
+            flag ctx ~loc:cloc "codec-exhaustive"
+              (Printf.sprintf
+                 "constructor %s of type %s never appears in this \
+                  module's decode: the tag would be silently dropped on \
+                  the wire" c tname))
+        ctors)
+    codec.c_variants
 
 (* ------------------------------------------------------------- file scan *)
 

@@ -1,0 +1,35 @@
+(* A codec in the single-pass style: the wire-format body lives in
+   [write]/[read] (shared by encode, size, and nested embedding) and the
+   top-level [encode]/[decode] only delegate to them.  codec-exhaustive
+   must follow that delegation and still see every constructor. *)
+
+type t = Ping of int | Pong
+
+let write buf t =
+  match t with
+  | Ping n ->
+    Buffer.add_char buf '\000';
+    Buffer.add_string buf (string_of_int n)
+  | Pong -> Buffer.add_char buf '\001'
+
+exception Bad_tag
+
+let read s =
+  if String.length s = 0 then raise Bad_tag
+  else
+    match s.[0] with
+    | '\000' -> (
+      match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+      | Some n -> Ping n
+      | None -> raise Bad_tag)
+    | '\001' -> Pong
+    | _ -> raise Bad_tag
+
+let encode t =
+  let buf = Buffer.create 16 in
+  write buf t;
+  Buffer.contents buf
+
+let decode s = read s
+
+let size t = String.length (encode t)

@@ -1,0 +1,9 @@
+type t = Ping of int | Pong
+
+exception Bad_tag
+
+val write : Buffer.t -> t -> unit
+val read : string -> t
+val encode : t -> string
+val decode : string -> t
+val size : t -> int
