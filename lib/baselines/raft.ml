@@ -79,6 +79,8 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
   }
 
   let engine t = t.engine
+  let net t = t.net
+  let directory_id t = t.dir_id
   let counters t = t.counters
 
   let node_opt t id = Hashtbl.find_opt t.nodes id
@@ -716,13 +718,26 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
                 epoch = node.config_index;
               }))
 
-  let node_handler t node (env : Raft_wire.t Network.envelope) =
+  let rec node_handler t node (env : Raft_wire.t Network.envelope) =
     let src = env.Network.src in
     if node.halted then begin
       (* A retired server keeps answering clients with its freshest view of
          the configuration — exactly what a decommissioned-but-reachable
          server does in practice. *)
       match env.Network.payload with
+      | Raft_wire.Rpc
+          ( Raft_msg.Append { term; _ }
+          | Raft_msg.Install_snapshot { term; _ } )
+        when term >= node.term ->
+        (* Replication traffic from a current-term leader means a later
+           configuration re-added this server: a removed node only halts,
+           and the new leader only streams to its own members.  Rejoin as
+           a follower and let the normal path bring the log and state
+           machine back up to date. *)
+        node.halted <- false;
+        node.role <- Follower;
+        reset_election_timer t node;
+        node_handler t node env
       | Raft_wire.Client (Client_msg.Request { seq; _ }) ->
         Counters.incr t.counters "redirects";
         let leader =

@@ -35,6 +35,13 @@ module Make (Sm : Rsmr_app.State_machine.S) : sig
   (** {1 Introspection} *)
 
   val engine : t -> Rsmr_sim.Engine.t
+
+  val net : t -> Raft_wire.t Rsmr_net.Network.t
+  (** The underlying simulated network, for fault injection beyond what
+      {!Rsmr_iface.Cluster.t} carries (partitions, link faults, duplicate
+      storms) — the crucible runner drives it. *)
+
+  val directory_id : t -> Rsmr_net.Node_id.t
   val counters : t -> Rsmr_sim.Counters.t
   val leader : t -> Rsmr_net.Node_id.t option
   val term_of : t -> Rsmr_net.Node_id.t -> int option

@@ -151,9 +151,15 @@ let handle t msg =
          refresh_members t
        end;
        (* Back off so a redirect loop (e.g. during an election, when nobody
-          is leader yet) does not turn into a message storm. *)
+          is leader yet) does not turn into a message storm.  The retry
+          takes over the request's single timer slot: a duplicated
+          redirect re-arms it instead of scheduling a second attempt,
+          otherwise each duplication round multiplies the request ×
+          redirect ping-pong and the exchange goes supercritical. *)
        let jitter = 0.010 +. Rng.float t.rng 0.015 in
-       ignore (Engine.schedule t.engine ~delay:jitter (fun () -> attempt t seq))
+       cancel_timer t o;
+       o.timer <-
+         Some (Engine.schedule t.engine ~delay:jitter (fun () -> attempt t seq))
      | None -> ())
   | Client_msg.Request _ -> (* not addressed to clients *) ()
 

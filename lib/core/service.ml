@@ -7,6 +7,14 @@ module Config = Rsmr_smr.Config
 module Client_msg = Rsmr_client.Client_msg
 module Endpoint = Rsmr_client.Endpoint
 
+type epoch_stat = {
+  es_epoch : int;
+  es_activated : bool;
+  es_retired : bool;
+  es_wedged_at : int option;
+  es_applied_hi : int;
+}
+
 module type S = sig
   type t
   type app_state
@@ -34,6 +42,7 @@ module type S = sig
   val host_epoch : t -> Rsmr_net.Node_id.t -> int option
   val live_instances : t -> Rsmr_net.Node_id.t -> int
   val current_leader : t -> Rsmr_net.Node_id.t option
+  val epoch_stats : t -> Rsmr_net.Node_id.t -> epoch_stat list
 end
 
 module Make_on (B : Rsmr_smr.Block_intf.S) (Sm : Rsmr_app.State_machine.S) =
@@ -50,6 +59,10 @@ struct
     mutable sessions : Session.t;
     mutable activated : bool;
     mutable wedged_at : int option;
+    mutable applied_hi : int;
+        (* highest log index whose command took effect in this instance
+           (applied, deduplicated, or wedged) — the epoch-prefix-safety
+           oracle asserts it never passes the wedge index *)
     mutable next_members : Node_id.t list;
     mutable final_snapshot : string option;
     mutable spec_buf : (int * Envelope.t) list; (* newest first *)
@@ -132,6 +145,23 @@ struct
           | Some r when not (Replica.is_halted r) -> acc + 1
           | Some _ | None -> acc)
         host.instances 0
+
+  let epoch_stats t node =
+    match Hashtbl.find_opt t.hosts node with
+    | None -> []
+    | Some host ->
+      List.rev
+        (Stable.fold_sorted ~compare:Int.compare
+           (fun _ inst acc ->
+             {
+               es_epoch = inst.epoch;
+               es_activated = inst.activated;
+               es_retired = inst.retired;
+               es_wedged_at = inst.wedged_at;
+               es_applied_hi = inst.applied_hi;
+             }
+             :: acc)
+           host.instances [])
 
   let current_leader t =
     Stable.fold_sorted ~compare:Node_id.compare
@@ -241,6 +271,7 @@ struct
     end
 
   and process t host inst idx env =
+    if idx > inst.applied_hi then inst.applied_hi <- idx;
     match (env : Envelope.t) with
     | Envelope.App { client; seq; low_water; cmd } -> (
       match Session.check inst.sessions ~client ~seq with
@@ -302,18 +333,37 @@ struct
            !waiting
        | None -> ());
       (* Tell the new configuration it exists. *)
-      List.iter
-        (fun m ->
-          if not (Node_id.equal m host.me) then
-            send t ~src:host.me ~dst:m
-              (Wire.Bootstrap
-                 {
-                   epoch = new_epoch;
-                   members = members';
-                   prev_epoch = inst.epoch;
-                   prev_members = inst.cfg.Config.members;
-                 }))
-        members';
+      let bootstrap_members () =
+        List.iter
+          (fun m ->
+            if not (Node_id.equal m host.me) then
+              send t ~src:host.me ~dst:m
+                (Wire.Bootstrap
+                   {
+                     epoch = new_epoch;
+                     members = members';
+                     prev_epoch = inst.epoch;
+                     prev_members = inst.cfg.Config.members;
+                   }))
+          members'
+      in
+      bootstrap_members ();
+      (* Bootstrap is fire-and-forget: a new member unreachable at wedge
+         time would otherwise never learn its epoch exists and the
+         configuration could run forever one replica short.  Re-send on a
+         slow timer for a fixed window — retirement is no stop signal,
+         since the new quorum retires the old epoch while a crashed
+         newcomer is still in the dark; duplicates are ignored on
+         receipt. *)
+      let rec rebootstrap rounds =
+        if rounds > 0 then begin
+          bootstrap_members ();
+          ignore
+            (Engine.schedule t.engine ~delay:0.25 (fun () ->
+                 rebootstrap (rounds - 1)))
+        end
+      in
+      ignore (Engine.schedule t.engine ~delay:0.25 (fun () -> rebootstrap 40));
       send t ~src:host.me ~dst:t.dir_id
         (Wire.Dir_update { epoch = new_epoch; members = members'; leader = None });
       (* A host in both configurations transfers state locally: its own
@@ -343,6 +393,7 @@ struct
         sessions = Session.empty;
         activated = false;
         wedged_at = None;
+        applied_hi = -1;
         next_members = [];
         final_snapshot = None;
         spec_buf = [];

@@ -24,6 +24,21 @@
     default.  {!Rsmr_smr.Vr} demonstrates that the layer really is
     block-agnostic. *)
 
+type epoch_stat = {
+  es_epoch : int;
+  es_activated : bool;
+  es_retired : bool;
+  es_wedged_at : int option;
+      (** log index of the first decided [Reconfig], once wedged *)
+  es_applied_hi : int;
+      (** highest log index whose command took effect in this instance
+          ([-1] if none).  Epoch-prefix safety is
+          [es_wedged_at = Some w -> es_applied_hi <= w]. *)
+}
+(** Per-instance audit record, one per epoch a node hosts — the raw
+    material for the crucible's epoch-prefix and wedge-agreement
+    oracles. *)
+
 (** Output signature of the service functors. *)
 module type S = sig
   type t
@@ -73,6 +88,10 @@ module type S = sig
   val current_leader : t -> Rsmr_net.Node_id.t option
   (** The node leading the newest epoch's instance, if any (and not
       crashed). *)
+
+  val epoch_stats : t -> Rsmr_net.Node_id.t -> epoch_stat list
+  (** Audit records for every instance the node hosts, oldest epoch
+      first; empty for nodes that host none. *)
 end
 
 module Make_on (_ : Rsmr_smr.Block_intf.S) (Sm : Rsmr_app.State_machine.S) :

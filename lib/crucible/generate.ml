@@ -1,0 +1,84 @@
+module Rng = Rsmr_sim.Rng
+
+(* Times are quantized to milliseconds and probabilities to hundredths so
+   the scenario's compact text form round-trips exactly. *)
+let time_in rng lo hi =
+  let lo = int_of_float (lo *. 1000.) and hi = int_of_float (hi *. 1000.) in
+  float_of_int (Rng.int_in rng lo (max lo hi)) /. 1000.
+
+let prob_in rng lo hi =
+  let lo = int_of_float (lo *. 100.) and hi = int_of_float (hi *. 100.) in
+  float_of_int (Rng.int_in rng lo (max lo hi)) /. 100.
+
+let pick_config rng ~universe ~size =
+  let arr = Array.of_list universe in
+  Rng.shuffle rng arr;
+  Array.to_list (Array.sub arr 0 (min size (Array.length arr)))
+  |> List.sort Int.compare
+
+(* A two-way split of the universe with both sides non-empty. *)
+let pick_partition rng universe =
+  let left, right =
+    List.partition_map
+      (fun n -> if Rng.bool rng then Either.Left n else Either.Right n)
+      universe
+  in
+  match (left, right) with
+  | [], x :: rest | x :: rest, [] -> [ [ x ]; rest ]
+  | left, right -> [ left; right ]
+
+let scenario ~seed =
+  let rng = Rng.create ((seed * 2) + 1) in
+  let size = if Rng.int rng 4 < 3 then 3 else 5 in
+  let universe_n = size + 2 + Rng.int rng 3 in
+  let universe = List.init universe_n Fun.id in
+  let members = List.init size Fun.id in
+  let n_clients = 2 + Rng.int rng 2 in
+  let duration = time_in rng 1.5 2.5 in
+  let n_events = Rng.int rng 9 in
+  let horizon rng at = min duration (at +. time_in rng 0.2 1.2) in
+  let events = ref [] in
+  let emit at fault = events := { Scenario.at; fault } :: !events in
+  for _ = 1 to n_events do
+    let at = time_in rng 0.3 duration in
+    match Rng.int rng 6 with
+    | 0 ->
+      let node = Rng.pick rng universe in
+      emit at (Scenario.Crash node);
+      emit (horizon rng at) (Scenario.Recover node)
+    | 1 ->
+      emit at (Scenario.Partition (pick_partition rng universe));
+      emit (horizon rng at) Scenario.Heal
+    | 2 ->
+      let src = Rng.pick rng universe in
+      let dst = Rng.pick rng (List.filter (fun n -> n <> src) universe) in
+      emit at
+        (Scenario.Link_fault
+           { src; dst; drop = (if Rng.bool rng then 1.0 else 0.5) });
+      emit (horizon rng at) Scenario.Clear_links
+    | 3 ->
+      emit at (Scenario.Duplicate (prob_in rng 0.3 1.0));
+      emit (horizon rng at) (Scenario.Duplicate 0.0)
+    | 4 ->
+      emit at (Scenario.Drop (prob_in rng 0.05 0.3));
+      emit (horizon rng at) (Scenario.Drop 0.0)
+    | _ ->
+      let target = pick_config rng ~universe ~size in
+      emit at (Scenario.Reconfigure target);
+      (* Back-to-back churn: a second membership change lands while (or
+         right after) the first is still being installed — including at
+         the exact same instant, the concurrent-Reconfig case the
+         first-wedge-wins guard exists for. *)
+      if Rng.int rng 3 = 0 then begin
+        let target' = pick_config rng ~universe ~size in
+        emit (at +. time_in rng 0.0 0.2) (Scenario.Reconfigure target')
+      end
+  done;
+  {
+    Scenario.seed;
+    members;
+    universe;
+    n_clients;
+    duration;
+    events = Scenario.sort_events (List.rev !events);
+  }

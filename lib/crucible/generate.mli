@@ -1,0 +1,16 @@
+(** Seed → scenario.
+
+    Every structural choice — cluster size, universe, client count,
+    workload window, and the fault script (crash/recover pairs,
+    partitions and heals, directed-link faults, duplicate storms, loss
+    weather, reconfiguration churn including back-to-back submissions) —
+    is drawn from a {!Rsmr_sim.Rng} seeded by the scenario seed, so the
+    same seed always yields the same scenario.
+
+    Destructive events are paired with their cure inside the run
+    (crash/recover, partition/heal, storm/calm) but nothing here
+    guarantees a healthy endgame — the {!Runner} restores full service
+    after the workload window regardless of what the script left broken,
+    so every scenario eventually quiesces. *)
+
+val scenario : seed:int -> Scenario.t

@@ -1,0 +1,116 @@
+module Codec = Rsmr_app.Codec
+module Register = Rsmr_app.Register
+module Kv = Rsmr_app.Kv
+module Counter = Rsmr_app.Counter
+
+type command =
+  | Reg of Register.command
+  | Kv of Kv.command
+  | Cnt of Counter.command
+
+type response =
+  | Reg_r of Register.response
+  | Kv_r of Kv.response
+  | Cnt_r of Counter.response
+
+type t = { reg : Register.t; kv : Kv.t; cnt : Counter.t }
+
+let name = "mixed"
+let init () = { reg = Register.init (); kv = Kv.init (); cnt = Counter.init () }
+
+let apply t = function
+  | Reg c ->
+    let reg, r = Register.apply t.reg c in
+    ({ t with reg }, Reg_r r)
+  | Kv c ->
+    let kv, r = Kv.apply t.kv c in
+    ({ t with kv }, Kv_r r)
+  | Cnt c ->
+    let cnt, r = Counter.apply t.cnt c in
+    ({ t with cnt }, Cnt_r r)
+
+let encode_command c =
+  let w = Codec.Writer.create () in
+  (match c with
+   | Reg c ->
+     Codec.Writer.u8 w 0;
+     Codec.Writer.string w (Register.encode_command c)
+   | Kv c ->
+     Codec.Writer.u8 w 1;
+     Codec.Writer.string w (Kv.encode_command c)
+   | Cnt c ->
+     Codec.Writer.u8 w 2;
+     Codec.Writer.string w (Counter.encode_command c));
+  Codec.Writer.contents w
+
+let decode_command s =
+  let r = Codec.Reader.of_string s in
+  match Codec.Reader.u8 r with
+  | 0 -> Reg (Register.decode_command (Codec.Reader.string r))
+  | 1 -> Kv (Kv.decode_command (Codec.Reader.string r))
+  | 2 -> Cnt (Counter.decode_command (Codec.Reader.string r))
+  | _ -> raise Codec.Truncated
+[@@rsmr.deterministic] [@@rsmr.total]
+
+let encode_response rsp =
+  let w = Codec.Writer.create () in
+  (match rsp with
+   | Reg_r r ->
+     Codec.Writer.u8 w 0;
+     Codec.Writer.string w (Register.encode_response r)
+   | Kv_r r ->
+     Codec.Writer.u8 w 1;
+     Codec.Writer.string w (Kv.encode_response r)
+   | Cnt_r r ->
+     Codec.Writer.u8 w 2;
+     Codec.Writer.string w (Counter.encode_response r));
+  Codec.Writer.contents w
+
+let decode_response s =
+  let r = Codec.Reader.of_string s in
+  match Codec.Reader.u8 r with
+  | 0 -> Reg_r (Register.decode_response (Codec.Reader.string r))
+  | 1 -> Kv_r (Kv.decode_response (Codec.Reader.string r))
+  | 2 -> Cnt_r (Counter.decode_response (Codec.Reader.string r))
+  | _ -> raise Codec.Truncated
+[@@rsmr.deterministic] [@@rsmr.total]
+
+let snapshot t =
+  let w = Codec.Writer.create () in
+  Codec.Writer.string w (Register.snapshot t.reg);
+  Codec.Writer.string w (Kv.snapshot t.kv);
+  Codec.Writer.string w (Counter.snapshot t.cnt);
+  Codec.Writer.contents w
+
+let restore s =
+  let r = Codec.Reader.of_string s in
+  let reg = Register.restore (Codec.Reader.string r) in
+  let kv = Kv.restore (Codec.Reader.string r) in
+  let cnt = Counter.restore (Codec.Reader.string r) in
+  { reg; kv; cnt }
+
+let equal_response a b =
+  match (a, b) with
+  | Reg_r x, Reg_r y -> Register.equal_response x y
+  | Kv_r x, Kv_r y -> Kv.equal_response x y
+  | Cnt_r x, Cnt_r y -> Counter.equal_response x y
+  | (Reg_r _ | Kv_r _ | Cnt_r _), _ -> false
+
+let pp_command ppf = function
+  | Reg c -> Format.fprintf ppf "reg:%a" Register.pp_command c
+  | Kv c -> Format.fprintf ppf "kv:%a" Kv.pp_command c
+  | Cnt c -> Format.fprintf ppf "cnt:%a" Counter.pp_command c
+
+let pp_response ppf = function
+  | Reg_r r -> Format.fprintf ppf "reg:%a" Register.pp_response r
+  | Kv_r r -> Format.fprintf ppf "kv:%a" Kv.pp_response r
+  | Cnt_r r -> Format.fprintf ppf "cnt:%a" Counter.pp_response r
+
+let counter_value t = Counter.value t.cnt
+
+let incr_amount = function Cnt (Counter.Incr n) -> Some n | _ -> None
+
+let incr_of_encoded cmd =
+  match decode_command cmd with
+  | c -> incr_amount c
+  | exception Codec.Truncated -> None

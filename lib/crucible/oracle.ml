@@ -1,0 +1,167 @@
+module Service = Rsmr_core.Service
+module Lin = Rsmr_checker.Linearizability.Make (Mixed)
+
+type verdict =
+  | Pass
+  | Fail of string
+  | Inconclusive of string
+  | Skip of string
+
+type outcome = {
+  lin : verdict;
+  exactly_once : verdict;
+  epoch_prefix : verdict;
+  residual : verdict;
+  convergence : verdict;
+}
+
+let default_lin_budget = 400_000
+
+let check_lin ~budget (r : Runner.report) =
+  match Lin.check ~max_states:budget r.Runner.history with
+  | Lin.Linearizable -> Pass
+  | Lin.Not_linearizable ->
+    Fail
+      (Printf.sprintf "history of %d ops is not linearizable"
+         (Rsmr_checker.History.length r.Runner.history))
+  | Lin.Inconclusive ->
+    Inconclusive (Printf.sprintf "search budget (%d states) exhausted" budget)
+
+let check_exactly_once (r : Runner.report) =
+  if not r.Runner.quiesced then
+    Inconclusive "commands still outstanding; increment count unsettled"
+  else if not r.Runner.converged then
+    Inconclusive "members not converged; counter reading unsettled"
+  else
+    match r.Runner.final_counter with
+    | None -> Fail "no member exposes application state"
+    | Some v when v = r.Runner.acked_incr -> Pass
+    | Some v ->
+      Fail
+        (Printf.sprintf
+           "counter is %d but clients saw %d acknowledged increment units \
+            (%s)"
+           v r.Runner.acked_incr
+           (if v > r.Runner.acked_incr then "double application"
+            else "lost application"))
+
+let check_epoch_prefix (r : Runner.report) =
+  match r.Runner.proto with
+  | Runner.Raft -> Skip "native raft has no wedge"
+  | Runner.Core | Runner.Stopworld ->
+    let violations = ref [] in
+    let agreed = Hashtbl.create 8 in
+    List.iter
+      (fun (node, stats) ->
+        List.iter
+          (fun (s : Service.epoch_stat) ->
+            match s.Service.es_wedged_at with
+            | None -> ()
+            | Some w ->
+              if s.Service.es_applied_hi > w then
+                violations :=
+                  Printf.sprintf
+                    "node %d applied index %d past wedge %d in epoch %d" node
+                    s.Service.es_applied_hi w s.Service.es_epoch
+                  :: !violations;
+              (match Hashtbl.find_opt agreed s.Service.es_epoch with
+               | Some w' when w' <> w ->
+                 violations :=
+                   Printf.sprintf
+                     "epoch %d wedged at %d on one node and %d on another"
+                     s.Service.es_epoch w' w
+                   :: !violations
+               | Some _ -> ()
+               | None -> Hashtbl.add agreed s.Service.es_epoch w))
+          stats)
+      r.Runner.epoch_stats;
+    (match !violations with
+     | [] -> Pass
+     | vs -> Fail (String.concat "; " (List.rev vs)))
+
+let counter_of (r : Runner.report) name =
+  match List.assoc_opt name r.Runner.counters with Some n -> n | None -> 0
+
+let check_residual (r : Runner.report) =
+  if not r.Runner.quiesced then
+    Fail
+      (Printf.sprintf "%d of %d submitted commands never completed"
+         (r.Runner.submitted - r.Runner.completed)
+         r.Runner.submitted)
+  else
+    match r.Runner.proto with
+    | Runner.Raft -> Pass (* reduces to the no-lost-command check above *)
+    | Runner.Core | Runner.Stopworld ->
+      let resid = counter_of r "residuals" in
+      let resub = counter_of r "residuals_resubmitted" in
+      if resub > resid then
+        Fail
+          (Printf.sprintf "%d residuals resubmitted but only %d observed"
+             resub resid)
+      else Pass
+
+let check_convergence (r : Runner.report) =
+  if r.Runner.converged then Pass
+  else if not r.Runner.quiesced then
+    Fail "never quiesced, so convergence was not reached"
+  else
+    let missing =
+      List.filter
+        (fun m -> not (List.mem_assoc m r.Runner.final_states))
+        r.Runner.final_members
+    in
+    Fail
+      (Printf.sprintf
+         "members %s did not converge to one state (%d states collected%s)"
+         (String.concat "," (List.map string_of_int r.Runner.final_members))
+         (List.length r.Runner.final_states)
+         (match missing with
+          | [] -> ""
+          | ms ->
+            Printf.sprintf "; no state from %s"
+              (String.concat "," (List.map string_of_int ms))))
+
+let check ?(lin_budget = default_lin_budget) (r : Runner.report) =
+  {
+    lin = check_lin ~budget:lin_budget r;
+    exactly_once = check_exactly_once r;
+    epoch_prefix = check_epoch_prefix r;
+    residual = check_residual r;
+    convergence = check_convergence r;
+  }
+
+let named o =
+  [
+    ("linearizability", o.lin);
+    ("exactly-once", o.exactly_once);
+    ("epoch-prefix", o.epoch_prefix);
+    ("residual-conservation", o.residual);
+    ("convergence", o.convergence);
+  ]
+
+let failures o =
+  List.filter_map
+    (fun (name, v) -> match v with Fail msg -> Some (name, msg) | _ -> None)
+    (named o)
+
+let inconclusives o =
+  List.filter_map
+    (fun (name, v) ->
+      match v with Inconclusive msg -> Some (name, msg) | _ -> None)
+    (named o)
+
+let ok o = failures o = []
+
+let pp_verdict ppf = function
+  | Pass -> Format.pp_print_string ppf "pass"
+  | Fail msg -> Format.fprintf ppf "FAIL (%s)" msg
+  | Inconclusive msg -> Format.fprintf ppf "inconclusive (%s)" msg
+  | Skip msg -> Format.fprintf ppf "n/a (%s)" msg
+
+let pp ppf o =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:Format.pp_print_cut
+       (fun ppf (name, v) ->
+         Format.fprintf ppf "%-22s %a" name pp_verdict v))
+    (named o)

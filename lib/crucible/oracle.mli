@@ -1,0 +1,48 @@
+(** The five invariant oracles, judged over a completed {!Runner.report}.
+
+    - {b linearizability}: the client-observed history admits a legal
+      total order (Wing–Gong over {!Mixed}, budgeted — a blown budget is
+      [Inconclusive], never a verdict).
+    - {b exactly-once}: the replicated counter equals the sum of
+      acknowledged increments — any retry or residual resubmission that
+      double-applied, or any acknowledged-then-lost command, breaks the
+      arithmetic.
+    - {b epoch-prefix}: no composed-service instance applied a command
+      past its wedge index, and every replica that wedged an epoch agrees
+      on the wedge index ([Skip] under Raft, which has no wedge).
+    - {b residual conservation}: every submitted command eventually
+      completed (a residual that was neither resubmitted nor recoverable
+      by client retry shows up as a hung client), and the service never
+      claims more resubmissions than residuals.
+    - {b convergence}: after quiescence all advertised members expose
+      byte-identical application state. *)
+
+type verdict =
+  | Pass
+  | Fail of string
+  | Inconclusive of string  (** budget or settledness prevented a verdict *)
+  | Skip of string  (** oracle does not apply to this protocol *)
+
+type outcome = {
+  lin : verdict;
+  exactly_once : verdict;
+  epoch_prefix : verdict;
+  residual : verdict;
+  convergence : verdict;
+}
+
+val default_lin_budget : int
+
+val check : ?lin_budget:int -> Runner.report -> outcome
+
+val named : outcome -> (string * verdict) list
+(** The five verdicts with their oracle names, fixed order. *)
+
+val failures : outcome -> (string * string) list
+val inconclusives : outcome -> (string * string) list
+
+val ok : outcome -> bool
+(** No [Fail] verdict ([Inconclusive] and [Skip] are tolerated). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp : Format.formatter -> outcome -> unit

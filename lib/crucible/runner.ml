@@ -1,0 +1,281 @@
+module Engine = Rsmr_sim.Engine
+module Rng = Rsmr_sim.Rng
+module Counters = Rsmr_sim.Counters
+module Network = Rsmr_net.Network
+module Driver = Rsmr_workload.Driver
+module History = Rsmr_checker.History
+module Cluster = Rsmr_iface.Cluster
+module Service = Rsmr_core.Service
+module Options = Rsmr_core.Options
+module Register = Rsmr_app.Register
+module Kv = Rsmr_app.Kv
+module Counter = Rsmr_app.Counter
+
+module MixedCore = Service.Make (Mixed)
+module MixedRaft = Rsmr_baselines.Raft.Make (Mixed)
+
+type proto = Core | Stopworld | Raft
+
+let proto_name = function
+  | Core -> "core"
+  | Stopworld -> "stopworld"
+  | Raft -> "raft"
+
+let proto_of_string = function
+  | "core" -> Some Core
+  | "stopworld" -> Some Stopworld
+  | "raft" -> Some Raft
+  | _ -> None
+
+let all_protos = [ Core; Stopworld; Raft ]
+
+type report = {
+  proto : proto;
+  scenario : Scenario.t;
+  history : History.t;
+  submitted : int;
+  completed : int;
+  acked_incr : int;
+  quiesced : bool;
+  converged : bool;
+  final_members : int list;
+  final_states : (int * string) list;
+  final_counter : int option;
+  epoch_stats : (int * Service.epoch_stat list) list;
+  counters : (string * int) list;
+  events_executed : int;
+  end_time : float;
+}
+
+let first_client_id = 1000
+let workload_start = 0.2
+let quiesce_grace = 30.0
+let settle_grace = 10.0
+
+(* Uniform face over the three stacks: the cluster interface carries
+   submit/reconfigure/crash/recover, everything else (partitions, link
+   faults, storm dials, state introspection) goes through these hooks. *)
+type stack = {
+  cluster : Cluster.t;
+  partition : int list list -> unit;
+  net_heal : unit -> unit;
+  set_link : src:int -> dst:int -> drop:float -> unit;
+  clear_links : unit -> unit;
+  set_duplicate : float -> unit;
+  set_drop : float -> unit;
+  snapshot_of : int -> string option;
+  stats_of : int -> Service.epoch_stat list;
+  svc_counters : Counters.t;
+  service_ids : int list;  (* directory + admin client *)
+}
+
+let stopworld_options =
+  { Options.default with Options.speculative = false; residual_resubmit = false }
+
+let make_stack engine proto (sc : Scenario.t) =
+  match proto with
+  | Core | Stopworld ->
+    let options =
+      match proto with Stopworld -> stopworld_options | _ -> Options.default
+    in
+    let svc =
+      MixedCore.create ~engine ~options ~universe:sc.Scenario.universe
+        ~members:sc.Scenario.members ()
+    in
+    let net = MixedCore.net svc in
+    let dir = MixedCore.directory_id svc in
+    {
+      cluster =
+        { (MixedCore.cluster svc) with Cluster.name = proto_name proto };
+      partition = (fun groups -> Network.partition net groups);
+      net_heal = (fun () -> Network.heal net);
+      set_link =
+        (fun ~src ~dst ~drop -> Network.set_link_fault net ~src ~dst ~drop);
+      clear_links = (fun () -> Network.clear_link_faults net);
+      set_duplicate = (fun p -> Network.set_duplicate net p);
+      set_drop = (fun p -> Network.set_drop net p);
+      snapshot_of =
+        (fun n -> Option.map Mixed.snapshot (MixedCore.app_state svc n));
+      stats_of = (fun n -> MixedCore.epoch_stats svc n);
+      svc_counters = MixedCore.counters svc;
+      (* The admin client id is allocated right above the directory id
+         (Service.create's documented convention, shared by Raft). *)
+      service_ids = [ dir; dir + 1 ];
+    }
+  | Raft ->
+    let svc =
+      MixedRaft.create ~engine ~universe:sc.Scenario.universe
+        ~members:sc.Scenario.members ()
+    in
+    let net = MixedRaft.net svc in
+    let dir = MixedRaft.directory_id svc in
+    {
+      cluster = MixedRaft.cluster svc;
+      partition = (fun groups -> Network.partition net groups);
+      net_heal = (fun () -> Network.heal net);
+      set_link =
+        (fun ~src ~dst ~drop -> Network.set_link_fault net ~src ~dst ~drop);
+      clear_links = (fun () -> Network.clear_link_faults net);
+      set_duplicate = (fun p -> Network.set_duplicate net p);
+      set_drop = (fun p -> Network.set_drop net p);
+      snapshot_of =
+        (fun n -> Option.map Mixed.snapshot (MixedRaft.app_state svc n));
+      stats_of = (fun _ -> []);
+      svc_counters = MixedRaft.counters svc;
+      service_ids = [ dir; dir + 1 ];
+    }
+
+(* Scenario partitions name replica-side groups only; clients, directory
+   and admin ride along in every group so the workload keeps flowing to
+   whichever side can serve it. *)
+let apply_fault stack ~non_replica fault =
+  match (fault : Scenario.fault) with
+  | Scenario.Crash n -> stack.cluster.Cluster.crash n
+  | Scenario.Recover n -> stack.cluster.Cluster.recover n
+  | Scenario.Partition groups ->
+    stack.partition (List.map (fun g -> g @ non_replica) groups)
+  | Scenario.Heal -> stack.net_heal ()
+  | Scenario.Link_fault { src; dst; drop } -> stack.set_link ~src ~dst ~drop
+  | Scenario.Clear_links -> stack.clear_links ()
+  | Scenario.Duplicate p -> stack.set_duplicate p
+  | Scenario.Drop p -> stack.set_drop p
+  | Scenario.Reconfigure target -> stack.cluster.Cluster.reconfigure target
+
+(* Small value domains keep the linearizability search cheap: 8 register
+   values, 3 keys × 8 values, increments of 1–3. *)
+let gen_of rng =
+  let keys = [| "a"; "b"; "c" |] in
+  let key () = keys.(Rng.int rng (Array.length keys)) in
+  let value () = Printf.sprintf "v%d" (Rng.int rng 8) in
+  fun ~client:_ ~seq:_ ->
+    let cmd =
+      match Rng.int rng 8 with
+      | 0 -> Mixed.Reg Register.Read
+      | 1 -> Mixed.Reg (Register.Write (Rng.int rng 8))
+      | 2 -> Mixed.Reg (Register.Cas (Rng.int rng 8, Rng.int rng 8))
+      | 3 -> Mixed.Kv (Kv.Get (key ()))
+      | 4 -> Mixed.Kv (Kv.Put (key (), value ()))
+      | 5 -> Mixed.Kv (Kv.Append (key (), value ()))
+      | 6 -> Mixed.Cnt (Counter.Incr (1 + Rng.int rng 3))
+      | _ -> Mixed.Cnt Counter.Read
+    in
+    Mixed.encode_command cmd
+
+let run proto (sc : Scenario.t) =
+  let engine = Engine.create ~seed:sc.Scenario.seed () in
+  let stack = make_stack engine proto sc in
+  let client_ids =
+    List.init sc.Scenario.n_clients (fun i -> first_client_id + i)
+  in
+  let non_replica = stack.service_ids @ client_ids in
+  let t_end = workload_start +. sc.Scenario.duration +. 0.05 in
+  (* The fault script, offsets relative to workload start. *)
+  List.iter
+    (fun { Scenario.at; fault } ->
+      ignore
+        (Engine.at engine ~time:(workload_start +. at) (fun () ->
+             apply_fault stack ~non_replica fault)))
+    sc.Scenario.events;
+  (* Endgame: whatever the script left broken is repaired once the issue
+     window closes, so every scenario eventually quiesces and the safety
+     oracles judge a settled system. *)
+  ignore
+    (Engine.at engine ~time:t_end (fun () ->
+         stack.net_heal ();
+         stack.clear_links ();
+         stack.set_duplicate 0.0;
+         stack.set_drop 0.0;
+         List.iter
+           (fun n -> stack.cluster.Cluster.recover n)
+           sc.Scenario.universe));
+  let history = History.create () in
+  let acked_incr = ref 0 in
+  let on_event (e : Driver.event) =
+    History.add history
+      {
+        History.client = e.Driver.ev_client;
+        cmd = e.Driver.ev_cmd;
+        rsp = e.Driver.ev_rsp;
+        invoked = e.Driver.ev_invoked;
+        replied = e.Driver.ev_replied;
+      };
+    match Mixed.incr_of_encoded e.Driver.ev_cmd with
+    | Some n -> acked_incr := !acked_incr + n
+    | None -> ()
+  in
+  let rng = Rng.split (Engine.rng engine) in
+  let stats =
+    Driver.run_closed ~cluster:stack.cluster
+      ~n_clients:sc.Scenario.n_clients ~first_client_id ~gen:(gen_of rng)
+      ~think:0.02 ~on_event ~start:workload_start ~duration:sc.Scenario.duration
+      ()
+  in
+  (* Quiescence: past the endgame repair, every submitted command has a
+     reply (clients retry forever, so a lost command shows up here). *)
+  let quiesced =
+    Engine.run_until engine
+      ~pred:(fun () ->
+        Engine.now engine > t_end
+        && stats.Driver.completed >= stats.Driver.submitted)
+      ~deadline:(t_end +. quiesce_grace)
+    <> None
+  in
+  (* Convergence: all advertised members expose byte-identical application
+     state, and keep doing so for half a virtual second (so a membership
+     change still in flight cannot fake a settled cluster). *)
+  let members_sorted () =
+    List.sort_uniq Int.compare (stack.cluster.Cluster.members ())
+  in
+  let snapshots () =
+    List.map (fun n -> (n, stack.snapshot_of n)) (members_sorted ())
+  in
+  let converged_now () =
+    match snapshots () with
+    | [] -> false
+    | (_, first) :: rest -> (
+      match first with
+      | None -> false
+      | Some s ->
+        List.for_all
+          (fun (_, o) -> match o with Some s' -> String.equal s s' | None -> false)
+          rest)
+  in
+  let rec settle deadline =
+    if Engine.now engine >= deadline then false
+    else
+      match Engine.run_until engine ~pred:converged_now ~deadline with
+      | None -> false
+      | Some t ->
+        Engine.run ~until:(t +. 0.5) engine;
+        if converged_now () then true else settle deadline
+  in
+  let converged = quiesced && settle (Engine.now engine +. settle_grace) in
+  let final_members = members_sorted () in
+  let final_states =
+    List.filter_map
+      (fun (n, o) -> Option.map (fun s -> (n, s)) o)
+      (snapshots ())
+  in
+  let final_counter =
+    match final_states with
+    | (_, s) :: _ -> Some (Mixed.counter_value (Mixed.restore s))
+    | [] -> None
+  in
+  {
+    proto;
+    scenario = sc;
+    history;
+    submitted = stats.Driver.submitted;
+    completed = stats.Driver.completed;
+    acked_incr = !acked_incr;
+    quiesced;
+    converged;
+    final_members;
+    final_states;
+    final_counter;
+    epoch_stats =
+      List.map (fun n -> (n, stack.stats_of n)) sc.Scenario.universe;
+    counters = Counters.to_list stack.svc_counters;
+    events_executed = Engine.events_executed engine;
+    end_time = Engine.now engine;
+  }

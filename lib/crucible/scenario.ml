@@ -1,0 +1,204 @@
+type fault =
+  | Crash of int
+  | Recover of int
+  | Partition of int list list
+  | Heal
+  | Link_fault of { src : int; dst : int; drop : float }
+  | Clear_links
+  | Duplicate of float
+  | Drop of float
+  | Reconfigure of int list
+
+type event = { at : float; fault : fault }
+
+type t = {
+  seed : int;
+  members : int list;
+  universe : int list;
+  n_clients : int;
+  duration : float;
+  events : event list;
+}
+
+let sort_events events =
+  List.stable_sort (fun a b -> Float.compare a.at b.at) events
+
+(* --- compact wire form ---
+
+   One field per ';', events joined by '|'.  Everything is printable
+   ASCII with no quotes, so a whole scenario fits one shell argument:
+
+     s=7;m=0,1,2;u=0,1,2,3,4;c=3;d=2.5;ev=0.41 crash 1|0.9 recover 1
+
+   Floats are printed with up to 12 significant digits; the generator
+   quantizes times to milliseconds and probabilities to hundredths, so
+   the round trip is exact. *)
+
+let float_to_string f = Printf.sprintf "%.12g" f
+
+let ids_to_string ids = String.concat "," (List.map string_of_int ids)
+
+let fault_to_string = function
+  | Crash n -> Printf.sprintf "crash %d" n
+  | Recover n -> Printf.sprintf "recover %d" n
+  | Partition groups ->
+    Printf.sprintf "part %s" (String.concat "/" (List.map ids_to_string groups))
+  | Heal -> "heal"
+  | Link_fault { src; dst; drop } ->
+    Printf.sprintf "link %d>%d %s" src dst (float_to_string drop)
+  | Clear_links -> "clearlinks"
+  | Duplicate p -> Printf.sprintf "dup %s" (float_to_string p)
+  | Drop p -> Printf.sprintf "drop %s" (float_to_string p)
+  | Reconfigure ids -> Printf.sprintf "reconf %s" (ids_to_string ids)
+
+let to_string t =
+  let ev =
+    String.concat "|"
+      (List.map
+         (fun e ->
+           Printf.sprintf "%s %s" (float_to_string e.at)
+             (fault_to_string e.fault))
+         t.events)
+  in
+  Printf.sprintf "s=%d;m=%s;u=%s;c=%d;d=%s;ev=%s" t.seed
+    (ids_to_string t.members) (ids_to_string t.universe) t.n_clients
+    (float_to_string t.duration) ev
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal a b = String.equal (to_string a) (to_string b)
+
+(* --- parsing (total: every failure is an [Error]) --- *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let int_of r s =
+  match int_of_string_opt (String.trim s) with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "%s: bad integer %S" r s)
+
+let float_of r s =
+  match float_of_string_opt (String.trim s) with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "%s: bad float %S" r s)
+
+let ids_of r s =
+  let parts = String.split_on_char ',' s in
+  List.fold_left
+    (fun acc part ->
+      let* acc = acc in
+      let* n = int_of r part in
+      Ok (n :: acc))
+    (Ok []) parts
+  |> function
+  | Ok rev -> Ok (List.rev rev)
+  | Error _ as e -> e
+
+let fault_of_string s =
+  let s = String.trim s in
+  let word, rest =
+    match String.index_opt s ' ' with
+    | Some i ->
+      ( String.sub s 0 i,
+        String.sub s (i + 1) (String.length s - i - 1) |> String.trim )
+    | None -> (s, "")
+  in
+  match word with
+  | "crash" ->
+    let* n = int_of "crash" rest in
+    Ok (Crash n)
+  | "recover" ->
+    let* n = int_of "recover" rest in
+    Ok (Recover n)
+  | "part" ->
+    let groups = String.split_on_char '/' rest in
+    let* groups =
+      List.fold_left
+        (fun acc g ->
+          let* acc = acc in
+          let* ids = ids_of "part" g in
+          Ok (ids :: acc))
+        (Ok []) groups
+    in
+    Ok (Partition (List.rev groups))
+  | "heal" -> Ok Heal
+  | "link" -> (
+    match String.split_on_char ' ' rest with
+    | [ pair; p ] -> (
+      match String.split_on_char '>' pair with
+      | [ src; dst ] ->
+        let* src = int_of "link" src in
+        let* dst = int_of "link" dst in
+        let* drop = float_of "link" p in
+        Ok (Link_fault { src; dst; drop })
+      | _ -> Error (Printf.sprintf "link: expected src>dst, got %S" pair))
+    | _ -> Error (Printf.sprintf "link: expected 'src>dst p', got %S" rest))
+  | "clearlinks" -> Ok Clear_links
+  | "dup" ->
+    let* p = float_of "dup" rest in
+    Ok (Duplicate p)
+  | "drop" ->
+    let* p = float_of "drop" rest in
+    Ok (Drop p)
+  | "reconf" ->
+    let* ids = ids_of "reconf" rest in
+    Ok (Reconfigure ids)
+  | other -> Error (Printf.sprintf "unknown fault %S" other)
+
+let event_of_string s =
+  let s = String.trim s in
+  match String.index_opt s ' ' with
+  | None -> Error (Printf.sprintf "event %S: expected 'time fault'" s)
+  | Some i ->
+    let* at = float_of "event time" (String.sub s 0 i) in
+    let* fault =
+      fault_of_string (String.sub s (i + 1) (String.length s - i - 1))
+    in
+    Ok { at; fault }
+
+let of_string s =
+  let fields = String.split_on_char ';' (String.trim s) in
+  let find key =
+    let prefix = key ^ "=" in
+    let plen = String.length prefix in
+    List.find_map
+      (fun f ->
+        if String.length f >= plen && String.sub f 0 plen = prefix then
+          Some (String.sub f plen (String.length f - plen))
+        else None)
+      fields
+  in
+  let req key =
+    match find key with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %s=" key)
+  in
+  let* seed = req "s" in
+  let* seed = int_of "seed" seed in
+  let* members = req "m" in
+  let* members = ids_of "members" members in
+  let* universe = req "u" in
+  let* universe = ids_of "universe" universe in
+  let* n_clients = req "c" in
+  let* n_clients = int_of "clients" n_clients in
+  let* duration = req "d" in
+  let* duration = float_of "duration" duration in
+  let* events =
+    match find "ev" with
+    | None | Some "" -> Ok []
+    | Some ev ->
+      let parts = String.split_on_char '|' ev in
+      List.fold_left
+        (fun acc part ->
+          let* acc = acc in
+          let* e = event_of_string part in
+          Ok (e :: acc))
+        (Ok []) parts
+      |> fun r ->
+      let* rev = r in
+      Ok (List.rev rev)
+  in
+  if members = [] then Error "empty member set"
+  else if n_clients < 1 then Error "need at least one client"
+  else if duration <= 0.0 then Error "non-positive duration"
+  else
+    Ok { seed; members; universe; n_clients; duration; events = sort_events events }

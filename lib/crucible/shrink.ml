@@ -1,0 +1,84 @@
+(* Split [lst] into [n] contiguous chunks, sizes as even as possible. *)
+let chunks n lst =
+  let len = List.length lst in
+  let base = len / n and extra = len mod n in
+  let rec take k lst acc =
+    if k = 0 then (List.rev acc, lst)
+    else
+      match lst with
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (k - 1) rest (x :: acc)
+  in
+  let rec go i lst acc =
+    if i >= n || lst = [] then List.rev acc
+    else begin
+      let size = base + (if i < extra then 1 else 0) in
+      let chunk, rest = take size lst [] in
+      go (i + 1) rest (if chunk = [] then acc else chunk :: acc)
+    end
+  in
+  go 0 lst []
+
+let quantize_ms f = Float.round (f *. 1000.) /. 1000.
+
+let minimize ?(max_attempts = 200) ~still_fails sc0 =
+  let attempts = ref 0 in
+  let budget_left () = !attempts < max_attempts in
+  let try_fails sc =
+    if not (budget_left ()) then false
+    else begin
+      incr attempts;
+      still_fails sc
+    end
+  in
+  (* Delta-debugging over the fault script.  The first granularity (two
+     chunks) is exactly the "bisect the fault window" step: drop the first
+     half of the timeline, then the second; finer granularities remove
+     individual events. *)
+  let rec ddmin sc n =
+    let events = sc.Scenario.events in
+    let len = List.length events in
+    if len = 0 || not (budget_left ()) then sc
+    else begin
+      let n = min n len in
+      let cs = chunks n events in
+      let rec try_remove i =
+        if i >= List.length cs then None
+        else begin
+          let kept = List.concat (List.filteri (fun j _ -> j <> i) cs) in
+          let cand = { sc with Scenario.events = kept } in
+          if try_fails cand then Some cand else try_remove (i + 1)
+        end
+      in
+      match try_remove 0 with
+      | Some cand -> ddmin cand (max (n - 1) 2)
+      | None -> if n >= len then sc else ddmin sc (min len (2 * n))
+    end
+  in
+  (* Halve the workload window while the failure survives; events past the
+     new window go with it. *)
+  let rec shorten sc =
+    let d = sc.Scenario.duration in
+    if d <= 0.25 || not (budget_left ()) then sc
+    else begin
+      let d' = quantize_ms (d /. 2.) in
+      let events =
+        List.filter (fun e -> e.Scenario.at <= d') sc.Scenario.events
+      in
+      let cand = { sc with Scenario.duration = d'; events } in
+      if try_fails cand then shorten cand else sc
+    end
+  in
+  let rec fewer_clients sc =
+    if sc.Scenario.n_clients <= 1 || not (budget_left ()) then sc
+    else begin
+      let cand = { sc with Scenario.n_clients = sc.Scenario.n_clients - 1 } in
+      if try_fails cand then fewer_clients cand else sc
+    end
+  in
+  let sc = ddmin sc0 2 in
+  let sc = shorten sc in
+  let sc = fewer_clients sc in
+  (* The smaller workload may have freed more of the script. *)
+  let sc = ddmin sc 2 in
+  (sc, !attempts)

@@ -1,0 +1,25 @@
+(** Scenario minimization: given a failing scenario and a predicate that
+    re-runs it, produce a smaller scenario that still fails.
+
+    Three deterministic passes, each applied to fixpoint within an attempt
+    budget: delta-debugging over the fault script (whose coarsest step is
+    bisecting the fault window, and whose finest removes single events),
+    halving the workload window, and dropping clients.  Re-running the
+    event pass last catches script events only needed by the longer
+    workload.  The result is not guaranteed 1-minimal — the budget caps
+    how many re-runs we spend — but in practice a one-event reproducer
+    shrinks to exactly that event.
+
+    Determinism: the pass order and candidate order are fixed, so for a
+    deterministic [still_fails] the minimized scenario is a pure function
+    of the input. *)
+
+val minimize :
+  ?max_attempts:int ->
+  still_fails:(Scenario.t -> bool) ->
+  Scenario.t ->
+  Scenario.t * int
+(** [minimize ~still_fails sc] returns the smallest still-failing scenario
+    found and the number of re-runs spent.  [still_fails sc] itself is
+    never called — only candidates are re-run; callers should have
+    verified [sc] fails.  [max_attempts] defaults to 200. *)

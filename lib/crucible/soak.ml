@@ -1,0 +1,98 @@
+type failure = {
+  f_proto : Runner.proto;
+  f_seed : int;
+  f_scenario : Scenario.t;
+  f_failed : (string * string) list;
+  f_shrunk : Scenario.t;
+  f_shrunk_failed : (string * string) list;
+  f_attempts : int;
+}
+
+type summary = {
+  runs : int;
+  passed : int;
+  inconclusive : int;
+  failures : failure list;
+}
+
+let replay_command proto scenario =
+  Printf.sprintf "dune exec test/crucible_main.exe -- --proto %s --scenario '%s'"
+    (Runner.proto_name proto) (Scenario.to_string scenario)
+
+let run_scenario ?lin_budget proto scenario =
+  let report = Runner.run proto scenario in
+  (Oracle.check ?lin_budget report, report)
+
+let check_scenario ?lin_budget ?(shrink = true) proto scenario =
+  let outcome, _report = run_scenario ?lin_budget proto scenario in
+  match Oracle.failures outcome with
+  | [] -> Ok outcome
+  | failed ->
+    (* Shrink against "any oracle fails": chasing one specific oracle
+       tends to dead-end when a smaller scenario trips an even earlier
+       invariant, and any surviving failure is a valid reproducer. *)
+    let still_fails sc =
+      let o, _ = run_scenario ?lin_budget proto sc in
+      Oracle.failures o <> []
+    in
+    let shrunk, attempts =
+      if shrink then Shrink.minimize ~still_fails scenario else (scenario, 0)
+    in
+    let shrunk_outcome, _ = run_scenario ?lin_budget proto shrunk in
+    Error
+      {
+        f_proto = proto;
+        f_seed = scenario.Scenario.seed;
+        f_scenario = scenario;
+        f_failed = failed;
+        f_shrunk = shrunk;
+        f_shrunk_failed = Oracle.failures shrunk_outcome;
+        f_attempts = attempts;
+      }
+
+let check_seed ?lin_budget ?shrink proto seed =
+  check_scenario ?lin_budget ?shrink proto (Generate.scenario ~seed)
+
+let soak ?lin_budget ?shrink ?on_run ~protos ~seeds () =
+  let runs = ref 0 in
+  let passed = ref 0 in
+  let inconclusive = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun proto ->
+          incr runs;
+          (match check_seed ?lin_budget ?shrink proto seed with
+           | Ok outcome ->
+             incr passed;
+             if Oracle.inconclusives outcome <> [] then incr inconclusive;
+             (match on_run with
+              | Some f -> f proto seed (Some outcome)
+              | None -> ())
+           | Error failure ->
+             failures := failure :: !failures;
+             (match on_run with Some f -> f proto seed None | None -> ())))
+        protos)
+    seeds;
+  {
+    runs = !runs;
+    passed = !passed;
+    inconclusive = !inconclusive;
+    failures = List.rev !failures;
+  }
+
+let pp_failure ppf f =
+  Format.fprintf ppf
+    "@[<v>%s seed %d FAILED: %a@,  scenario: %a@,  shrunk (%d re-runs): %a@,\
+    \  shrunk failure: %a@,  replay: %s@]"
+    (Runner.proto_name f.f_proto) f.f_seed
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf (name, msg) -> Format.fprintf ppf "%s (%s)" name msg))
+    f.f_failed Scenario.pp f.f_scenario f.f_attempts Scenario.pp f.f_shrunk
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf (name, msg) -> Format.fprintf ppf "%s (%s)" name msg))
+    f.f_shrunk_failed
+    (replay_command f.f_proto f.f_shrunk)

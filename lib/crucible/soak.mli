@@ -1,0 +1,67 @@
+(** The soak driver: generate → run → judge → (on failure) shrink →
+    print a one-line replay command.
+
+    This is the loop behind [test/crucible_main.exe] and the CI soak
+    step: a seed range crossed with the protocol stacks, each run judged
+    by the five {!Oracle}s, failures minimized by {!Shrink} and reported
+    with a [dune exec] one-liner that replays the shrunk scenario
+    bit-for-bit. *)
+
+type failure = {
+  f_proto : Runner.proto;
+  f_seed : int;
+  f_scenario : Scenario.t;  (** the original generated scenario *)
+  f_failed : (string * string) list;  (** oracle name → reason *)
+  f_shrunk : Scenario.t;
+  f_shrunk_failed : (string * string) list;
+      (** what the shrunk scenario trips — possibly an earlier oracle than
+          the original *)
+  f_attempts : int;  (** re-runs the shrinker spent *)
+}
+
+type summary = {
+  runs : int;
+  passed : int;  (** runs with no failing oracle *)
+  inconclusive : int;  (** passing runs with ≥1 inconclusive verdict *)
+  failures : failure list;
+}
+
+val replay_command : Runner.proto -> Scenario.t -> string
+(** The one-liner that replays a scenario against a protocol. *)
+
+val run_scenario :
+  ?lin_budget:int ->
+  Runner.proto ->
+  Scenario.t ->
+  Oracle.outcome * Runner.report
+
+val check_scenario :
+  ?lin_budget:int ->
+  ?shrink:bool ->
+  Runner.proto ->
+  Scenario.t ->
+  (Oracle.outcome, failure) result
+(** Run and judge; on failure, minimize (unless [shrink:false]) and
+    re-judge the minimized scenario. *)
+
+val check_seed :
+  ?lin_budget:int ->
+  ?shrink:bool ->
+  Runner.proto ->
+  int ->
+  (Oracle.outcome, failure) result
+(** [check_scenario] over [Generate.scenario ~seed]. *)
+
+val soak :
+  ?lin_budget:int ->
+  ?shrink:bool ->
+  ?on_run:(Runner.proto -> int -> Oracle.outcome option -> unit) ->
+  protos:Runner.proto list ->
+  seeds:int list ->
+  unit ->
+  summary
+(** Cross product of seeds × protos, in order.  [on_run] fires after each
+    run with [Some outcome] on pass and [None] on failure (the failure
+    itself lands in the summary). *)
+
+val pp_failure : Format.formatter -> failure -> unit

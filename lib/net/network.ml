@@ -7,8 +7,8 @@ type 'm envelope = { src : Node_id.t; dst : Node_id.t; payload : 'm }
 type 'm t = {
   engine : Engine.t;
   latency : Latency.t;
-  drop : float;
-  duplicate : float;
+  mutable drop : float;
+  mutable duplicate : float;
   bandwidth : float;
   sizer : 'm -> int;
   rng : Rng.t;
@@ -78,6 +78,8 @@ let set_link_fault t ~src ~dst ~drop =
   Hashtbl.replace t.link_drop (src, dst) drop
 
 let clear_link_faults t = Hashtbl.reset t.link_drop
+let set_drop t p = t.drop <- p
+let set_duplicate t p = t.duplicate <- p
 
 let counters t = t.counters
 

@@ -82,6 +82,15 @@ val set_link_fault : 'm t -> src:Node_id.t -> dst:Node_id.t -> drop:float -> uni
 
 val clear_link_faults : 'm t -> unit
 
+val set_drop : 'm t -> float -> unit
+(** Reset the global loss probability mid-run.  Fault scripts (crucible)
+    use this to open and close lossy weather windows; messages already in
+    flight are unaffected. *)
+
+val set_duplicate : 'm t -> float -> unit
+(** Reset the duplication probability mid-run — a duplicate storm is
+    [set_duplicate t 1.0] followed later by [set_duplicate t 0.0]. *)
+
 (** {1 Accounting} *)
 
 val counters : 'm t -> Rsmr_sim.Counters.t

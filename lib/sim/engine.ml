@@ -40,6 +40,18 @@ let step t =
     end;
     true
 
+let rec next_event_time t =
+  match Heap.peek t.queue with
+  | None -> None
+  | Some (time, _, timer) ->
+    if timer.live then Some time
+    else begin
+      (* Cancelled timers are inert; discard them so the answer is the
+         time of the next event that will actually run. *)
+      ignore (Heap.pop t.queue);
+      next_event_time t
+    end
+
 let run ?until ?max_events t =
   let budget = ref (match max_events with Some n -> n | None -> max_int) in
   let continue = ref true in
@@ -59,3 +71,18 @@ let run ?until ?max_events t =
   done
 
 let events_executed t = t.executed
+
+let run_until t ~pred ~deadline =
+  let rec loop () =
+    if pred () then Some t.time
+    else
+      match next_event_time t with
+      | None -> None
+      | Some time when time > deadline ->
+        t.time <- deadline;
+        None
+      | Some _ ->
+        ignore (step t);
+        loop ()
+  in
+  loop ()

@@ -44,3 +44,17 @@ val run : ?until:float -> ?max_events:int -> t -> unit
 
 val events_executed : t -> int
 (** Number of callbacks executed so far — a cheap determinism probe. *)
+
+val next_event_time : t -> float option
+(** Virtual time of the next event that will actually run, discarding any
+    cancelled timers found at the head of the queue.  [None] when the
+    queue holds no live event. *)
+
+val run_until : t -> pred:(unit -> bool) -> deadline:float -> float option
+(** Step the engine until [pred ()] holds, checking before every event.
+    Returns the virtual time at which the predicate first held, or [None]
+    when the queue drained or the next event would pass [deadline] (the
+    clock is advanced to [deadline] in that case, pending events stay
+    queued).  This is the quiescence probe used by the crucible runner:
+    unlike polling with a fixed horizon, it observes the predicate at
+    event granularity and never overshoots. *)

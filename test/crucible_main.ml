@@ -1,0 +1,187 @@
+(* Crucible CLI: seed-driven randomized fault-injection soak over every
+   protocol stack, with scenario replay.
+
+     dune exec test/crucible_main.exe -- --seeds 0..199          # soak
+     dune exec test/crucible_main.exe -- --seed 42 --proto core  # one run
+     dune exec test/crucible_main.exe -- --seed 42 --print       # show scenario
+     dune exec test/crucible_main.exe -- --proto core \
+       --scenario 's=42;m=0,1,2;u=0,1,2,3,4;c=2;d=1.5;ev=0.5 crash 1'
+
+   Exit status is 0 iff no invariant oracle failed.  On failure the
+   shrunk reproducer and its replay one-liner are printed (and written to
+   --out FILE for CI artifact upload). *)
+
+module Scenario = Rsmr_crucible.Scenario
+module Generate = Rsmr_crucible.Generate
+module Runner = Rsmr_crucible.Runner
+module Oracle = Rsmr_crucible.Oracle
+module Soak = Rsmr_crucible.Soak
+
+let usage () =
+  prerr_endline
+    "usage: crucible_main [--seed N | --seeds A..B] [--proto \
+     core|stopworld|raft|all]\n\
+    \       [--scenario STR] [--lin-budget N] [--no-shrink] [--print]\n\
+    \       [--out FILE] [-v]";
+  exit 2
+
+type opts = {
+  mutable seeds : int list;
+  mutable protos : Runner.proto list;
+  mutable scenario : Scenario.t option;
+  mutable lin_budget : int;
+  mutable shrink : bool;
+  mutable print_only : bool;
+  mutable out : string option;
+  mutable verbose : bool;
+}
+
+let parse_seeds s =
+  match String.index_opt s '.' with
+  | None -> (
+    match int_of_string_opt s with
+    | Some n -> Some [ n ]
+    | None -> None)
+  | Some _ -> (
+    match String.split_on_char '.' s with
+    | [ a; ""; b ] | [ a; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b when b >= a -> Some (List.init (b - a + 1) (fun i -> a + i))
+      | _ -> None)
+    | _ -> None)
+
+let parse_protos s =
+  match s with
+  | "all" -> Some Runner.all_protos
+  | s -> Option.map (fun p -> [ p ]) (Runner.proto_of_string s)
+
+let parse_args () =
+  let o =
+    {
+      seeds = [];
+      protos = Runner.all_protos;
+      scenario = None;
+      lin_budget = Oracle.default_lin_budget;
+      shrink = true;
+      print_only = false;
+      out = None;
+      verbose = false;
+    }
+  in
+  let rec go = function
+    | [] -> o
+    | "--seed" :: v :: rest | "--seeds" :: v :: rest ->
+      (match parse_seeds v with
+       | Some seeds -> o.seeds <- o.seeds @ seeds
+       | None ->
+         Printf.eprintf "bad seed range %S\n" v;
+         usage ());
+      go rest
+    | "--proto" :: v :: rest ->
+      (match parse_protos v with
+       | Some ps -> o.protos <- ps
+       | None ->
+         Printf.eprintf "unknown protocol %S\n" v;
+         usage ());
+      go rest
+    | "--scenario" :: v :: rest ->
+      (match Scenario.of_string v with
+       | Ok sc -> o.scenario <- Some sc
+       | Error msg ->
+         Printf.eprintf "bad scenario: %s\n" msg;
+         usage ());
+      go rest
+    | "--lin-budget" :: v :: rest ->
+      (match int_of_string_opt v with
+       | Some n when n > 0 -> o.lin_budget <- n
+       | _ ->
+         Printf.eprintf "bad budget %S\n" v;
+         usage ());
+      go rest
+    | "--no-shrink" :: rest ->
+      o.shrink <- false;
+      go rest
+    | "--print" :: rest ->
+      o.print_only <- true;
+      go rest
+    | "--out" :: v :: rest ->
+      o.out <- Some v;
+      go rest
+    | "-v" :: rest | "--verbose" :: rest ->
+      o.verbose <- true;
+      go rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %S\n" arg;
+      usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let write_failures path failures =
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  List.iter (fun f -> Format.fprintf ppf "%a@." Soak.pp_failure f) failures;
+  Format.pp_print_flush ppf ();
+  close_out oc
+
+let () =
+  let o = parse_args () in
+  if o.seeds = [] && o.scenario = None then begin
+    prerr_endline "need --seed/--seeds or --scenario";
+    usage ()
+  end;
+  let scenarios =
+    match o.scenario with
+    | Some sc -> [ sc ]
+    | None -> List.map (fun seed -> Generate.scenario ~seed) o.seeds
+  in
+  if o.print_only then begin
+    List.iter (fun sc -> print_endline (Scenario.to_string sc)) scenarios;
+    exit 0
+  end;
+  let t0 = Unix.gettimeofday () in
+  let runs = ref 0 and passed = ref 0 and inconclusive = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun sc ->
+      List.iter
+        (fun proto ->
+          incr runs;
+          match
+            Soak.check_scenario ~lin_budget:o.lin_budget ~shrink:o.shrink
+              proto sc
+          with
+          | Ok outcome ->
+            incr passed;
+            if Oracle.inconclusives outcome <> [] then incr inconclusive;
+            if o.verbose then begin
+              let r = Runner.run proto sc in
+              Format.printf
+                "seed %d %-9s ok (%d/%d ops, %d sim events, vt %.2fs)@.%a@."
+                sc.Scenario.seed (Runner.proto_name proto) r.Runner.completed
+                r.Runner.submitted r.Runner.events_executed r.Runner.end_time
+                Oracle.pp outcome;
+              List.iter
+                (fun (k, v) ->
+                  if v > 1000 then Format.printf "  %s = %d@." k v)
+                r.Runner.counters
+            end
+          | Error f ->
+            failures := f :: !failures;
+            Format.printf "%a@." Soak.pp_failure f)
+        o.protos)
+    scenarios;
+  let failures = List.rev !failures in
+  let wall = Unix.gettimeofday () -. t0 in
+  Format.printf
+    "crucible: %d runs (%d seeds x %d protos), %d passed, %d failed, %d \
+     with inconclusive verdicts (%.1f%%), %.1fs wall@."
+    !runs (List.length scenarios) (List.length o.protos) !passed
+    (List.length failures) !inconclusive
+    (100.0 *. float_of_int !inconclusive /. float_of_int (max 1 !runs))
+    wall;
+  (match o.out with
+   | Some path when failures <> [] ->
+     write_failures path failures;
+     Format.printf "failure traces written to %s@." path
+   | Some _ | None -> ());
+  exit (if failures = [] then 0 else 1)

@@ -1,0 +1,288 @@
+(* Crucible self-tests: scenario codec, shrinker behavior, run
+   determinism, a cross-protocol smoke soak, and the first-wedge-wins
+   regression for concurrent reconfiguration submissions. *)
+
+module Scenario = Rsmr_crucible.Scenario
+module Generate = Rsmr_crucible.Generate
+module Runner = Rsmr_crucible.Runner
+module Oracle = Rsmr_crucible.Oracle
+module Shrink = Rsmr_crucible.Shrink
+module Soak = Rsmr_crucible.Soak
+module Service = Rsmr_core.Service
+
+let scenario = Alcotest.testable Scenario.pp Scenario.equal
+
+(* One of everything, for the codec. *)
+let kitchen_sink =
+  {
+    Scenario.seed = 99;
+    members = [ 0; 1; 2 ];
+    universe = [ 0; 1; 2; 3; 4 ];
+    n_clients = 2;
+    duration = 1.75;
+    events =
+      Scenario.sort_events
+        [
+          { at = 0.1; fault = Crash 2 };
+          { at = 0.25; fault = Partition [ [ 0; 1 ]; [ 2; 3; 4 ] ] };
+          { at = 0.4; fault = Link_fault { src = 0; dst = 1; drop = 0.5 } };
+          { at = 0.5; fault = Duplicate 0.8 };
+          { at = 0.55; fault = Drop 0.25 };
+          { at = 0.6; fault = Recover 2 };
+          { at = 0.7; fault = Heal };
+          { at = 0.75; fault = Clear_links };
+          { at = 0.8; fault = Reconfigure [ 0; 1; 3 ] };
+          { at = 0.9; fault = Duplicate 0.0 };
+          { at = 0.95; fault = Drop 0.0 };
+        ];
+  }
+
+let round_trip sc =
+  match Scenario.of_string (Scenario.to_string sc) with
+  | Ok sc' -> Alcotest.check scenario "round trip" sc sc'
+  | Error e ->
+    Alcotest.failf "parse error on %s: %s" (Scenario.to_string sc) e
+
+let test_codec_round_trip () =
+  round_trip kitchen_sink;
+  for seed = 0 to 24 do
+    round_trip (Generate.scenario ~seed)
+  done
+
+let test_codec_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Scenario.of_string s with
+      | Ok _ -> Alcotest.failf "accepted garbage %S" s
+      | Error _ -> ())
+    [
+      "";
+      "nonsense";
+      "s=1;m=0,1,2;u=0,1,2;c=1";
+      "s=1;m=0,1,2;u=0,1,2;c=0;d=1;ev=";
+      "s=1;m=;u=0;c=1;d=1;ev=";
+      "s=1;m=0,1,2;u=0,1,2;c=1;d=1;ev=0.5 explode 1";
+      "s=1;m=0,1,2;u=0,1,2;c=1;d=1;ev=0.5 link 0-1 0.5";
+      "s=1;m=0,1,2;u=0,1,2;c=1;d=-2;ev=";
+    ]
+
+let test_generator_deterministic () =
+  for seed = 0 to 24 do
+    Alcotest.check scenario "same seed, same scenario"
+      (Generate.scenario ~seed) (Generate.scenario ~seed)
+  done
+
+(* --- shrinker --- *)
+
+(* A synthetic failure predicate lets us pin the shrinker's contract
+   without paying for cluster runs: the scenario "fails" iff it still
+   contains the fatal event. *)
+let fatal = { Scenario.at = 0.7; fault = Scenario.Crash 2 }
+
+let noisy_scenario =
+  {
+    Scenario.seed = 7;
+    members = [ 0; 1; 2 ];
+    universe = [ 0; 1; 2; 3 ];
+    n_clients = 3;
+    duration = 2.0;
+    events =
+      Scenario.sort_events
+        [
+          { at = 0.1; fault = Scenario.Drop 0.1 };
+          { at = 0.2; fault = Scenario.Partition [ [ 0 ]; [ 1; 2 ] ] };
+          { at = 0.5; fault = Scenario.Heal };
+          fatal;
+          { at = 0.9; fault = Scenario.Recover 2 };
+          { at = 1.2; fault = Scenario.Duplicate 0.5 };
+          { at = 1.4; fault = Scenario.Duplicate 0.0 };
+        ];
+  }
+
+let contains_fatal sc =
+  List.exists
+    (fun e -> Scenario.equal { sc with Scenario.events = [ e ] }
+                { sc with Scenario.events = [ fatal ] })
+    sc.Scenario.events
+
+let test_shrink_to_fatal_event () =
+  let shrunk, attempts =
+    Shrink.minimize ~still_fails:contains_fatal noisy_scenario
+  in
+  (match shrunk.Scenario.events with
+   | [ e ] ->
+     Alcotest.(check (float 0.0)) "fatal time kept" fatal.Scenario.at
+       e.Scenario.at
+   | evs -> Alcotest.failf "expected exactly the fatal event, got %d" (List.length evs));
+  Alcotest.(check bool) "still fails" true (contains_fatal shrunk);
+  Alcotest.(check int) "one client left" 1 shrunk.Scenario.n_clients;
+  Alcotest.(check bool) "spent attempts" true (attempts > 0);
+  Alcotest.(check bool) "bounded attempts" true (attempts <= 200)
+
+let test_shrink_deterministic () =
+  let a, na = Shrink.minimize ~still_fails:contains_fatal noisy_scenario in
+  let b, nb = Shrink.minimize ~still_fails:contains_fatal noisy_scenario in
+  Alcotest.check scenario "same minimum" a b;
+  Alcotest.(check int) "same attempt count" na nb
+
+let test_shrink_always_failing () =
+  (* If everything fails the shrinker must bottom out: no events, one
+     client, short window — and still within its budget. *)
+  let shrunk, attempts =
+    Shrink.minimize ~still_fails:(fun _ -> true) noisy_scenario
+  in
+  Alcotest.(check int) "no events" 0 (List.length shrunk.Scenario.events);
+  Alcotest.(check int) "one client" 1 shrunk.Scenario.n_clients;
+  Alcotest.(check bool) "short window" true (shrunk.Scenario.duration <= 0.25);
+  Alcotest.(check bool) "bounded" true (attempts <= 200)
+
+(* --- full runs --- *)
+
+let run_twice proto sc =
+  (Runner.run proto sc, Runner.run proto sc)
+
+let fingerprint (r : Runner.report) =
+  ( r.Runner.events_executed,
+    r.Runner.end_time,
+    r.Runner.submitted,
+    r.Runner.completed,
+    r.Runner.acked_incr,
+    r.Runner.final_states )
+
+let test_run_deterministic () =
+  List.iter
+    (fun proto ->
+      let sc = Generate.scenario ~seed:3 in
+      let a, b = run_twice proto sc in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s run is bit-for-bit repeatable"
+           (Runner.proto_name proto))
+        true
+        (fingerprint a = fingerprint b))
+    Runner.all_protos
+
+let test_smoke_all_protos () =
+  (* A handful of seeds across every stack; any oracle failure is a real
+     protocol or harness bug and must fail the suite loudly. *)
+  let summary =
+    Soak.soak ~protos:Runner.all_protos ~seeds:[ 0; 1; 2; 3; 4 ] ()
+  in
+  List.iter
+    (fun f -> Format.printf "%a@." Soak.pp_failure f)
+    summary.Soak.failures;
+  Alcotest.(check int) "runs" 15 summary.Soak.runs;
+  Alcotest.(check int) "no failures" 0 (List.length summary.Soak.failures)
+
+let test_replay_matches_soak () =
+  (* The printed reproducer must denote the same scenario: text → parse →
+     run gives the same fingerprint as running the original. *)
+  let sc = Generate.scenario ~seed:11 in
+  match Scenario.of_string (Scenario.to_string sc) with
+  | Error e -> Alcotest.failf "reproducer does not parse: %s" e
+  | Ok sc' ->
+    let a = Runner.run Runner.Core sc in
+    let b = Runner.run Runner.Core sc' in
+    Alcotest.(check bool) "replay is bit-for-bit" true
+      (fingerprint a = fingerprint b)
+
+(* --- first-wedge-wins regression ---
+
+   Two Reconfigure submissions land in the same epoch at the same
+   instant.  The composed service must let exactly one wedge the epoch:
+   every replica that wedges epoch e agrees on the wedge index, the
+   losing submission is reduced to a residual (applied or superseded in
+   e+1), and no instance applies anything past its wedge. *)
+
+let concurrent_reconf =
+  {
+    Scenario.seed = 4242;
+    members = [ 0; 1; 2 ];
+    universe = [ 0; 1; 2; 3; 4 ];
+    n_clients = 2;
+    duration = 1.5;
+    events =
+      [
+        { Scenario.at = 0.3; fault = Scenario.Reconfigure [ 0; 1; 3 ] };
+        { Scenario.at = 0.3; fault = Scenario.Reconfigure [ 1; 2; 4 ] };
+        { Scenario.at = 0.8; fault = Scenario.Reconfigure [ 0; 1; 2 ] };
+      ];
+  }
+
+let test_first_wedge_wins () =
+  let report = Runner.run Runner.Core concurrent_reconf in
+  let outcome = Oracle.check report in
+  if not (Oracle.ok outcome) then
+    Alcotest.failf "oracles failed: %s" (Format.asprintf "%a" Oracle.pp outcome);
+  (* Collect every (epoch, wedge index) the replicas report. *)
+  let wedges = Hashtbl.create 8 in
+  let wedged_epochs = ref [] in
+  List.iter
+    (fun (_node, stats) ->
+      List.iter
+        (fun (s : Service.epoch_stat) ->
+          match s.Service.es_wedged_at with
+          | None -> ()
+          | Some w -> (
+            match Hashtbl.find_opt wedges s.Service.es_epoch with
+            | None ->
+              Hashtbl.add wedges s.Service.es_epoch w;
+              wedged_epochs := s.Service.es_epoch :: !wedged_epochs
+            | Some w' ->
+              Alcotest.(check int)
+                (Printf.sprintf "epoch %d wedge agreement" s.Service.es_epoch)
+                w' w))
+        stats)
+    report.Runner.epoch_stats;
+  (* The concurrent submissions really did reconfigure: epoch 0 wedged,
+     and with three submissions at least two epochs wedged overall. *)
+  Alcotest.(check bool) "epoch 0 wedged" true (Hashtbl.mem wedges 0);
+  Alcotest.(check bool) "reconfiguration chain advanced" true
+    (List.length !wedged_epochs >= 2);
+  (* No replica applied past its epoch's wedge index. *)
+  List.iter
+    (fun (node, stats) ->
+      List.iter
+        (fun (s : Service.epoch_stat) ->
+          match s.Service.es_wedged_at with
+          | Some w when s.Service.es_applied_hi > w ->
+            Alcotest.failf "node %d epoch %d applied %d past wedge %d" node
+              s.Service.es_epoch s.Service.es_applied_hi w
+          | _ -> ())
+        stats)
+    report.Runner.epoch_stats;
+  Alcotest.(check bool) "run quiesced" true report.Runner.quiesced;
+  Alcotest.(check bool) "run converged" true report.Runner.converged
+
+let () =
+  Alcotest.run "crucible"
+    [
+      ( "scenario",
+        [
+          Alcotest.test_case "codec round trip" `Quick test_codec_round_trip;
+          Alcotest.test_case "codec rejects garbage" `Quick
+            test_codec_rejects_garbage;
+          Alcotest.test_case "generator deterministic" `Quick
+            test_generator_deterministic;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "known-fatal event isolated" `Quick
+            test_shrink_to_fatal_event;
+          Alcotest.test_case "deterministic" `Quick test_shrink_deterministic;
+          Alcotest.test_case "always-failing bottoms out" `Quick
+            test_shrink_always_failing;
+        ] );
+      ( "runs",
+        [
+          Alcotest.test_case "bit-for-bit determinism" `Quick
+            test_run_deterministic;
+          Alcotest.test_case "replay equals original" `Quick
+            test_replay_matches_soak;
+          Alcotest.test_case "smoke soak, all protocols" `Slow
+            test_smoke_all_protos;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "first wedge wins" `Quick test_first_wedge_wins;
+        ] );
+    ]

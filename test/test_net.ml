@@ -161,6 +161,126 @@ let test_unregistered_dropped () =
   Alcotest.(check int) "dropped for missing handler" 1
     (Counters.get (Network.counters net) "dropped")
 
+(* Fault-model properties backing the crucible harness: the scripted
+   fault timeline assumes these semantics hold for arbitrary topologies
+   and probabilities, not just the hand-picked cases above. *)
+
+let all_pairs n =
+  List.concat_map
+    (fun i ->
+      List.filter_map
+        (fun j -> if i <> j then Some (i, j) else None)
+        (List.init n Fun.id))
+    (List.init n Fun.id)
+
+let prop_partition_heal =
+  QCheck.Test.make
+    ~name:"partition blocks exactly cross-group pairs; heal restores all pairs"
+    ~count:40
+    QCheck.(pair (int_range 2 6) small_int)
+    (fun (n, mask) ->
+      let engine = Engine.create ~seed:(mask + 1) () in
+      let net = Network.create engine () in
+      let got = Hashtbl.create 32 in
+      for i = 0 to n - 1 do
+        Network.register net i (fun env ->
+            Hashtbl.replace got (env.Network.src, i) ())
+      done;
+      (* A random two-way split from the mask bits; nodes 0 and 1 are
+         pinned to opposite sides so neither group is empty. *)
+      let group i =
+        if i = 0 then 0 else if i = 1 then 1 else (mask lsr i) land 1
+      in
+      let side g =
+        List.filter (fun i -> group i = g) (List.init n Fun.id)
+      in
+      let pairs = all_pairs n in
+      Network.partition net [ side 0; side 1 ];
+      List.iter (fun (i, j) -> Network.send net ~src:i ~dst:j ()) pairs;
+      Engine.run engine;
+      let split_ok =
+        List.for_all
+          (fun (i, j) -> Hashtbl.mem got (i, j) = (group i = group j))
+          pairs
+      in
+      Hashtbl.reset got;
+      Network.heal net;
+      List.iter (fun (i, j) -> Network.send net ~src:i ~dst:j ()) pairs;
+      Engine.run engine;
+      split_ok && List.for_all (fun p -> Hashtbl.mem got p) pairs)
+
+let prop_link_fault_exact =
+  QCheck.Test.make
+    ~name:"link fault at drop 1.0 kills exactly that directed link"
+    ~count:40
+    QCheck.(triple (int_bound 4) (int_bound 4) small_int)
+    (fun (src, dst, seed) ->
+      QCheck.assume (src <> dst);
+      let n = 5 in
+      let engine = Engine.create ~seed:(seed + 1) () in
+      let net = Network.create engine () in
+      let got = Hashtbl.create 32 in
+      for i = 0 to n - 1 do
+        Network.register net i (fun env ->
+            Hashtbl.replace got (env.Network.src, i) ())
+      done;
+      Network.set_link_fault net ~src ~dst ~drop:1.0;
+      let pairs = all_pairs n in
+      List.iter (fun (i, j) -> Network.send net ~src:i ~dst:j ()) pairs;
+      Engine.run engine;
+      List.for_all
+        (fun (i, j) -> Hashtbl.mem got (i, j) = not (i = src && j = dst))
+        pairs)
+
+let prop_crash_cuts_inflight =
+  QCheck.Test.make
+    ~name:"messages in flight to a node crashed before delivery are dropped"
+    ~count:40
+    QCheck.(pair (float_range 0.001 0.099) small_int)
+    (fun (crash_at, seed) ->
+      let engine = Engine.create ~seed:(seed + 1) () in
+      let net = Network.create engine ~latency:(Latency.Constant 0.1) () in
+      let got = ref 0 in
+      Network.register net 1 (fun _ -> incr got);
+      Network.send net ~src:0 ~dst:1 ();
+      (* The crash always lands while the message is still in the air. *)
+      ignore
+        (Engine.schedule engine ~delay:crash_at (fun () ->
+             Network.crash net 1));
+      Engine.run engine;
+      !got = 0)
+
+let prop_fifo_under_duplication =
+  QCheck.Test.make
+    ~name:"per-link FIFO order survives any duplication rate"
+    ~count:40
+    QCheck.(pair (float_range 0.0 1.0) small_int)
+    (fun (dup, seed) ->
+      let engine = Engine.create ~seed:(seed + 1) () in
+      (* Wide jittery latency so reordering would happen without the FIFO
+         clamp — duplicates get their own sampled delay too. *)
+      let net =
+        Network.create engine ~duplicate:dup
+          ~latency:(Latency.Uniform (0.001, 0.2)) ()
+      in
+      let seen = ref [] in
+      Network.register net 1 (fun env ->
+          seen := env.Network.payload :: !seen);
+      let n = 30 in
+      for k = 1 to n do
+        Network.send net ~src:0 ~dst:1 k
+      done;
+      Engine.run engine;
+      let delivered = List.rev !seen in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a <= b && sorted rest
+        | _ -> true
+      in
+      (* No drop configured: every sequence number arrives at least once,
+         and the delivery order (duplicates included) never regresses. *)
+      sorted delivered
+      && List.for_all (fun k -> List.mem k delivered) (List.init n (fun i -> i + 1)))
+
 let prop_loss_rate =
   QCheck.Test.make ~name:"empirical loss rate tracks drop probability"
     ~count:20
@@ -202,11 +322,15 @@ let () =
             test_crashed_node_cannot_send;
           Alcotest.test_case "link fault" `Quick test_link_fault;
           QCheck_alcotest.to_alcotest prop_loss_rate;
+          QCheck_alcotest.to_alcotest prop_link_fault_exact;
+          QCheck_alcotest.to_alcotest prop_crash_cuts_inflight;
+          QCheck_alcotest.to_alcotest prop_fifo_under_duplication;
         ] );
       ( "partitions",
         [
           Alcotest.test_case "partition" `Quick test_partition;
           Alcotest.test_case "cuts inflight" `Quick test_partition_cuts_inflight;
+          QCheck_alcotest.to_alcotest prop_partition_heal;
         ] );
       ( "accounting",
         [ Alcotest.test_case "bytes" `Quick test_byte_accounting ] );
