@@ -177,25 +177,36 @@ let run_bechamel ~quick () =
    3-replica cluster and report messages/bytes per committed command. *)
 let wire_cost () =
   let module KvCore = Rsmr_core.Service.Make (Rsmr_app.Kv) in
+  let module Registry = Rsmr_obs.Registry in
+  let module Span = Rsmr_obs.Span in
   let engine = Rsmr_sim.Engine.create ~seed:3 () in
   let svc = KvCore.create ~engine ~members:[ 0; 1; 2 ] () in
   let cluster = KvCore.cluster svc in
+  let obs = cluster.Rsmr_iface.Cluster.obs in
+  (* Span collection rides the same deterministic probe: every command's
+     submit -> applied -> replied path lands in the metrics document. *)
+  let coll = Span.collect (Registry.bus obs) in
   let commands =
     Rsmr_workload.Kv_gen.preload_commands ~n_keys:500 ~value_size:32
   in
   let n = List.length commands in
   Rsmr_workload.Driver.preload ~cluster ~client:99 ~commands ~deadline:120.0 ();
-  let net = cluster.Rsmr_iface.Cluster.net_counters in
+  let spans = Span.finalize coll in
+  Span.record obs spans;
+  let summary = Span.summarize spans in
+  let net = Registry.counters obs "net" in
   let sent = Counters.get net "sent" in
   let bytes = Counters.get net "bytes_sent" in
   let fn = float_of_int n in
-  [
-    ("commands", float_of_int n);
-    ("messages_sent", float_of_int sent);
-    ("bytes_sent", float_of_int bytes);
-    ("messages_per_command", float_of_int sent /. fn);
-    ("bytes_per_command", float_of_int bytes /. fn);
-  ]
+  ( [
+      ("commands", float_of_int n);
+      ("messages_sent", float_of_int sent);
+      ("bytes_sent", float_of_int bytes);
+      ("messages_per_command", float_of_int sent /. fn);
+      ("bytes_per_command", float_of_int bytes /. fn);
+      ("span_resolved_fraction", Span.resolved_fraction summary);
+    ],
+    obs )
 
 (* --- machine-readable output (--json) --- *)
 
@@ -270,6 +281,10 @@ let () =
   end;
   match !json_label with
   | Some label ->
-    let wire = wire_cost () in
-    write_json ~label ~bechamel:!bechamel ~experiments:!experiments ~wire
+    let wire, obs = wire_cost () in
+    write_json ~label ~bechamel:!bechamel ~experiments:!experiments ~wire;
+    Rsmr_obs.Registry.set_meta obs "label" label;
+    let mpath = "METRICS_" ^ label ^ ".json" in
+    Rsmr_obs.Registry.save obs ~path:mpath;
+    Printf.printf "wrote %s\n%!" mpath
   | None -> ()

@@ -146,12 +146,13 @@ let run_scenario seed proto replicas clients duration drop keys read_ratio
   Printf.printf "members now {%s}\n"
     (String.concat ","
        (List.map string_of_int (setup.Common.cluster.Rsmr_iface.Cluster.members ())));
+  let obs = setup.Common.cluster.Rsmr_iface.Cluster.obs in
   Printf.printf "protocol counters: %s\n"
     (Format.asprintf "%a" Rsmr_sim.Counters.pp
-       setup.Common.cluster.Rsmr_iface.Cluster.counters);
+       (Rsmr_obs.Registry.counters obs "svc"));
   Printf.printf "network: %s\n"
     (Format.asprintf "%a" Rsmr_sim.Counters.pp
-       setup.Common.cluster.Rsmr_iface.Cluster.net_counters)
+       (Rsmr_obs.Registry.counters obs "net"))
 
 let run_cmd =
   Cmd.v

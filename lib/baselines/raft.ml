@@ -1,6 +1,8 @@
 module Engine = Rsmr_sim.Engine
 module Rng = Rsmr_sim.Rng
 module Counters = Rsmr_sim.Counters
+module Trace = Rsmr_sim.Trace
+module Obs = Rsmr_obs.Registry
 module Stable = Rsmr_sim.Stable
 module Network = Rsmr_net.Network
 module Node_id = Rsmr_net.Node_id
@@ -56,6 +58,7 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
     mutable hb_timer : Engine.timer option;
     mutable halted : bool;
     rng : Rng.t;
+    n_applied : int ref;  (* {node}-scoped registry cell, resolved once *)
   }
 
   type client_rec = {
@@ -76,12 +79,21 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
     clients : (Node_id.t, client_rec) Hashtbl.t;
     mutable on_reply : Rsmr_iface.Cluster.reply_handler;
     counters : Counters.t;
+    obs : Obs.t;
+    bus : Trace.t;  (* = Obs.bus obs, cached *)
   }
 
   let engine t = t.engine
   let net t = t.net
   let directory_id t = t.dir_id
   let counters t = t.counters
+  let obs t = t.obs
+
+  (* Per-command lifecycle events for span reconstruction; guarded on
+     [Trace.active] so an unobserved run does not build the attrs list. *)
+  let lifecycle t ~node ev attrs =
+    Trace.emit t.bus ~time:(Engine.now t.engine) ~node ~topic:`Lifecycle
+      ~attrs:(("ev", ev) :: attrs) ev
 
   let node_opt t id = Hashtbl.find_opt t.nodes id
   let term_of t id = Option.map (fun n -> n.term) (node_opt t id)
@@ -377,8 +389,18 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
             (Session.record node.sessions ~client ~seq ~rsp)
             ~client ~below:low_water;
         Counters.incr t.counters "applied";
+        incr node.n_applied;
         (match node.role with
-         | Leader _ -> reply_client t node ~client ~seq ~rsp
+         | Leader _ ->
+           if Trace.active t.bus then
+             lifecycle t ~node:node.me "applied"
+               [
+                 ("client", string_of_int client);
+                 ("seq", string_of_int seq);
+                 ("epoch", string_of_int node.config_index);
+                 ("idx", string_of_int index);
+               ];
+           reply_client t node ~client ~seq ~rsp
          | Follower | Candidate _ -> ())
       | `Dup rsp -> (
         match node.role with
@@ -810,7 +832,7 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
     if not (Hashtbl.mem t.clients cid) then begin
       let record_ref = ref None in
       let endpoint =
-        Endpoint.create ~engine:t.engine ~me:cid
+        Endpoint.create ~engine:t.engine ~me:cid ~bus:t.bus
           ~send:(fun ~dst msg ->
             Network.send t.net ~src:cid ~dst (Raft_wire.Client msg))
           ~members:(Directory.members t.dir)
@@ -837,8 +859,11 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
     | None -> (* admin client is created with the cluster *) ()
 
   let create ~engine ?latency ?drop ?bandwidth ?params
-      ?(snapshot_threshold = 512) ?universe ~members () =
+      ?(snapshot_threshold = 512) ?universe ?obs ~members () =
     if members = [] then invalid_arg "Raft.create: empty member set";
+    let obs = match obs with Some o -> o | None -> Obs.create () in
+    if List.assoc_opt "proto" (Obs.meta obs) = None then
+      Obs.set_meta obs "proto" "raft";
     let params = Option.value params ~default:Params.default in
     let universe = Option.value universe ~default:members in
     let universe = List.sort_uniq Node_id.compare (universe @ members) in
@@ -847,7 +872,7 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
     let admin_id = top + 2 in
     let net =
       Network.create engine ?latency ?drop ?bandwidth ~tagger:Raft_wire.tag
-        ~sizer:Raft_wire.size ()
+        ~sizer:Raft_wire.size ~obs ()
     in
     let t =
       {
@@ -862,7 +887,10 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
         admin_seq = 0;
         clients = Hashtbl.create 16;
         on_reply = (fun ~client:_ ~seq:_ ~rsp:_ -> ());
-        counters = Counters.create ();
+        (* the flat counter table IS the registry's "svc" section *)
+        counters = Obs.counters obs "svc";
+        obs;
+        bus = Obs.bus obs;
       }
     in
     let initial_snapshot =
@@ -895,6 +923,8 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
             hb_timer = None;
             halted = false;
             rng = Rng.split (Engine.rng engine);
+            n_applied =
+              Obs.scope_counter (Obs.scope ~node:id t.obs) "applied";
           }
         in
         Hashtbl.replace t.nodes id node;
@@ -950,7 +980,6 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
       members = (fun () -> Directory.members t.dir);
       crash = (fun node -> Network.crash t.net node);
       recover = (fun node -> Network.recover t.net node);
-      net_counters = Network.counters t.net;
-      counters = t.counters;
+      obs = t.obs;
     }
 end

@@ -24,11 +24,16 @@ module Make (Sm : Rsmr_app.State_machine.S) : sig
     ?params:Rsmr_smr.Params.t ->
     ?snapshot_threshold:int ->
     ?universe:Rsmr_net.Node_id.t list ->
+    ?obs:Rsmr_obs.Registry.t ->
     members:Rsmr_net.Node_id.t list ->
     unit ->
     t
   (** [snapshot_threshold] is the number of applied entries above the
-      snapshot base that triggers compaction (default 512). *)
+      snapshot base that triggers compaction (default 512).  [obs] is the
+      run's Observatory registry (fresh when omitted): network accounting
+      lands in its ["net"] section, protocol accounting in ["svc"],
+      per-node applied counts in [{node}]-scoped cells, and command
+      lifecycle events on its trace bus. *)
 
   val cluster : t -> Rsmr_iface.Cluster.t
 
@@ -43,6 +48,7 @@ module Make (Sm : Rsmr_app.State_machine.S) : sig
 
   val directory_id : t -> Rsmr_net.Node_id.t
   val counters : t -> Rsmr_sim.Counters.t
+  val obs : t -> Rsmr_obs.Registry.t
   val leader : t -> Rsmr_net.Node_id.t option
   val term_of : t -> Rsmr_net.Node_id.t -> int option
   val config_of : t -> Rsmr_net.Node_id.t -> Rsmr_net.Node_id.t list option

@@ -13,9 +13,15 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
 
   let create ~engine ?latency ?drop ?bandwidth ?smr_params
       ?(chunk_size = Rsmr_core.Options.default.Rsmr_core.Options.chunk_size)
-      ?universe ~members () =
+      ?universe ?obs ~members () =
+    (* claim the proto label before Core.create defaults it to "core" *)
+    let obs =
+      match obs with Some o -> o | None -> Rsmr_obs.Registry.create ()
+    in
+    if List.assoc_opt "proto" (Rsmr_obs.Registry.meta obs) = None then
+      Rsmr_obs.Registry.set_meta obs "proto" "stopworld";
     Core.create ~engine ?latency ?drop ?bandwidth ?smr_params
-      ~options:(options chunk_size) ?universe ~members ()
+      ~options:(options chunk_size) ?universe ~obs ~members ()
 
   let cluster t =
     let c = Core.cluster t in
@@ -23,4 +29,5 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
 
   let current_epoch = Core.current_epoch
   let counters = Core.counters
+  let obs = Core.obs
 end

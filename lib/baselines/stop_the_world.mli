@@ -19,6 +19,7 @@ module Make (_ : Rsmr_app.State_machine.S) : sig
     ?smr_params:Rsmr_smr.Params.t ->
     ?chunk_size:int ->
     ?universe:Rsmr_net.Node_id.t list ->
+    ?obs:Rsmr_obs.Registry.t ->
     members:Rsmr_net.Node_id.t list ->
     unit ->
     t
@@ -26,4 +27,5 @@ module Make (_ : Rsmr_app.State_machine.S) : sig
   val cluster : t -> Rsmr_iface.Cluster.t
   val current_epoch : t -> int
   val counters : t -> Rsmr_sim.Counters.t
+  val obs : t -> Rsmr_obs.Registry.t
 end

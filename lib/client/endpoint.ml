@@ -1,5 +1,6 @@
 module Engine = Rsmr_sim.Engine
 module Rng = Rsmr_sim.Rng
+module Trace = Rsmr_sim.Trace
 module Counters = Rsmr_sim.Counters
 module Stable = Rsmr_sim.Stable
 module Node_id = Rsmr_net.Node_id
@@ -28,9 +29,27 @@ type t = {
   rng : Rng.t;
   counters : Counters.t;
   mutable lookup_inflight : bool;
+  bus : Trace.t option;
 }
 
-let create ~engine ~me ~send ~members ?lookup ?(req_timeout = 0.5) ~on_reply () =
+(* Client-side command lifecycle events ("submit", "retry", "replied") for
+   span reconstruction.  Guarded on [Trace.active] so an unobserved run
+   does not build the attrs list. *)
+let lifecycle t ev ~seq =
+  match t.bus with
+  | Some bus when Trace.active bus ->
+    Trace.emit bus ~time:(Engine.now t.engine) ~node:t.me ~topic:`Lifecycle
+      ~attrs:
+        [
+          ("ev", ev);
+          ("client", string_of_int t.me);
+          ("seq", string_of_int seq);
+        ]
+      ev
+  | Some _ | None -> ()
+
+let create ~engine ~me ~send ~members ?lookup ?(req_timeout = 0.5) ?bus
+    ~on_reply () =
   if members = [] then invalid_arg "Endpoint.create: empty member list";
   {
     engine;
@@ -49,6 +68,7 @@ let create ~engine ~me ~send ~members ?lookup ?(req_timeout = 0.5) ~on_reply () 
     rng = Rng.split (Engine.rng engine);
     counters = Counters.create ();
     lookup_inflight = false;
+    bus;
   }
 
 let target t =
@@ -97,6 +117,7 @@ and on_timeout t seq =
   | None -> ()
   | Some o ->
     Counters.incr t.counters "retries";
+    lifecycle t "retry" ~seq;
     (* Distrust the cached leader and rotate; periodically consult the
        directory for a fresh configuration. *)
     t.leader <- None;
@@ -115,9 +136,11 @@ and refresh_members t =
 
 let submit t ~seq ~payload =
   if seq > t.max_seq then t.max_seq <- seq;
-  if not (Hashtbl.mem t.pending seq) then
+  if not (Hashtbl.mem t.pending seq) then begin
     Hashtbl.replace t.pending seq
       { payload; attempts = 0; redirects = 0; timer = None };
+    lifecycle t "submit" ~seq
+  end;
   attempt t seq
 
 let handle t msg =
@@ -128,6 +151,7 @@ let handle t msg =
       cancel_timer t o;
       Hashtbl.remove t.pending seq;
       Counters.incr t.counters "replies";
+      lifecycle t "replied" ~seq;
       t.on_reply ~seq ~rsp
     | None -> (* duplicate reply from a retry *) ())
   | Client_msg.Redirect { seq; leader; members; epoch } ->

@@ -19,12 +19,17 @@ val create :
   members:Rsmr_net.Node_id.t list ->
   ?lookup:((Rsmr_net.Node_id.t list -> unit) -> unit) ->
   ?req_timeout:float ->
+  ?bus:Rsmr_sim.Trace.t ->
   on_reply:(seq:int -> rsp:string -> unit) ->
   unit ->
   t
 (** [lookup k] asynchronously fetches a fresh member list (e.g. from the
     directory) and calls [k]; consulted after repeated timeouts.
-    [req_timeout] defaults to 0.5 s. *)
+    [req_timeout] defaults to 0.5 s.
+
+    [bus], when provided and listened to, receives per-command
+    [`Lifecycle] events ("submit", "retry", "replied") with structured
+    [client]/[seq] attrs — the client-side ends of command spans. *)
 
 val submit : t -> seq:int -> payload:Client_msg.payload -> unit
 (** Start (or restart) a request.  [seq] values must be unique per

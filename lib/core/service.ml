@@ -1,5 +1,7 @@
 module Engine = Rsmr_sim.Engine
 module Counters = Rsmr_sim.Counters
+module Trace = Rsmr_sim.Trace
+module Obs = Rsmr_obs.Registry
 module Stable = Rsmr_sim.Stable
 module Network = Rsmr_net.Network
 module Node_id = Rsmr_net.Node_id
@@ -27,6 +29,7 @@ module type S = sig
     ?smr_params:Rsmr_smr.Params.t ->
     ?options:Options.t ->
     ?universe:Rsmr_net.Node_id.t list ->
+    ?obs:Rsmr_obs.Registry.t ->
     members:Rsmr_net.Node_id.t list ->
     unit ->
     t
@@ -38,6 +41,7 @@ module type S = sig
   val current_epoch : t -> int
   val current_members : t -> Rsmr_net.Node_id.t list
   val counters : t -> Rsmr_sim.Counters.t
+  val obs : t -> Rsmr_obs.Registry.t
   val app_state : t -> Rsmr_net.Node_id.t -> app_state option
   val host_epoch : t -> Rsmr_net.Node_id.t -> int option
   val live_instances : t -> Rsmr_net.Node_id.t -> int
@@ -72,6 +76,10 @@ struct
     mutable fetch_rr : int;
     mutable announced : bool;
     mutable retired : bool;
+    sc : Obs.scope;  (* {node; epoch}-scoped registry view *)
+    (* hot-path cells of that scope, resolved once per instance *)
+    sc_applied : int ref;
+    sc_residuals : int ref;
   }
 
   type host = {
@@ -100,12 +108,23 @@ struct
     clients : (Node_id.t, client_rec) Hashtbl.t;
     mutable on_reply : Rsmr_iface.Cluster.reply_handler;
     counters : Counters.t;
+    obs : Obs.t;
+    bus : Trace.t;  (* = Obs.bus obs, cached *)
   }
 
   let engine t = t.engine
   let net t = t.net
   let directory_id t = t.dir_id
   let counters t = t.counters
+  let obs t = t.obs
+
+  (* Per-command lifecycle events for span reconstruction.  Guarded on
+     [Trace.active] so an unobserved run does not even build the attrs
+     list; everything tooling needs travels in attrs, never the
+     message. *)
+  let lifecycle t ~node ev attrs =
+    Trace.emit t.bus ~time:(Engine.now t.engine) ~node ~topic:`Lifecycle
+      ~attrs:(("ev", ev) :: attrs) ev
   let current_epoch t = Directory.epoch t.dir
   let current_members t = Directory.members t.dir
 
@@ -242,13 +261,29 @@ struct
 
   (* --- decided-command processing --- *)
 
+  let env_client_seq (env : Envelope.t) =
+    match env with
+    | Envelope.App { client; seq; _ } | Envelope.Reconfig { client; seq; _ } ->
+      (client, seq)
+
   let rec dispatch t host inst idx env =
     match inst.wedged_at with
-    | Some w when idx > w -> handle_residual t host inst env
+    | Some w when idx > w -> handle_residual t host inst idx env
     | Some _ | None -> process t host inst idx env
 
-  and handle_residual t host inst env =
+  and handle_residual t host inst idx env =
     Counters.incr t.counters "residuals";
+    incr inst.sc_residuals;
+    if Trace.active t.bus && is_inst_leader inst then begin
+      let client, seq = env_client_seq env in
+      lifecycle t ~node:host.me "residual"
+        [
+          ("client", string_of_int client);
+          ("seq", string_of_int seq);
+          ("epoch", string_of_int inst.epoch);
+          ("idx", string_of_int idx);
+        ]
+    end;
     (* Only the old instance's leader re-submits, to avoid an n-fold
        duplicate storm; session dedup makes any duplicates harmless.  If the
        leader does not itself host the next instance (disjoint
@@ -256,6 +291,16 @@ struct
        Submit, which that member's replica routes to its leader. *)
     if t.opts.Options.residual_resubmit && is_inst_leader inst then begin
       Counters.incr t.counters "residuals_resubmitted";
+      if Trace.active t.bus then begin
+        let client, seq = env_client_seq env in
+        lifecycle t ~node:host.me "resubmit"
+          [
+            ("client", string_of_int client);
+            ("seq", string_of_int seq);
+            ("from", string_of_int inst.epoch);
+            ("to", string_of_int (inst.epoch + 1));
+          ]
+      end;
       match Hashtbl.find_opt host.instances (inst.epoch + 1) with
       | Some next -> submit_envelope next env
       | None -> (
@@ -272,6 +317,16 @@ struct
 
   and process t host inst idx env =
     if idx > inst.applied_hi then inst.applied_hi <- idx;
+    if Trace.active t.bus && is_inst_leader inst then begin
+      let client, seq = env_client_seq env in
+      lifecycle t ~node:host.me "ordered"
+        [
+          ("client", string_of_int client);
+          ("seq", string_of_int seq);
+          ("epoch", string_of_int inst.epoch);
+          ("idx", string_of_int idx);
+        ]
+    end;
     match (env : Envelope.t) with
     | Envelope.App { client; seq; low_water; cmd } -> (
       match Session.check inst.sessions ~client ~seq with
@@ -284,7 +339,18 @@ struct
             (Session.record inst.sessions ~client ~seq ~rsp)
             ~client ~below:low_water;
         Counters.incr t.counters "applied";
-        if is_inst_leader inst then reply_client t host ~client ~seq ~rsp
+        incr inst.sc_applied;
+        if is_inst_leader inst then begin
+          if Trace.active t.bus then
+            lifecycle t ~node:host.me "applied"
+              [
+                ("client", string_of_int client);
+                ("seq", string_of_int seq);
+                ("epoch", string_of_int inst.epoch);
+                ("idx", string_of_int idx);
+              ];
+          reply_client t host ~client ~seq ~rsp
+        end
       | `Dup rsp -> if is_inst_leader inst then reply_client t host ~client ~seq ~rsp
       | `Stale -> (* already applied and acknowledged: late duplicate *) ())
     | Envelope.Reconfig { client; seq; members } -> (
@@ -313,6 +379,13 @@ struct
       inst.wedged_at <- Some widx;
       inst.next_members <- members';
       Counters.incr t.counters "wedges";
+      incr (Obs.scope_counter inst.sc "wedged");
+      if Trace.active t.bus then
+        Trace.emit t.bus ~time:(Engine.now t.engine) ~node:host.me
+          ~topic:`Reconfig
+          ~attrs:
+            [ ("epoch", string_of_int inst.epoch); ("widx", string_of_int widx) ]
+          "wedged";
       let snapshot =
         Snapshot.encode
           { Snapshot.app = Sm.snapshot inst.app;
@@ -383,6 +456,7 @@ struct
 
   and create_instance t host ~epoch ~members ~prev_members ~boot =
     let cfg = Config.make ~instance_id:epoch ~members in
+    let sc = Obs.scope ~node:host.me ~epoch t.obs in
     let inst =
       {
         epoch;
@@ -403,6 +477,9 @@ struct
         fetch_rr = 0;
         announced = false;
         retired = false;
+        sc;
+        sc_applied = Obs.scope_counter sc "applied";
+        sc_residuals = Obs.scope_counter sc "residuals";
       }
     in
     Hashtbl.replace host.instances epoch inst;
@@ -438,6 +515,7 @@ struct
                and tags the shared wire value exactly once. *)
             Network.broadcast t.net ~src:host.me ~dsts:others
               (Wire.Block { epoch = inst.epoch; data = B.Msg.encode msg }))
+          ~obs:t.obs
           ~on_decide:(fun idx value -> on_decide t host inst idx value)
           ()
       in
@@ -471,6 +549,15 @@ struct
       inst.activated <- true;
       Counters.incr t.counters
         (if local then "local_activations" else "transfers");
+      if Trace.active t.bus then
+        Trace.emit t.bus ~time:(Engine.now t.engine) ~node:host.me
+          ~topic:`Reconfig
+          ~attrs:
+            [
+              ("epoch", string_of_int inst.epoch);
+              ("local", if local then "1" else "0");
+            ]
+          "activated";
       (match inst.fetch_timer with
        | Some timer ->
          Engine.cancel t.engine timer;
@@ -655,7 +742,7 @@ struct
         lazy
           {
             endpoint =
-              Endpoint.create ~engine:t.engine ~me:cid
+              Endpoint.create ~engine:t.engine ~me:cid ~bus:t.bus
                 ~send:(fun ~dst msg ->
                   send t ~src:cid ~dst (Wire.Client msg))
                 ~members:(Directory.members t.dir)
@@ -681,8 +768,12 @@ struct
      | None -> (* admin client is created with the service *) ())
 
   let create ~engine ?latency ?drop ?bandwidth ?smr_params ?options ?universe
-      ~members () =
+      ?obs ~members () =
     if members = [] then invalid_arg "Service.create: empty member set";
+    let obs = match obs with Some o -> o | None -> Obs.create () in
+    Obs.set_meta obs "block" B.block_name;
+    if List.assoc_opt "proto" (Obs.meta obs) = None then
+      Obs.set_meta obs "proto" "core";
     let opts = Option.value options ~default:Options.default in
     let smr_params = Option.value smr_params ~default:Rsmr_smr.Params.default in
     let universe = Option.value universe ~default:members in
@@ -706,7 +797,8 @@ struct
       | other -> Wire.tag other
     in
     let net =
-      Network.create engine ?latency ?drop ?bandwidth ~tagger ~sizer:Wire.size ()
+      Network.create engine ?latency ?drop ?bandwidth ~tagger ~sizer:Wire.size
+        ~obs ()
     in
     let t =
       {
@@ -721,7 +813,11 @@ struct
         admin_seq = 0;
         clients = Hashtbl.create 16;
         on_reply = (fun ~client:_ ~seq:_ ~rsp:_ -> ());
-        counters = Counters.create ();
+        (* the service's flat counter table IS the registry's "svc"
+           section: same live cells, picked up at export time *)
+        counters = Obs.counters obs "svc";
+        obs;
+        bus = Obs.bus obs;
       }
     in
     List.iter
@@ -768,8 +864,7 @@ struct
       members = (fun () -> Directory.members t.dir);
       crash = (fun node -> Network.crash t.net node);
       recover = (fun node -> Network.recover t.net node);
-      net_counters = Network.counters t.net;
-      counters = t.counters;
+      obs = t.obs;
     }
 end
 

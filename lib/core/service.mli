@@ -52,13 +52,20 @@ module type S = sig
     ?smr_params:Rsmr_smr.Params.t ->
     ?options:Options.t ->
     ?universe:Rsmr_net.Node_id.t list ->
+    ?obs:Rsmr_obs.Registry.t ->
     members:Rsmr_net.Node_id.t list ->
     unit ->
     t
   (** [universe] is every node id that may ever host a replica (defaults to
       [members]); nodes outside it cannot be reconfigured in.  Two extra
       ids are allocated above the universe for the directory node and the
-      administrative client.  Client ids must not collide with either. *)
+      administrative client.  Client ids must not collide with either.
+
+      [obs] is the run's Observatory registry (a fresh one is created when
+      omitted): the network accounts into its ["net"] section, the service
+      into ["svc"], blocks and instances into [{node; epoch}]-scoped
+      labeled cells, and per-command lifecycle events are emitted on its
+      trace bus whenever the bus has a listener. *)
 
   val cluster : t -> Rsmr_iface.Cluster.t
   (** The protocol-agnostic face used by workloads and benchmarks. *)
@@ -74,7 +81,12 @@ module type S = sig
   val counters : t -> Rsmr_sim.Counters.t
   (** Keys include "applied", "wedges", "residuals",
       "residuals_resubmitted", "transfers", "local_activations",
-      "chunks_sent", "replies", "redirects". *)
+      "chunks_sent", "replies", "redirects".  This is the live ["svc"]
+      section of {!obs}. *)
+
+  val obs : t -> Rsmr_obs.Registry.t
+  (** The run's Observatory registry (same handle as
+      [(cluster t).obs]). *)
 
   val app_state : t -> Rsmr_net.Node_id.t -> app_state option
   (** Application state of the newest activated instance hosted on a node. *)

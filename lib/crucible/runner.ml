@@ -8,6 +8,8 @@ module Cluster = Rsmr_iface.Cluster
 module Service = Rsmr_core.Service
 module Options = Rsmr_core.Options
 module Register = Rsmr_app.Register
+module Registry = Rsmr_obs.Registry
+module Span = Rsmr_obs.Span
 module Kv = Rsmr_app.Kv
 module Counter = Rsmr_app.Counter
 
@@ -43,6 +45,8 @@ type report = {
   final_counter : int option;
   epoch_stats : (int * Service.epoch_stat list) list;
   counters : (string * int) list;
+  spans : Span.summary;
+  obs : Registry.t;
   events_executed : int;
   end_time : float;
 }
@@ -164,6 +168,10 @@ let gen_of rng =
 let run proto (sc : Scenario.t) =
   let engine = Engine.create ~seed:sc.Scenario.seed () in
   let stack = make_stack engine proto sc in
+  let obs = stack.cluster.Cluster.obs in
+  Registry.set_meta obs "seed" (string_of_int sc.Scenario.seed);
+  (* Subscribe before the workload starts so every submit is observed. *)
+  let coll = Span.collect (Registry.bus obs) in
   let client_ids =
     List.init sc.Scenario.n_clients (fun i -> first_client_id + i)
   in
@@ -261,6 +269,8 @@ let run proto (sc : Scenario.t) =
     | (_, s) :: _ -> Some (Mixed.counter_value (Mixed.restore s))
     | [] -> None
   in
+  let span_list = Span.finalize coll in
+  Span.record obs span_list;
   {
     proto;
     scenario = sc;
@@ -276,6 +286,8 @@ let run proto (sc : Scenario.t) =
     epoch_stats =
       List.map (fun n -> (n, stack.stats_of n)) sc.Scenario.universe;
     counters = Counters.to_list stack.svc_counters;
+    spans = Span.summarize span_list;
+    obs;
     events_executed = Engine.events_executed engine;
     end_time = Engine.now engine;
   }

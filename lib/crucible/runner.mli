@@ -36,6 +36,12 @@ type report = {
   epoch_stats : (int * Rsmr_core.Service.epoch_stat list) list;
       (** per-universe-node instance audits; empty lists under Raft *)
   counters : (string * int) list;  (** protocol-level counters, sorted *)
+  spans : Rsmr_obs.Span.summary;
+      (** command-lifecycle spans stitched from the run's trace bus *)
+  obs : Rsmr_obs.Registry.t;
+      (** the run's Observatory registry, span aggregates already
+          {!Rsmr_obs.Span.record}ed — export with
+          [Rsmr_obs.Registry.save] for an [rsmr-metrics/1] artifact *)
   events_executed : int;  (** engine callbacks — the determinism probe *)
   end_time : float;
 }

@@ -28,7 +28,7 @@ let run_one ~batch_delay ~rate ~duration =
   let gen = Kv_gen.create ~rng ~keys:(Keys.uniform ~n:1_000) ~read_ratio:0.5 () in
   (* Warm up the leader, then snapshot counters around the loaded window. *)
   Engine.run ~until:1.0 engine;
-  let net = cluster.Rsmr_iface.Cluster.net_counters in
+  let net = Rsmr_obs.Registry.counters cluster.Rsmr_iface.Cluster.obs "net" in
   let m0 = Counters.get net "sent" in
   let stats =
     Driver.run_open ~cluster ~n_clients:16 ~first_client_id:100

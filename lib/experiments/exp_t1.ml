@@ -12,8 +12,10 @@ let id = "T1"
 let title = "Messages / bytes per command and per reconfiguration"
 
 let snapshot cluster =
-  ( Counters.get cluster.Rsmr_iface.Cluster.net_counters "sent",
-    Counters.get cluster.Rsmr_iface.Cluster.net_counters "bytes_sent" )
+  let net =
+    Rsmr_obs.Registry.counters cluster.Rsmr_iface.Cluster.obs "net"
+  in
+  (Counters.get net "sent", Counters.get net "bytes_sent")
 
 let run_one proto ~n_cmds =
   let members = [ 0; 1; 2; 3; 4 ] and universe = Common.default_universe 8 in

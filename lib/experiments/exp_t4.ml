@@ -37,7 +37,10 @@ let run_one proto ~duration =
   Common.run_to setup (t0 +. duration +. 10.0);
   let thr = float_of_int stats.Driver.completed /. duration in
   let outage = Common.downtime stats ~from_:t_rc ~window:10.0 in
-  let net = setup.Common.cluster.Rsmr_iface.Cluster.net_counters in
+  let net =
+    Rsmr_obs.Registry.counters setup.Common.cluster.Rsmr_iface.Cluster.obs
+      "net"
+  in
   let bytes_per_cmd =
     float_of_int (Counters.get net "bytes_sent")
     /. float_of_int (max 1 stats.Driver.completed)
@@ -46,7 +49,10 @@ let run_one proto ~duration =
     Histogram.percentile stats.Driver.latency 50.0,
     outage,
     bytes_per_cmd,
-    Counters.get setup.Common.cluster.Rsmr_iface.Cluster.counters "wedges" )
+    Counters.get
+      (Rsmr_obs.Registry.counters setup.Common.cluster.Rsmr_iface.Cluster.obs
+         "svc")
+      "wedges" )
 
 let run ?(quick = false) () =
   let duration = if quick then 4.0 else 12.0 in

@@ -11,6 +11,5 @@ type t = {
   members : unit -> Rsmr_net.Node_id.t list;
   crash : Rsmr_net.Node_id.t -> unit;
   recover : Rsmr_net.Node_id.t -> unit;
-  net_counters : Rsmr_sim.Counters.t;
-  counters : Rsmr_sim.Counters.t;
+  obs : Rsmr_obs.Registry.t;
 }

@@ -27,6 +27,10 @@ type t = {
       (** Current (believed) member set. *)
   crash : Rsmr_net.Node_id.t -> unit;
   recover : Rsmr_net.Node_id.t -> unit;
-  net_counters : Rsmr_sim.Counters.t;
-  counters : Rsmr_sim.Counters.t;  (** protocol-level accounting *)
+  obs : Rsmr_obs.Registry.t;
+      (** The run's Observatory registry.  Network accounting lives in the
+          attached ["net"] section and protocol-level accounting in
+          ["svc"] ([Rsmr_obs.Registry.counters obs "net"] / ["svc"]);
+          labeled per-node/per-epoch cells and the lifecycle trace bus
+          hang off the same handle. *)
 }

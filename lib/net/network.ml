@@ -34,8 +34,17 @@ type 'm t = {
 }
 
 let create engine ?(latency = Latency.lan) ?(drop = 0.0) ?(duplicate = 0.0)
-    ?(bandwidth = 1.25e8) ?(fifo = true) ?tagger ?(sizer = fun _ -> 64) () =
-  let counters = Counters.create () in
+    ?(bandwidth = 1.25e8) ?(fifo = true) ?tagger ?(sizer = fun _ -> 64) ?obs ()
+    =
+  (* With an Observatory registry the network's counter table IS the
+     registry's "net" section: same live cells, no extra hot-path cost,
+     and the registry exports per-message-type series by splitting the
+     dotted tag keys at export time. *)
+  let counters =
+    match obs with
+    | Some reg -> Rsmr_obs.Registry.counters reg "net"
+    | None -> Counters.create ()
+  in
   {
     engine;
     latency;

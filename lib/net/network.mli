@@ -20,10 +20,16 @@ val create :
   ?fifo:bool ->
   ?tagger:('m -> string) ->
   ?sizer:('m -> int) ->
+  ?obs:Rsmr_obs.Registry.t ->
   unit ->
   'm t
 (** [sizer] estimates the wire size of a payload in bytes for the byte
     counters and the bandwidth model; defaults to a flat 64.
+
+    [obs], when given, makes the network account into the registry's
+    ["net"] counter section instead of a private table — the cells are
+    shared, so there is no per-message overhead and [counters] still
+    returns the live table.
 
     [bandwidth], in bytes/second, models per-node egress (NIC)
     serialization: a message occupies its sender's uplink for

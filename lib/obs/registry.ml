@@ -1,0 +1,382 @@
+module Counters = Rsmr_sim.Counters
+module Histogram = Rsmr_sim.Histogram
+module Timeseries = Rsmr_sim.Timeseries
+module Trace = Rsmr_sim.Trace
+module Stable = Rsmr_sim.Stable
+
+type labels = (string * string) list
+
+let compare_label (ka, va) (kb, vb) =
+  match String.compare ka kb with 0 -> String.compare va vb | c -> c
+
+let canon labels = List.sort_uniq compare_label labels
+
+let check_token what s =
+  String.iter
+    (fun c ->
+      match c with
+      | '{' | '}' | ',' | '=' ->
+        invalid_arg
+          (Printf.sprintf "Registry: %s %S contains reserved character %C"
+             what s c)
+      | _ -> ())
+    s
+
+(* Canonical cell key: name{k=v,...} with labels already sorted. *)
+let encode_key name labels =
+  check_token "metric name" name;
+  let b = Buffer.create 32 in
+  Buffer.add_string b name;
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      check_token "label key" k;
+      check_token "label value" v;
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b k;
+      Buffer.add_char b '=';
+      Buffer.add_string b v)
+    labels;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+type metric =
+  | Counter of int ref
+  | Hist of Histogram.t
+  | Series of Timeseries.t
+
+type cell = { c_name : string; c_labels : labels; c_metric : metric }
+
+type t = {
+  mutable md : labels;
+  cells : (string, cell) Hashtbl.t;
+  secs : (string, Counters.t) Hashtbl.t;
+  bus : Trace.t;
+}
+
+let create ?(meta = []) () =
+  {
+    md = canon meta;
+    cells = Hashtbl.create 64;
+    secs = Hashtbl.create 8;
+    bus = Trace.create ();
+  }
+
+let set_meta t k v = t.md <- canon ((k, v) :: List.remove_assoc k t.md)
+let meta t = t.md
+let bus t = t.bus
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Hist _ -> "histogram"
+  | Series _ -> "series"
+
+let mismatch key m want =
+  invalid_arg
+    (Printf.sprintf "Registry: %s already registered as a %s, not a %s" key
+       (kind_name m) want)
+
+let new_cell t key name labels m =
+  Hashtbl.add t.cells key { c_name = name; c_labels = labels; c_metric = m };
+  m
+
+let counter ?(labels = []) t name =
+  let labels = canon labels in
+  let key = encode_key name labels in
+  match Hashtbl.find_opt t.cells key with
+  | Some { c_metric = Counter r; _ } -> r
+  | Some { c_metric = m; _ } -> mismatch key m "counter"
+  | None -> (
+    match new_cell t key name labels (Counter (ref 0)) with
+    | Counter r -> r
+    | m -> mismatch key m "counter")
+
+let histogram ?(labels = []) t name =
+  let labels = canon labels in
+  let key = encode_key name labels in
+  match Hashtbl.find_opt t.cells key with
+  | Some { c_metric = Hist h; _ } -> h
+  | Some { c_metric = m; _ } -> mismatch key m "histogram"
+  | None -> (
+    match new_cell t key name labels (Hist (Histogram.create ())) with
+    | Hist h -> h
+    | m -> mismatch key m "histogram")
+
+let series ?(labels = []) t name =
+  let labels = canon labels in
+  let key = encode_key name labels in
+  match Hashtbl.find_opt t.cells key with
+  | Some { c_metric = Series s; _ } -> s
+  | Some { c_metric = m; _ } -> mismatch key m "series"
+  | None -> (
+    match new_cell t key name labels (Series (Timeseries.create ())) with
+    | Series s -> s
+    | m -> mismatch key m "series")
+
+(* --- scopes --- *)
+
+type scope = { reg : t; sc : labels }
+
+let scope ?node ?epoch ?(labels = []) t =
+  let l = labels in
+  let l =
+    match epoch with Some e -> ("epoch", string_of_int e) :: l | None -> l
+  in
+  let l =
+    match node with Some n -> ("node", string_of_int n) :: l | None -> l
+  in
+  { reg = t; sc = canon l }
+
+let scope_labels s = s.sc
+let scope_counter s name = counter ~labels:s.sc s.reg name
+let scope_histogram s name = histogram ~labels:s.sc s.reg name
+let scope_series s name = series ~labels:s.sc s.reg name
+
+(* --- attached sections --- *)
+
+let counters t name =
+  match Hashtbl.find_opt t.secs name with
+  | Some c -> c
+  | None ->
+    check_token "section name" name;
+    let c = Counters.create () in
+    Hashtbl.add t.secs name c;
+    c
+
+let attach t name c =
+  check_token "section name" name;
+  Hashtbl.replace t.secs name c
+
+let sections t =
+  Stable.fold_sorted ~compare:String.compare
+    (fun name c acc -> (name, c) :: acc)
+    t.secs []
+  |> List.rev
+
+(* --- merge --- *)
+
+let merge_meta a b =
+  let keys =
+    List.sort_uniq String.compare (List.map fst a @ List.map fst b)
+  in
+  List.map
+    (fun k ->
+      match (List.assoc_opt k a, List.assoc_opt k b) with
+      | Some va, Some vb -> (k, if String.compare va vb >= 0 then va else vb)
+      | Some v, None | None, Some v -> (k, v)
+      | None, None -> assert false)
+    keys
+
+let sorted_cells t =
+  Stable.fold_sorted ~compare:String.compare (fun _ c acc -> c :: acc) t.cells
+    []
+  |> List.rev
+
+let absorb dst src =
+  List.iter
+    (fun c ->
+      match c.c_metric with
+      | Counter r ->
+        let d = counter ~labels:c.c_labels dst c.c_name in
+        d := !d + !r
+      | Hist h ->
+        let key = encode_key c.c_name c.c_labels in
+        let merged =
+          match Hashtbl.find_opt dst.cells key with
+          | Some { c_metric = Hist d; _ } -> Histogram.merge d h
+          | Some _ ->
+            invalid_arg ("Registry.merge: metric kind mismatch at " ^ key)
+          | None -> Histogram.merge (Histogram.create ()) h
+        in
+        Hashtbl.replace dst.cells key
+          { c_name = c.c_name; c_labels = c.c_labels; c_metric = Hist merged }
+      | Series s ->
+        let d = series ~labels:c.c_labels dst c.c_name in
+        let pts =
+          List.sort
+            (fun (ta, va) (tb, vb) ->
+              match Float.compare ta tb with
+              | 0 -> Float.compare va vb
+              | cmp -> cmp)
+            (Timeseries.points d @ Timeseries.points s)
+        in
+        let fresh = Timeseries.create () in
+        List.iter (fun (time, v) -> Timeseries.add fresh ~time v) pts;
+        Hashtbl.replace dst.cells
+          (encode_key c.c_name c.c_labels)
+          { c_name = c.c_name; c_labels = c.c_labels; c_metric = Series fresh })
+    (sorted_cells src)
+
+let absorb_sections dst src =
+  List.iter
+    (fun (name, c) ->
+      let d = counters dst name in
+      List.iter (fun (k, v) -> Counters.add d k v) (Counters.to_list c))
+    (sections src)
+
+let merge a b =
+  let t = create ~meta:(merge_meta a.md b.md) () in
+  absorb t a;
+  absorb t b;
+  absorb_sections t a;
+  absorb_sections t b;
+  t
+
+(* --- export --- *)
+
+let buf_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let buf_float b f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.1f" f)
+  else if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.9g" f)
+  else Buffer.add_string b "0.0"
+
+let buf_labels b labels =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      buf_json_string b k;
+      Buffer.add_char b ':';
+      buf_json_string b v)
+    labels;
+  Buffer.add_char b '}'
+
+(* A section counter key "sent.accept" exports as name "sent" with an
+   msg_type label "accept"; undotted keys export under their own name.
+   Either way the section name rides along as a label. *)
+let split_section_key section key =
+  match String.index_opt key '.' with
+  | Some i when i > 0 && i < String.length key - 1 ->
+    ( String.sub key 0 i,
+      canon
+        [
+          ("msg_type", String.sub key (i + 1) (String.length key - i - 1));
+          ("section", section);
+        ] )
+  | _ -> (key, [ ("section", section) ])
+
+type flat_counter = { f_name : string; f_labels : labels; f_value : int }
+
+let flat_counters t =
+  let of_cells =
+    List.filter_map
+      (fun c ->
+        match c.c_metric with
+        | Counter r -> Some { f_name = c.c_name; f_labels = c.c_labels; f_value = !r }
+        | Hist _ | Series _ -> None)
+      (sorted_cells t)
+  in
+  let of_sections =
+    List.concat_map
+      (fun (sname, cs) ->
+        List.map
+          (fun (key, v) ->
+            let name, labels = split_section_key sname key in
+            { f_name = name; f_labels = labels; f_value = v })
+          (Counters.to_list cs))
+      (sections t)
+  in
+  List.sort
+    (fun a b ->
+      match String.compare a.f_name b.f_name with
+      | 0 ->
+        String.compare
+          (encode_key a.f_name a.f_labels)
+          (encode_key b.f_name b.f_labels)
+      | c -> c)
+    (of_cells @ of_sections)
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"schema\": \"rsmr-metrics/1\",\n  \"meta\": ";
+  buf_labels b t.md;
+  Buffer.add_string b ",\n  \"counters\": [";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b "\n    "
+  in
+  List.iter
+    (fun f ->
+      sep ();
+      Buffer.add_string b "{\"name\":";
+      buf_json_string b f.f_name;
+      Buffer.add_string b ",\"labels\":";
+      buf_labels b f.f_labels;
+      Buffer.add_string b (Printf.sprintf ",\"value\":%d}" f.f_value))
+    (flat_counters t);
+  Buffer.add_string b "\n  ],\n  \"histograms\": [";
+  first := true;
+  List.iter
+    (fun c ->
+      match c.c_metric with
+      | Hist h ->
+        sep ();
+        Buffer.add_string b "{\"name\":";
+        buf_json_string b c.c_name;
+        Buffer.add_string b ",\"labels\":";
+        buf_labels b c.c_labels;
+        Buffer.add_string b (Printf.sprintf ",\"count\":%d" (Histogram.count h));
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_string b (Printf.sprintf ",\"%s\":" k);
+            buf_float b v)
+          [
+            ("mean", Histogram.mean h);
+            ("min", Histogram.min_value h);
+            ("max", Histogram.max_value h);
+            ("p50", Histogram.percentile h 50.0);
+            ("p90", Histogram.percentile h 90.0);
+            ("p99", Histogram.percentile h 99.0);
+          ];
+        Buffer.add_char b '}'
+      | Counter _ | Series _ -> ())
+    (sorted_cells t);
+  Buffer.add_string b "\n  ],\n  \"series\": [";
+  first := true;
+  List.iter
+    (fun c ->
+      match c.c_metric with
+      | Series s ->
+        sep ();
+        Buffer.add_string b "{\"name\":";
+        buf_json_string b c.c_name;
+        Buffer.add_string b ",\"labels\":";
+        buf_labels b c.c_labels;
+        Buffer.add_string b ",\"points\":[";
+        List.iteri
+          (fun i (time, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '[';
+            buf_float b time;
+            Buffer.add_char b ',';
+            buf_float b v;
+            Buffer.add_char b ']')
+          (Timeseries.points s);
+        Buffer.add_string b "]}"
+      | Counter _ | Hist _ -> ())
+    (sorted_cells t);
+  Buffer.add_string b "\n  ]\n}";
+  Buffer.contents b
+
+let save t ~path =
+  let oc = open_out path in
+  output_string oc (to_json t);
+  output_char oc '\n';
+  close_out oc

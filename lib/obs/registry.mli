@@ -1,0 +1,123 @@
+(** Observatory: one labeled metrics registry for a whole run.
+
+    The registry unifies the three raw instruments ([Counters],
+    [Histogram], [Timeseries]) behind a single handle with structured
+    labels, and owns the run's {!Rsmr_sim.Trace} bus so span collectors
+    and other listeners have one place to subscribe.
+
+    {2 Cells and labels}
+
+    A cell is identified by a metric name plus a canonical (sorted,
+    deduplicated) label set, e.g. [applied{epoch=1,node=2}].  Lookup
+    functions are find-or-create and return the {e live} instrument, so
+    hot paths resolve a cell once at setup and then mutate it directly —
+    the same trick as [Counters.handle]:
+
+    {[
+      let c_applied = Registry.counter reg ~labels:[ ("node", "2") ] "applied" in
+      ... incr c_applied (* per event; no hashing, no allocation *)
+    ]}
+
+    {2 Scopes}
+
+    [scope reg ~node ~epoch] pre-binds a label set so per-node/per-epoch
+    cells stop being name-mangled by hand ([Printf.sprintf "n%d.%s"]).
+
+    {2 Attached sections}
+
+    Existing subsystems that already keep a flat [Counters.t] (the
+    network, the service) attach it as a named {e section}.  The registry
+    exports section counters with a [section] label, splitting the
+    legacy dotted per-message-type keys ([sent.accept]) into a base name
+    plus an [msg_type] label — so per-message-type series come out
+    labeled without touching the send hot path.
+
+    {2 Export}
+
+    [to_json] renders the whole registry as one deterministic
+    machine-readable document (schema [rsmr-metrics/1]): keys sorted,
+    cells sorted by (name, labels), stable float formatting.  Equal
+    registries produce byte-identical documents regardless of insertion
+    order. *)
+
+type t
+
+type labels = (string * string) list
+(** Label sets are canonicalized on entry: sorted by key then value,
+    exact duplicates removed.  Keys and values must not contain ['{'],
+    ['}'], [','] or ['=']. *)
+
+val create : ?meta:labels -> unit -> t
+(** [meta] is run-level metadata exported under ["meta"] in the JSON
+    document (e.g. [proto], [seed], [label]). *)
+
+val set_meta : t -> string -> string -> unit
+(** Add or replace one run-level metadata key. *)
+
+val meta : t -> labels
+
+val bus : t -> Rsmr_sim.Trace.t
+(** The registry's trace bus.  Protocol code emits lifecycle events here;
+    span collectors subscribe here. *)
+
+(** {1 Cells} *)
+
+val counter : ?labels:labels -> t -> string -> int ref
+(** Find-or-create a counter cell; the returned ref is the live cell. *)
+
+val histogram : ?labels:labels -> t -> string -> Rsmr_sim.Histogram.t
+
+val series : ?labels:labels -> t -> string -> Rsmr_sim.Timeseries.t
+
+(** {1 Scopes} *)
+
+type scope
+(** A registry handle with a pre-bound label set. *)
+
+val scope : ?node:int -> ?epoch:int -> ?labels:labels -> t -> scope
+
+val scope_labels : scope -> labels
+
+val scope_counter : scope -> string -> int ref
+
+val scope_histogram : scope -> string -> Rsmr_sim.Histogram.t
+
+val scope_series : scope -> string -> Rsmr_sim.Timeseries.t
+
+(** {1 Attached legacy counter sections} *)
+
+val counters : t -> string -> Rsmr_sim.Counters.t
+(** [counters t name] finds or creates the attached flat counter section
+    [name].  The returned [Counters.t] is live: subsystems keep using the
+    [Counters] API (including [Counters.handle]) and the registry picks
+    the values up at export time. *)
+
+val attach : t -> string -> Rsmr_sim.Counters.t -> unit
+(** Attach an existing counter table as section [name], replacing any
+    previous section of that name. *)
+
+val sections : t -> (string * Rsmr_sim.Counters.t) list
+(** Attached sections, sorted by name. *)
+
+(** {1 Aggregation and export} *)
+
+val merge : t -> t -> t
+(** Commutative merge into a fresh registry: counters sum, histograms
+    merge bucket-wise, series concatenate (re-sorted by time), sections
+    sum per key, metadata unions (on a conflicting key the
+    lexicographically larger value wins, for commutativity). *)
+
+type flat_counter = { f_name : string; f_labels : labels; f_value : int }
+
+val flat_counters : t -> flat_counter list
+(** Every counter value the document will carry — labeled cells plus
+    attached sections, the latter with a [section] label and their
+    dotted per-message-type keys ([sent.accept]) split into base name
+    plus [msg_type].  Sorted by (name, labels), exactly as exported. *)
+
+val to_json : t -> string
+(** The [rsmr-metrics/1] document.  Deterministic: equal registries
+    render byte-identically. *)
+
+val save : t -> path:string -> unit
+(** Write [to_json] to [path] (trailing newline included). *)

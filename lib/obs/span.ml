@@ -1,0 +1,260 @@
+module Trace = Rsmr_sim.Trace
+module Histogram = Rsmr_sim.Histogram
+module Timeseries = Rsmr_sim.Timeseries
+module Stable = Rsmr_sim.Stable
+
+type state = Submitted | Ordered | Residual | Resubmitted | Applied | Replied
+
+let state_name = function
+  | Submitted -> "submitted"
+  | Ordered -> "ordered"
+  | Residual -> "residual"
+  | Resubmitted -> "resubmitted"
+  | Applied -> "applied"
+  | Replied -> "replied"
+
+type t = {
+  sp_client : int;
+  sp_seq : int;
+  sp_submitted : float;
+  mutable sp_retries : int;
+  mutable sp_ordered : (int * float) option;
+  mutable sp_residual : (int * float) option;
+  mutable sp_resubmitted : (int * int * float) option;
+  mutable sp_applied : (int * float) option;
+  mutable sp_replied : float option;
+}
+
+let state sp =
+  if sp.sp_replied <> None then Replied
+  else if sp.sp_applied <> None then Applied
+  else if sp.sp_resubmitted <> None then Resubmitted
+  else if sp.sp_residual <> None then Residual
+  else if sp.sp_ordered <> None then Ordered
+  else Submitted
+
+type collector = {
+  spans : (string, t) Hashtbl.t;
+      (* keyed by "client:seq" to keep Stable's string-friendly sorted
+         iteration; the span itself carries the ints *)
+  mutable orphan_events : int;
+}
+
+let key client seq = Printf.sprintf "%d:%d" client seq
+
+let span c ~client ~seq ~time =
+  let k = key client seq in
+  match Hashtbl.find_opt c.spans k with
+  | Some sp -> sp
+  | None ->
+    let sp =
+      {
+        sp_client = client;
+        sp_seq = seq;
+        sp_submitted = time;
+        sp_retries = 0;
+        sp_ordered = None;
+        sp_residual = None;
+        sp_resubmitted = None;
+        sp_applied = None;
+        sp_replied = None;
+      }
+    in
+    Hashtbl.add c.spans k sp;
+    sp
+
+let int_attr ev k = Option.bind (Trace.attr ev k) int_of_string_opt
+
+let on_event c (ev : Trace.event) =
+  match ev.Trace.topic with
+  | `Lifecycle -> begin
+    match (Trace.attr ev "ev", int_attr ev "client", int_attr ev "seq") with
+    | Some kind, Some client, Some seq -> begin
+      let known = Hashtbl.mem c.spans (key client seq) in
+      let sp = span c ~client ~seq ~time:ev.Trace.time in
+      if (not known) && kind <> "submit" then
+        c.orphan_events <- c.orphan_events + 1;
+      match kind with
+      | "submit" -> ()
+      | "retry" -> sp.sp_retries <- sp.sp_retries + 1
+      | "ordered" ->
+        if sp.sp_ordered = None then
+          sp.sp_ordered <-
+            Some (Option.value ~default:(-1) (int_attr ev "epoch"), ev.Trace.time)
+      | "residual" ->
+        if sp.sp_residual = None then
+          sp.sp_residual <-
+            Some (Option.value ~default:(-1) (int_attr ev "epoch"), ev.Trace.time)
+      | "resubmit" ->
+        if sp.sp_resubmitted = None then
+          sp.sp_resubmitted <-
+            Some
+              ( Option.value ~default:(-1) (int_attr ev "from"),
+                Option.value ~default:(-1) (int_attr ev "to"),
+                ev.Trace.time )
+      | "applied" ->
+        if sp.sp_applied = None then
+          sp.sp_applied <-
+            Some (Option.value ~default:(-1) (int_attr ev "epoch"), ev.Trace.time)
+      | "replied" ->
+        if sp.sp_replied = None then sp.sp_replied <- Some ev.Trace.time
+      | _ -> c.orphan_events <- c.orphan_events + 1
+    end
+    | _ -> c.orphan_events <- c.orphan_events + 1
+  end
+  | `Paxos | `Vr | `Raft | `Reconfig | `Net | `Client | `Other _ -> ()
+
+let collect bus =
+  let c = { spans = Hashtbl.create 256; orphan_events = 0 } in
+  Trace.subscribe bus (on_event c);
+  c
+
+let finalize c =
+  Stable.fold_sorted ~compare:String.compare
+    (fun _ sp acc -> sp :: acc)
+    c.spans []
+  |> List.sort (fun a b ->
+         match Int.compare a.sp_client b.sp_client with
+         | 0 -> Int.compare a.sp_seq b.sp_seq
+         | cmp -> cmp)
+
+let orphans c = c.orphan_events
+
+type summary = {
+  sm_total : int;
+  sm_replied : int;
+  sm_applied_unreplied : int;
+  sm_unresolved : int;
+  sm_retries : int;
+  sm_residuals : int;
+  sm_resubmitted : int;
+  sm_cross_epoch : int;
+  sm_latency : Histogram.t;
+  sm_handoff : Histogram.t;
+}
+
+let cross_epoch sp =
+  sp.sp_resubmitted <> None
+  ||
+  match (sp.sp_ordered, sp.sp_applied) with
+  | Some (eo, _), Some (ea, _) -> ea > eo
+  | _ -> false
+
+let handoff_latency sp =
+  match sp.sp_applied with
+  | None -> None
+  | Some (_, t_applied) -> (
+    match (sp.sp_residual, sp.sp_resubmitted) with
+    | Some (_, t0), _ -> Some (t_applied -. t0)
+    | None, Some (_, _, t0) -> Some (t_applied -. t0)
+    | None, None -> None)
+
+let summarize spans =
+  let s =
+    {
+      sm_total = 0;
+      sm_replied = 0;
+      sm_applied_unreplied = 0;
+      sm_unresolved = 0;
+      sm_retries = 0;
+      sm_residuals = 0;
+      sm_resubmitted = 0;
+      sm_cross_epoch = 0;
+      sm_latency = Histogram.create ();
+      sm_handoff = Histogram.create ();
+    }
+  in
+  List.fold_left
+    (fun s sp ->
+      let s = { s with sm_total = s.sm_total + 1 } in
+      let s = { s with sm_retries = s.sm_retries + sp.sp_retries } in
+      let s =
+        if sp.sp_residual <> None then
+          { s with sm_residuals = s.sm_residuals + 1 }
+        else s
+      in
+      let s =
+        if sp.sp_resubmitted <> None then
+          { s with sm_resubmitted = s.sm_resubmitted + 1 }
+        else s
+      in
+      let s =
+        if cross_epoch sp then { s with sm_cross_epoch = s.sm_cross_epoch + 1 }
+        else s
+      in
+      (match handoff_latency sp with
+       | Some dt when dt >= 0.0 -> Histogram.record s.sm_handoff dt
+       | Some _ | None -> ());
+      match state sp with
+      | Replied ->
+        (match sp.sp_replied with
+         | Some t -> Histogram.record s.sm_latency (t -. sp.sp_submitted)
+         | None -> ());
+        { s with sm_replied = s.sm_replied + 1 }
+      | Applied -> { s with sm_applied_unreplied = s.sm_applied_unreplied + 1 }
+      | Submitted | Ordered | Residual | Resubmitted ->
+        { s with sm_unresolved = s.sm_unresolved + 1 })
+    s spans
+
+let resolved_fraction s =
+  if s.sm_total = 0 then 1.0
+  else
+    float_of_int (s.sm_replied + s.sm_applied_unreplied)
+    /. float_of_int s.sm_total
+
+let record reg spans =
+  let bump ?labels name n =
+    let r = Registry.counter ?labels reg name in
+    r := !r + n
+  in
+  let lat = Registry.histogram reg "span.latency_s" in
+  let hand = Registry.histogram reg "span.handoff_s" in
+  let replies = Registry.series reg "span.reply_latency" in
+  List.iter
+    (fun sp ->
+      bump "span.total" 1;
+      if sp.sp_retries > 0 then bump "span.retries" sp.sp_retries;
+      (match sp.sp_ordered with
+       | Some (e, _) when e >= 0 ->
+         bump ~labels:[ ("epoch", string_of_int e) ] "span.ordered" 1
+       | Some _ | None -> ());
+      (match sp.sp_residual with
+       | Some (e, _) when e >= 0 ->
+         bump ~labels:[ ("epoch", string_of_int e) ] "span.residual" 1
+       | Some _ | None -> ());
+      (match sp.sp_resubmitted with
+       | Some (_, e, _) when e >= 0 ->
+         bump ~labels:[ ("epoch", string_of_int e) ] "span.resubmitted" 1
+       | Some _ | None -> ());
+      (match sp.sp_applied with
+       | Some (e, _) when e >= 0 ->
+         bump ~labels:[ ("epoch", string_of_int e) ] "span.applied" 1
+       | Some _ | None -> ());
+      (match handoff_latency sp with
+       | Some dt when dt >= 0.0 -> Histogram.record hand dt
+       | Some _ | None -> ());
+      match state sp with
+      | Replied ->
+        bump "span.replied" 1;
+        (match sp.sp_replied with
+         | Some t ->
+           let dt = t -. sp.sp_submitted in
+           Histogram.record lat dt;
+           Timeseries.add replies ~time:t dt
+         | None -> ())
+      | Applied -> bump "span.applied_unreplied" 1
+      | Submitted | Ordered | Residual | Resubmitted -> bump "span.unresolved" 1)
+    spans
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "spans: %d total, %d replied, %d applied-unreplied, %d unresolved \
+     (resolved %.2f%%); %d retries, %d residuals, %d resubmitted, %d \
+     cross-epoch"
+    s.sm_total s.sm_replied s.sm_applied_unreplied s.sm_unresolved
+    (100.0 *. resolved_fraction s)
+    s.sm_retries s.sm_residuals s.sm_resubmitted s.sm_cross_epoch;
+  if Histogram.count s.sm_latency > 0 then
+    Format.fprintf ppf "@.  latency  %a" Histogram.pp_summary s.sm_latency;
+  if Histogram.count s.sm_handoff > 0 then
+    Format.fprintf ppf "@.  handoff  %a" Histogram.pp_summary s.sm_handoff

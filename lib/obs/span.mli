@@ -1,0 +1,89 @@
+(** Command-lifecycle spans, reconstructed from structured trace events.
+
+    The paper's composition makes the interesting behaviour happen
+    {e between} SMR instances: a command can be ordered in [S_e], caught
+    behind the wedge index, carried over as a residual, re-submitted into
+    [S_{e+1}], and only then applied and acknowledged.  No single
+    instance sees that path.  A {!collector} subscribes to the registry's
+    trace bus and stitches the per-command [`Lifecycle] events back into
+    one span per (client, seq), so cross-epoch handoff latency and
+    residual counts become first-class measurements.
+
+    Lifecycle events are identified purely by their structured [attrs]
+    ([ev], [client], [seq], [epoch], ...); the human-readable message is
+    never parsed.  The emit sites are the client endpoint ([submit],
+    [retry], [replied]) and the replication services ([ordered],
+    [residual], [resubmit], [applied], leader-side only so each
+    transition is observed once per epoch). *)
+
+type state =
+  | Submitted    (** seen only at the client; never ordered *)
+  | Ordered      (** ordered in some [S_e], not yet applied *)
+  | Residual     (** caught behind a wedge, not yet re-submitted *)
+  | Resubmitted  (** re-injected into the next epoch, outcome unknown *)
+  | Applied      (** applied to the state machine, reply not observed *)
+  | Replied      (** acknowledged at the client — fully resolved *)
+
+val state_name : state -> string
+
+type t = {
+  sp_client : int;
+  sp_seq : int;
+  sp_submitted : float;
+  mutable sp_retries : int;
+  mutable sp_ordered : (int * float) option;      (** (epoch, time) *)
+  mutable sp_residual : (int * float) option;     (** (epoch, time) *)
+  mutable sp_resubmitted : (int * int * float) option;
+      (** (from_epoch, to_epoch, time) *)
+  mutable sp_applied : (int * float) option;      (** (epoch, time) *)
+  mutable sp_replied : float option;
+}
+
+val state : t -> state
+(** The furthest lifecycle state the span reached. *)
+
+type collector
+
+val collect : Rsmr_sim.Trace.t -> collector
+(** Subscribe a fresh collector to the bus.  Every [`Lifecycle] event
+    from then on is folded into its span; the first observation of each
+    transition wins, so replica-side duplicates (retries, leader
+    failover re-orderings) do not distort timings. *)
+
+val finalize : collector -> t list
+(** All spans, sorted by (client, seq).  The collector keeps listening;
+    calling [finalize] again reflects any later events. *)
+
+val orphans : collector -> int
+(** Lifecycle events whose span had to be created without a [submit]
+    (e.g. a collector attached mid-run), plus events missing the
+    [client]/[seq] attrs. *)
+
+type summary = {
+  sm_total : int;
+  sm_replied : int;
+  sm_applied_unreplied : int;  (** applied but ack not observed *)
+  sm_unresolved : int;         (** no terminal state: still in flight *)
+  sm_retries : int;
+  sm_residuals : int;
+  sm_resubmitted : int;
+  sm_cross_epoch : int;
+      (** applied in a later epoch than first ordered, or re-submitted *)
+  sm_latency : Rsmr_sim.Histogram.t;  (** submit -> replied, seconds *)
+  sm_handoff : Rsmr_sim.Histogram.t;
+      (** wedge/residual -> applied-in-next-epoch, seconds *)
+}
+
+val summarize : t list -> summary
+
+val resolved_fraction : summary -> float
+(** Fraction of spans that reached a terminal state (replied or
+    applied); 1.0 when there are no spans. *)
+
+val record : Registry.t -> t list -> unit
+(** Fold the spans into the registry as [span.*] counters (per-epoch
+    where meaningful), histograms ([span.latency_s], [span.handoff_s])
+    and a [span.reply_latency] time series, so one [rsmr-metrics/1]
+    document carries both raw metrics and span aggregates. *)
+
+val pp_summary : Format.formatter -> summary -> unit

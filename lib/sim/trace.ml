@@ -1,11 +1,32 @@
 type level = Debug | Info | Warn
 
+type topic =
+  [ `Paxos
+  | `Vr
+  | `Raft
+  | `Reconfig
+  | `Net
+  | `Client
+  | `Lifecycle
+  | `Other of string ]
+
+let topic_name = function
+  | `Paxos -> "paxos"
+  | `Vr -> "vr"
+  | `Raft -> "raft"
+  | `Reconfig -> "reconfig"
+  | `Net -> "net"
+  | `Client -> "client"
+  | `Lifecycle -> "lifecycle"
+  | `Other s -> s
+
 type event = {
   time : float;
   node : int;
-  topic : string;
+  topic : topic;
   level : level;
   message : string;
+  attrs : (string * string) list;
 }
 
 type t = {
@@ -18,11 +39,14 @@ type t = {
 let create () =
   { subscribers = []; retained = []; retain = false; counts = Hashtbl.create 16 }
 
-let emit t ~time ~node ~topic ?(level = Info) message =
-  let ev = { time; node; topic; level; message } in
-  (match Hashtbl.find_opt t.counts topic with
+let active t = t.retain || t.subscribers <> []
+
+let emit t ~time ~node ~topic ?(level = Info) ?(attrs = []) message =
+  let ev = { time; node; topic; level; message; attrs } in
+  let name = topic_name topic in
+  (match Hashtbl.find_opt t.counts name with
    | Some r -> incr r
-   | None -> Hashtbl.add t.counts topic (ref 1));
+   | None -> Hashtbl.add t.counts name (ref 1));
   if t.retain then t.retained <- ev :: t.retained;
   List.iter (fun f -> f ev) (List.rev t.subscribers)
 
@@ -31,7 +55,11 @@ let keep t b = t.retain <- b
 let events t = List.rev t.retained
 
 let count t ~topic =
-  match Hashtbl.find_opt t.counts topic with Some r -> !r | None -> 0
+  match Hashtbl.find_opt t.counts (topic_name topic) with
+  | Some r -> !r
+  | None -> 0
+
+let attr ev key = List.assoc_opt key ev.attrs
 
 let pp_level ppf = function
   | Debug -> Format.pp_print_string ppf "debug"
@@ -39,5 +67,6 @@ let pp_level ppf = function
   | Warn -> Format.pp_print_string ppf "warn"
 
 let pp_event ppf ev =
-  Format.fprintf ppf "[%.6f] n%d %s/%a: %s" ev.time ev.node ev.topic pp_level
-    ev.level ev.message
+  Format.fprintf ppf "[%.6f] n%d %s/%a: %s" ev.time ev.node
+    (topic_name ev.topic) pp_level ev.level ev.message;
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%s" k v) ev.attrs

@@ -38,11 +38,17 @@ module type S = sig
     me:Rsmr_net.Node_id.t ->
     send:(dst:Rsmr_net.Node_id.t -> Msg.t -> unit) ->
     ?broadcast:(Msg.t -> unit) ->
+    ?obs:Rsmr_obs.Registry.t ->
     on_decide:(int -> string -> unit) ->
     unit ->
     t
   (** [on_decide] fires in strict slot order, exactly once per decided
       command on this replica.
+
+      [obs], when provided, is the run's Observatory registry: the block
+      accounts its internals (elections, proposals, commits, ...) into
+      cells scoped by [{node = me; epoch = config.instance_id}], resolved
+      once at creation so the per-event cost stays a ref bump.
 
       [broadcast msg], when provided, is used instead of per-destination
       [send] whenever the block addresses every other member of its

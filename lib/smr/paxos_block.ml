@@ -14,8 +14,9 @@ end
 
 type t = Replica.t
 
-let create ~engine ~params ~config ~me ~send ?broadcast ~on_decide () =
-  Replica.create ~engine ~params ~config ~me ~send ?broadcast ~on_decide ()
+let create ~engine ~params ~config ~me ~send ?broadcast ?obs ~on_decide () =
+  Replica.create ~engine ~params ~config ~me ~send ?broadcast ?obs ~on_decide
+    ()
 
 let handle = Replica.handle
 let submit = Replica.submit

@@ -53,7 +53,13 @@ type t = {
   mutable resend_timer : Engine.timer option;
   mutable learn_inflight : bool;
   mutable halted : bool;
-  counters : Counters.t;
+  (* Pre-resolved metric cells — scoped {node; epoch} registry cells when
+     an Observatory is attached, otherwise cells of a private table — so
+     accounting is a ref bump either way. *)
+  c_elections : int ref;
+  c_takeovers : int ref;
+  c_proposals : int ref;
+  c_commits : int ref;
 }
 
 let trace t fmt =
@@ -61,8 +67,8 @@ let trace t fmt =
     (fun msg ->
       match t.trace with
       | Some tr ->
-        Trace.emit tr ~time:(Engine.now t.engine) ~node:t.me
-          ~topic:(Printf.sprintf "paxos#%d" t.cfg.Config.instance_id)
+        Trace.emit tr ~time:(Engine.now t.engine) ~node:t.me ~topic:`Paxos
+          ~attrs:[ ("instance", string_of_int t.cfg.Config.instance_id) ]
           msg
       | None -> ())
     fmt
@@ -83,7 +89,6 @@ let decided_upto t = t.deliver_index
 let log_length t = Log.length t.log
 let config t = t.cfg
 let me t = t.me
-let counters t = t.counters
 let is_halted t = t.halted
 
 let cancel_timer t slot =
@@ -187,7 +192,7 @@ and on_election_timeout t =
     | R_follower | R_candidate _ -> start_election t
 
 and start_election t =
-  Counters.incr t.counters "elections";
+  incr t.c_elections;
   let ballot = Ballot.next t.promised t.me in
   t.promised <- ballot;
   let from_index = Log.committed_prefix t.log in
@@ -209,7 +214,7 @@ and maybe_win t cand =
     become_leader t cand
 
 and become_leader t cand =
-  Counters.incr t.counters "takeovers";
+  incr t.c_takeovers;
   let ballot = cand.c_ballot in
   let max_index =
     List.fold_left max (cand.from_index - 1)
@@ -304,7 +309,7 @@ and start_resend t =
 and propose t kind =
   match t.role with
   | R_leader lead ->
-    Counters.incr t.counters "proposals";
+    incr t.c_proposals;
     let index = lead.next_index in
     lead.next_index <- index + 1;
     Log.set t.log index { Log.ballot = lead.l_ballot; kind };
@@ -352,7 +357,7 @@ and flush_batch t =
           let index = lead.next_index in
           lead.next_index <- index + 1;
           let kind = Log.Value value in
-          Counters.incr t.counters "proposals";
+          incr t.c_proposals;
           Log.set t.log index { Log.ballot = lead.l_ballot; kind };
           Hashtbl.replace lead.acks index (ref (Node_id.Set.singleton t.me));
           kind)
@@ -509,7 +514,7 @@ let on_accepted t ~src (ballot : Ballot.t) index =
       if Node_id.Set.cardinal !acks >= Config.quorum t.cfg then begin
         Log.mark_committed t.log index;
         Hashtbl.remove lead.acks index;
-        Counters.incr t.counters "commits";
+        incr t.c_commits;
         deliver t
       end
     end
@@ -533,7 +538,7 @@ let on_accepted_multi t ~src (ballot : Ballot.t) from_index upto =
         if Node_id.Set.cardinal !acks >= Config.quorum t.cfg then begin
           Log.mark_committed t.log index;
           Hashtbl.remove lead.acks index;
-          Counters.incr t.counters "commits";
+          incr t.c_commits;
           committed_any := true
         end
       end
@@ -618,9 +623,20 @@ let halt t =
 let kick_election t = if not t.halted then start_election t
 
 let create ~engine ?(params = Params.default) ?trace ~config:cfg ~me ~send
-    ?broadcast ~on_decide () =
+    ?broadcast ?obs ~on_decide () =
   if not (Config.is_member cfg me) then
     invalid_arg "Replica.create: not a member of the configuration";
+  let metric =
+    match obs with
+    | Some reg ->
+      let sc =
+        Rsmr_obs.Registry.scope ~node:me ~epoch:cfg.Config.instance_id reg
+      in
+      fun name -> Rsmr_obs.Registry.scope_counter sc name
+    | None ->
+      let local = Counters.create () in
+      fun name -> Counters.handle local name
+  in
   let t =
     {
       engine;
@@ -649,7 +665,10 @@ let create ~engine ?(params = Params.default) ?trace ~config:cfg ~me ~send
       resend_timer = None;
       learn_inflight = false;
       halted = false;
-      counters = Counters.create ();
+      c_elections = metric "elections";
+      c_takeovers = metric "takeovers";
+      c_proposals = metric "proposals";
+      c_commits = metric "commits";
     }
   in
   reset_election_timer t;

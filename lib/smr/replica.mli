@@ -28,6 +28,7 @@ val create :
   me:Rsmr_net.Node_id.t ->
   send:(dst:Rsmr_net.Node_id.t -> Msg.t -> unit) ->
   ?broadcast:(Msg.t -> unit) ->
+  ?obs:Rsmr_obs.Registry.t ->
   on_decide:(int -> string -> unit) ->
   unit ->
   t
@@ -37,7 +38,12 @@ val create :
     any message addressed to every other member — the transport can then
     encode the payload exactly once for the whole fan-out.  It must be
     equivalent to [send ~dst msg] for each member of [config] except
-    [me]. *)
+    [me].
+
+    [obs], when provided, receives the replica's accounting
+    ("elections", "takeovers", "proposals", "commits") in cells scoped
+    by [{node = me; epoch = config.instance_id}]; cells are resolved
+    once here so the per-event cost is a ref bump. *)
 
 val handle : t -> src:Rsmr_net.Node_id.t -> Msg.t -> unit
 [@@rsmr.deterministic] [@@rsmr.total]
@@ -69,9 +75,6 @@ val decided_upto : t -> int
 val log_length : t -> int
 val config : t -> Config.t
 val me : t -> Rsmr_net.Node_id.t
-
-val counters : t -> Rsmr_sim.Counters.t
-(** Keys: "proposals", "commits", "elections", "takeovers". *)
 
 val kick_election : t -> unit
 (** Test hook: trigger an immediate election attempt. *)

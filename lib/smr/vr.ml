@@ -176,6 +176,7 @@ type t = {
   mutable hb_timer : Engine.timer option;
   mutable resend_timer : Engine.timer option;
   mutable halted : bool;
+  c_view_changes : int ref;
 }
 
 let n_members t = Array.length t.members
@@ -256,6 +257,7 @@ and on_view_timeout t =
 
 and start_view_change t new_view =
   if new_view > t.view || (new_view = t.view && t.status = Normal) then begin
+    incr t.c_view_changes;
     t.view <- new_view;
     t.status <- View_change { svc_from = Node_id.Set.singleton t.me; dvc = [] };
     broadcast t (Msg.Start_view_change { view = new_view });
@@ -537,9 +539,17 @@ let halt t =
     t.resend_timer <- cancel t t.resend_timer
   end
 
-let create ~engine ~params ~config ~me ~send ?broadcast ~on_decide () =
+let create ~engine ~params ~config ~me ~send ?broadcast ?obs ~on_decide () =
   if not (Config.is_member config me) then
     invalid_arg "Vr.create: not a member of the configuration";
+  let c_view_changes =
+    match obs with
+    | Some reg ->
+      Rsmr_obs.Registry.scope_counter
+        (Rsmr_obs.Registry.scope ~node:me ~epoch:config.Config.instance_id reg)
+        "view_changes"
+    | None -> ref 0
+  in
   let t =
     {
       engine;
@@ -563,6 +573,7 @@ let create ~engine ~params ~config ~me ~send ?broadcast ~on_decide () =
       hb_timer = None;
       resend_timer = None;
       halted = false;
+      c_view_changes;
     }
   in
   (* View 0's primary is live from the start — no election needed. *)

@@ -22,7 +22,7 @@ let usage () =
     "usage: crucible_main [--seed N | --seeds A..B] [--proto \
      core|stopworld|raft|all]\n\
     \       [--scenario STR] [--lin-budget N] [--no-shrink] [--print]\n\
-    \       [--out FILE] [-v]";
+    \       [--out FILE] [--metrics FILE] [-v]";
   exit 2
 
 type opts = {
@@ -33,6 +33,7 @@ type opts = {
   mutable shrink : bool;
   mutable print_only : bool;
   mutable out : string option;
+  mutable metrics : string option;
   mutable verbose : bool;
 }
 
@@ -65,6 +66,7 @@ let parse_args () =
       shrink = true;
       print_only = false;
       out = None;
+      metrics = None;
       verbose = false;
     }
   in
@@ -106,6 +108,9 @@ let parse_args () =
       go rest
     | "--out" :: v :: rest ->
       o.out <- Some v;
+      go rest
+    | "--metrics" :: v :: rest ->
+      o.metrics <- Some v;
       go rest
     | "-v" :: rest | "--verbose" :: rest ->
       o.verbose <- true;
@@ -160,6 +165,7 @@ let () =
                 sc.Scenario.seed (Runner.proto_name proto) r.Runner.completed
                 r.Runner.submitted r.Runner.events_executed r.Runner.end_time
                 Oracle.pp outcome;
+              Format.printf "  %a@." Rsmr_obs.Span.pp_summary r.Runner.spans;
               List.iter
                 (fun (k, v) ->
                   if v > 1000 then Format.printf "  %s = %d@." k v)
@@ -184,4 +190,13 @@ let () =
      write_failures path failures;
      Format.printf "failure traces written to %s@." path
    | Some _ | None -> ());
+  (* One rsmr-metrics/1 artifact for the first (scenario, proto) pair:
+     counters, histograms, series and span aggregates of a full replay. *)
+  (match (o.metrics, scenarios, o.protos) with
+   | Some path, sc :: _, proto :: _ ->
+     let r = Runner.run proto sc in
+     Rsmr_obs.Registry.save r.Runner.obs ~path;
+     Format.printf "metrics written to %s (spans: %a)@." path
+       Rsmr_obs.Span.pp_summary r.Runner.spans
+   | Some _, _, _ | None, _, _ -> ());
   exit (if failures = [] then 0 else 1)

@@ -462,7 +462,8 @@ let test_deterministic_replay () =
     Engine.run ~until:20.0 h.engine;
     ( Engine.events_executed h.engine,
       Counters.to_list (KvService.counters h.svc),
-      Counters.to_list h.cluster.Rsmr_iface.Cluster.net_counters )
+      Counters.to_list
+        (Rsmr_obs.Registry.counters h.cluster.Rsmr_iface.Cluster.obs "net") )
   in
   let a = run () and b = run () in
   let ev_a, c_a, n_a = a and ev_b, c_b, n_b = b in

@@ -1,0 +1,329 @@
+(* The Observatory layer, observed from outside:
+
+   - the rsmr-metrics/1 JSON document has a pinned, byte-exact shape;
+   - rendering is insertion-order independent and merge is commutative
+     (QCheck, because the cell orderings are where the bugs hide);
+   - scopes, attached sections and the dotted-key split behave;
+   - the span collector stitches lifecycle events into full spans,
+     first observation winning;
+   - a real crucible run resolves a terminal state for >= 99% of
+     submitted commands and exports per-node / per-epoch /
+     per-message-type series. *)
+
+module Counters = Rsmr_sim.Counters
+module Histogram = Rsmr_sim.Histogram
+module Timeseries = Rsmr_sim.Timeseries
+module Trace = Rsmr_sim.Trace
+module Registry = Rsmr_obs.Registry
+module Span = Rsmr_obs.Span
+module Scenario = Rsmr_crucible.Scenario
+module Generate = Rsmr_crucible.Generate
+module Runner = Rsmr_crucible.Runner
+
+(* {1 Registry} *)
+
+let test_cells_are_live () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg ~labels:[ ("node", "3") ] "applied" in
+  incr c;
+  incr c;
+  let c' = Registry.counter reg ~labels:[ ("node", "3") ] "applied" in
+  Alcotest.(check bool) "same cell" true (c == c');
+  Alcotest.(check int) "live value" 2 !c';
+  (* Label canonicalization: order and duplicates don't split cells. *)
+  let a = Registry.counter reg ~labels:[ ("b", "2"); ("a", "1") ] "x" in
+  let b =
+    Registry.counter reg ~labels:[ ("a", "1"); ("b", "2"); ("a", "1") ] "x"
+  in
+  Alcotest.(check bool) "canonical labels" true (a == b)
+
+let test_kind_mismatch () =
+  let reg = Registry.create () in
+  ignore (Registry.counter reg "m");
+  Alcotest.check_raises "counter vs histogram"
+    (Invalid_argument
+       "Registry: m{} already registered as a counter, not a histogram")
+    (fun () -> ignore (Registry.histogram reg "m"))
+
+let test_scope () =
+  let reg = Registry.create () in
+  let sc = Registry.scope ~node:2 ~epoch:5 reg in
+  let c = Registry.scope_counter sc "wedged" in
+  incr c;
+  let direct =
+    Registry.counter reg ~labels:[ ("epoch", "5"); ("node", "2") ] "wedged"
+  in
+  Alcotest.(check bool) "scope resolves the same cell" true (c == direct);
+  Alcotest.(check int) "value" 1 !direct
+
+let test_sections_split () =
+  let reg = Registry.create () in
+  let net = Registry.counters reg "net" in
+  Counters.add net "sent" 7;
+  Counters.add net "sent.accept" 5;
+  Counters.add net "sent.block.prepare" 2;
+  let flat =
+    List.filter_map
+      (fun c ->
+        match c.Registry.f_labels with
+        | l when List.mem_assoc "section" l ->
+          Some (c.Registry.f_name, l, c.Registry.f_value)
+        | _ -> None)
+      (Registry.flat_counters reg)
+  in
+  let plain =
+    List.find_opt
+      (fun (n, l, _) ->
+        String.equal n "sent" && not (List.mem_assoc "msg_type" l))
+      flat
+  in
+  (match plain with
+   | Some (_, _, v) -> Alcotest.(check int) "plain key kept" 7 v
+   | None -> Alcotest.fail "plain sent cell missing");
+  (* Dotted keys split at the first dot only. *)
+  let all_sent =
+    List.filter (fun (n, _, _) -> String.equal n "sent") flat
+  in
+  Alcotest.(check int) "three sent cells" 3 (List.length all_sent);
+  Alcotest.(check bool) "block.prepare survives as one msg_type" true
+    (List.exists
+       (fun (_, l, _) ->
+         List.assoc_opt "msg_type" l = Some "block.prepare")
+       all_sent)
+
+(* {1 The pinned rsmr-metrics/1 document} *)
+
+(* One registry exercising every feature: meta, plain and labeled
+   counters, an attached section with a dotted key, a histogram and a
+   series.  The expected string is the contract pinned by the schema
+   version — changing it means bumping rsmr-metrics/1. *)
+let golden_registry () =
+  let reg = Registry.create ~meta:[ ("proto", "test"); ("seed", "7") ] () in
+  let c = Registry.counter reg ~labels:[ ("epoch", "0"); ("node", "1") ] "applied" in
+  c := 4;
+  let w = Registry.counter reg "wedges" in
+  w := 1;
+  let net = Registry.counters reg "net" in
+  Counters.add net "sent" 3;
+  Counters.add net "sent.accept" 2;
+  let h = Registry.histogram reg ~labels:[ ("kind", "latency") ] "span.latency_s" in
+  Histogram.record h 1.0;
+  let s = Registry.series reg "tput" in
+  Timeseries.add s ~time:0.5 10.0;
+  Timeseries.add s ~time:1.5 12.5;
+  reg
+
+let golden_expected =
+  "{\n\
+  \  \"schema\": \"rsmr-metrics/1\",\n\
+  \  \"meta\": {\"proto\":\"test\",\"seed\":\"7\"},\n\
+  \  \"counters\": [\n\
+  \    {\"name\":\"applied\",\"labels\":{\"epoch\":\"0\",\"node\":\"1\"},\"value\":4},\n\
+  \    {\"name\":\"sent\",\"labels\":{\"msg_type\":\"accept\",\"section\":\"net\"},\"value\":2},\n\
+  \    {\"name\":\"sent\",\"labels\":{\"section\":\"net\"},\"value\":3},\n\
+  \    {\"name\":\"wedges\",\"labels\":{},\"value\":1}\n\
+  \  ],\n\
+  \  \"histograms\": [\n\
+  \    {\"name\":\"span.latency_s\",\"labels\":{\"kind\":\"latency\"},\"count\":1,\"mean\":1.0,\"min\":1.0,\"max\":1.0,\"p50\":0.99137903,\"p90\":0.99137903,\"p99\":0.99137903}\n\
+  \  ],\n\
+  \  \"series\": [\n\
+  \    {\"name\":\"tput\",\"labels\":{},\"points\":[[0.5,10.0],[1.5,12.5]]}\n\
+  \  ]\n\
+  }"
+
+let test_golden_json () =
+  Alcotest.(check string)
+    "rsmr-metrics/1 shape" golden_expected
+    (Registry.to_json (golden_registry ()))
+
+(* {1 Order independence and merge commutativity (QCheck)} *)
+
+(* A small op language over a registry; permuting the ops must not change
+   the rendered document (counters commute; series re-sort is only
+   guaranteed by merge, so series ops here keep a fixed time per key). *)
+type op =
+  | Bump of string * (string * string) list * int
+  | Section of string * string * int
+  | Meta of string * string
+
+let apply_op reg = function
+  | Bump (name, labels, n) ->
+    let c = Registry.counter reg ~labels name in
+    c := !c + n
+  | Section (sec, key, n) -> Counters.add (Registry.counters reg sec) key n
+  | Meta (k, v) -> Registry.set_meta reg k v
+
+let op_gen =
+  QCheck.Gen.(
+    let name = oneofl [ "applied"; "wedges"; "sent"; "elections" ] in
+    let label =
+      oneofl [ []; [ ("node", "1") ]; [ ("node", "2"); ("epoch", "1") ] ]
+    in
+    frequency
+      [
+        (4, map3 (fun n l v -> Bump (n, l, v)) name label (int_range 1 50));
+        ( 2,
+          map3
+            (fun s k v -> Section (s, k, v))
+            (oneofl [ "net"; "svc" ])
+            (oneofl [ "sent"; "sent.accept"; "bytes.heartbeat"; "replies" ])
+            (int_range 1 50) );
+        (1, map (fun v -> Meta ("run", Printf.sprintf "r%d" v)) (int_range 0 3));
+      ])
+
+let build ops =
+  let reg = Registry.create () in
+  List.iter (apply_op reg) ops;
+  reg
+
+let prop_order_independent =
+  QCheck.Test.make ~name:"to_json independent of insertion order" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 40) (QCheck.make op_gen))
+    (fun ops ->
+      (* Reversal permutes cell creation order; a Meta conflict is the
+         one non-commutative op, so keep last-write-wins pairs ordered
+         by filtering metas down to at most one. *)
+      let seen = ref false in
+      let ops =
+        List.filter
+          (function
+            | Meta _ ->
+              if !seen then false
+              else (
+                seen := true;
+                true)
+            | Bump _ | Section _ -> true)
+          ops
+      in
+      String.equal
+        (Registry.to_json (build ops))
+        (Registry.to_json (build (List.rev ops))))
+
+let prop_merge_commutes =
+  QCheck.Test.make ~name:"merge commutes" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 25) (QCheck.make op_gen))
+        (list_of_size (Gen.int_range 0 25) (QCheck.make op_gen)))
+    (fun (xs, ys) ->
+      let a () = build xs and b () = build ys in
+      String.equal
+        (Registry.to_json (Registry.merge (a ()) (b ())))
+        (Registry.to_json (Registry.merge (b ()) (a ()))))
+
+(* {1 Spans} *)
+
+let emit bus ~time ev attrs =
+  Trace.emit bus ~time ~node:0 ~topic:`Lifecycle
+    ~attrs:(("ev", ev) :: attrs)
+    ev
+
+let cs client seq =
+  [ ("client", string_of_int client); ("seq", string_of_int seq) ]
+
+let test_span_lifecycle () =
+  let reg = Registry.create () in
+  let bus = Registry.bus reg in
+  let coll = Span.collect bus in
+  (* Command (1000, 0): the full cross-epoch path. *)
+  emit bus ~time:0.10 "submit" (cs 1000 0);
+  emit bus ~time:0.20 "ordered" (cs 1000 0 @ [ ("epoch", "0"); ("idx", "5") ]);
+  emit bus ~time:0.25 "residual" (cs 1000 0 @ [ ("epoch", "0"); ("idx", "5") ]);
+  emit bus ~time:0.30 "resubmit" (cs 1000 0 @ [ ("from", "0"); ("to", "1") ]);
+  emit bus ~time:0.40 "applied" (cs 1000 0 @ [ ("epoch", "1"); ("idx", "2") ]);
+  emit bus ~time:0.45 "replied" (cs 1000 0);
+  (* Duplicate transition: first observation must win. *)
+  emit bus ~time:0.90 "applied" (cs 1000 0 @ [ ("epoch", "9"); ("idx", "9") ]);
+  (* Command (1000, 1): submitted, retried, never resolved. *)
+  emit bus ~time:0.50 "submit" (cs 1000 1);
+  emit bus ~time:0.70 "retry" (cs 1000 1);
+  match Span.finalize coll with
+  | [ a; b ] ->
+    Alcotest.(check int) "sorted by seq" 0 a.Span.sp_seq;
+    Alcotest.(check string) "full path resolved" "replied"
+      (Span.state_name (Span.state a));
+    (match a.Span.sp_applied with
+     | Some (epoch, time) ->
+       Alcotest.(check int) "first applied wins (epoch)" 1 epoch;
+       Alcotest.(check (float 1e-9)) "first applied wins (time)" 0.40 time
+     | None -> Alcotest.fail "applied transition lost");
+    (match a.Span.sp_resubmitted with
+     | Some (f, t, _) ->
+       Alcotest.(check (pair int int)) "resubmit epochs" (0, 1) (f, t)
+     | None -> Alcotest.fail "resubmit transition lost");
+    Alcotest.(check string) "in-flight span" "submitted"
+      (Span.state_name (Span.state b));
+    Alcotest.(check int) "retry counted" 1 b.Span.sp_retries;
+    let s = Span.summarize [ a; b ] in
+    Alcotest.(check int) "one resolved" 1 s.Span.sm_replied;
+    Alcotest.(check int) "one unresolved" 1 s.Span.sm_unresolved;
+    Alcotest.(check int) "cross-epoch detected" 1 s.Span.sm_cross_epoch;
+    Alcotest.(check (float 1e-9)) "half resolved" 0.5
+      (Span.resolved_fraction s);
+    Alcotest.(check int) "handoff latency measured" 1
+      (Histogram.count s.Span.sm_handoff);
+    Alcotest.(check int) "no orphans" 0 (Span.orphans coll)
+  | spans ->
+    Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_span_orphans () =
+  let reg = Registry.create () in
+  let coll = Span.collect (Registry.bus reg) in
+  emit (Registry.bus reg) ~time:0.1 "replied" (cs 7 3);
+  emit (Registry.bus reg) ~time:0.2 "ordered" [ ("epoch", "0") ];
+  Alcotest.(check int) "late attach + missing attrs counted" 2
+    (Span.orphans coll);
+  Alcotest.(check int) "late span still built" 1
+    (List.length (Span.finalize coll))
+
+(* {1 A real run end to end} *)
+
+let test_crucible_run_resolves () =
+  (* Seed 6 reconfigures three times, so the export must carry multiple
+     epochs and the spans must cross them. *)
+  let r = Runner.run Runner.Core (Generate.scenario ~seed:6) in
+  let frac = Span.resolved_fraction r.Runner.spans in
+  if frac < 0.99 then
+    Alcotest.failf "only %.2f%% of spans resolved" (100.0 *. frac);
+  Alcotest.(check bool) "every span observed" true
+    (r.Runner.spans.Span.sm_total >= r.Runner.submitted);
+  (* Per-node, per-epoch and per-message-type labels all present. *)
+  let flat = Registry.flat_counters r.Runner.obs in
+  let has key =
+    List.exists (fun c -> List.mem_assoc key c.Registry.f_labels) flat
+  in
+  Alcotest.(check bool) "per-node series" true (has "node");
+  Alcotest.(check bool) "per-epoch series" true (has "epoch");
+  Alcotest.(check bool) "per-message-type series" true (has "msg_type");
+  let epochs =
+    List.sort_uniq String.compare
+      (List.filter_map
+         (fun c -> List.assoc_opt "epoch" c.Registry.f_labels)
+         flat)
+  in
+  Alcotest.(check bool) "spans crossed epochs" true (List.length epochs > 1)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "cells are live" `Quick test_cells_are_live;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "scopes" `Quick test_scope;
+          Alcotest.test_case "section split" `Quick test_sections_split;
+          Alcotest.test_case "golden rsmr-metrics/1" `Quick test_golden_json;
+          QCheck_alcotest.to_alcotest prop_order_independent;
+          QCheck_alcotest.to_alcotest prop_merge_commutes;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "lifecycle stitching" `Quick test_span_lifecycle;
+          Alcotest.test_case "orphans" `Quick test_span_orphans;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "crucible run resolves" `Quick
+            test_crucible_run_resolves;
+        ] );
+    ]

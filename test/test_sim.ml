@@ -243,14 +243,24 @@ let test_trace_counts_and_retention () =
   let tr = Trace.create () in
   let seen = ref 0 in
   Trace.subscribe tr (fun _ -> incr seen);
-  Trace.emit tr ~time:1.0 ~node:0 ~topic:"x" "one";
+  Trace.emit tr ~time:1.0 ~node:0 ~topic:(`Other "x") "one";
   Trace.keep tr true;
-  Trace.emit tr ~time:2.0 ~node:1 ~topic:"x" "two";
-  Trace.emit tr ~time:3.0 ~node:1 ~topic:"y" "three";
+  Trace.emit tr ~time:2.0 ~node:1 ~topic:(`Other "x")
+    ~attrs:[ ("k", "v") ] "two";
+  Trace.emit tr ~time:3.0 ~node:1 ~topic:`Lifecycle "three";
   Alcotest.(check int) "subscriber saw all" 3 !seen;
-  Alcotest.(check int) "topic x count" 2 (Trace.count tr ~topic:"x");
+  Alcotest.(check int) "topic x count" 2 (Trace.count tr ~topic:(`Other "x"));
+  Alcotest.(check int) "lifecycle count" 1 (Trace.count tr ~topic:`Lifecycle);
   Alcotest.(check int) "retained only after keep" 2
-    (List.length (Trace.events tr))
+    (List.length (Trace.events tr));
+  (match Trace.events tr with
+   | ev :: _ ->
+     Alcotest.(check (option string)) "attr lookup" (Some "v")
+       (Trace.attr ev "k")
+   | [] -> Alcotest.fail "expected retained events");
+  Alcotest.(check bool) "active with subscriber" true (Trace.active tr);
+  Alcotest.(check bool) "fresh bus inactive" false
+    (Trace.active (Trace.create ()))
 
 (* --- stable (sorted hash-table iteration) --- *)
 

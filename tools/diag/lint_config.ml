@@ -8,6 +8,7 @@ let all_rules =
     "codec-exhaustive";
     "missing-mli";
     "decode-failwith";
+    "print-noise";
     "parse-error";
     "stale-exemption";
     (* rsmr-flow (interprocedural, typedtree) *)

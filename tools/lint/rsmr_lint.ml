@@ -34,6 +34,12 @@
                           functions: decode paths raise a tagged error
                           (e.g. [Codec.Truncated]) so callers can reject
                           malformed input deterministically.
+     [print-noise]        no [Printf.printf]/[Format.eprintf]/
+                          [print_endline]-family calls in protocol
+                          libraries: observability flows through the
+                          Observatory registry and the trace bus
+                          ([Rsmr_obs]), never stdout — ad-hoc prints are
+                          invisible to tooling and pollute CLI output.
 
    Suppression: a comment [(* lint: <rule-id> ... *)] on the violating line
    or the line directly above disables that rule for that line
@@ -332,6 +338,13 @@ let equality_ops = [ "="; "<>"; "=="; "!=" ]
 let wall_clock_idents =
   [ [ "Unix"; "gettimeofday" ]; [ "Unix"; "time" ]; [ "Sys"; "time" ] ]
 
+let print_noise_idents =
+  [
+    "print_endline"; "print_string"; "print_newline"; "print_int";
+    "print_char"; "print_float"; "prerr_endline"; "prerr_string";
+    "prerr_newline";
+  ]
+
 let strip_stdlib = function "Stdlib" :: rest -> rest | l -> l
 
 let check_expression ctx (e : P.expression) =
@@ -361,6 +374,21 @@ let check_expression ctx (e : P.expression) =
            "%s uses the ambient stdlib PRNG; all randomness must flow from \
             the seeded Rsmr_sim.Rng"
            (String.concat "." path))
+    | [ ("Printf" | "Format"); (("printf" | "eprintf") as f) ]
+      when ctx.protocol ->
+      flag ctx ~loc "print-noise"
+        (Printf.sprintf
+           "%s.%s in a protocol library; account through the Observatory \
+            registry or emit on the trace bus (Rsmr_obs) instead of \
+            printing"
+           (List.hd path) f)
+    | [ f ] when ctx.protocol && List.mem f print_noise_idents ->
+      flag ctx ~loc "print-noise"
+        (Printf.sprintf
+           "%s in a protocol library; account through the Observatory \
+            registry or emit on the trace bus (Rsmr_obs) instead of \
+            printing"
+           f)
     | [ "compare" ]
       when ctx.protocol
            && (raw = [ "Stdlib"; "compare" ]

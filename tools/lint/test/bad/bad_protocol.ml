@@ -5,3 +5,5 @@ let tally tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0
 let now () = Unix.gettimeofday ()
 let jitter () = Random.float 1.0
 let same a b = compare a b = 0
+let shout v = Printf.printf "decided %d\n" v
+let trace = print_endline

@@ -7,3 +7,12 @@ let add x y = x + y
 let total tbl =
   (* lint: order-insensitive — addition commutes *)
   Hashtbl.fold (fun _ v acc -> acc + v) tbl 0
+
+(* Formatter plumbing is not print noise: only the stdout/stderr printing
+   family is flagged, pp_* combinators over a caller's formatter are how
+   diagnostics are supposed to be rendered. *)
+let render ppf s = Format.pp_print_string ppf s
+
+let banner () =
+  (* lint: print-noise — fixture stand-in for a CLI entry point *)
+  print_endline "ok"

@@ -1,2 +1,4 @@
 val add : int -> int -> int
 val total : (string, int) Hashtbl.t -> int
+val render : Format.formatter -> string -> unit
+val banner : unit -> unit
