@@ -5,10 +5,10 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
 
   let options chunk_size =
     {
+      Rsmr_core.Options.default with
       Rsmr_core.Options.speculative = false;
       residual_resubmit = false;
       chunk_size;
-      fetch_timeout = Rsmr_core.Options.default.Rsmr_core.Options.fetch_timeout;
     }
 
   let create ~engine ?latency ?drop ?bandwidth ?smr_params

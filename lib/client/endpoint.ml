@@ -192,3 +192,36 @@ let outstanding t = Hashtbl.length t.pending
 let counters t = t.counters
 let believed_members t = t.members
 let believed_leader t = t.leader
+
+(* Canonical encoding of the endpoint's retry state for model-checker
+   fingerprints: believed configuration, every outstanding request
+   (sorted by sequence number) with its payload and retry counters, and
+   the round-robin / watermark cursors.  Timer due-times are excluded;
+   timer presence is included. *)
+let fingerprint t =
+  let module W = Rsmr_app.Codec.Writer in
+  let w = W.create ~size_hint:128 () in
+  let node w n = W.varint w (n : Node_id.t) in
+  W.list w node t.members;
+  W.option w node t.leader;
+  W.varint w t.epoch;
+  W.list w
+    (fun w (seq, o) ->
+      W.varint w seq;
+      W.nested w Client_msg.write
+        (Client_msg.Request { seq; low_water = 0; payload = o.payload });
+      W.varint w o.attempts;
+      W.varint w o.redirects;
+      W.bool w
+        (match o.timer with
+         | Some tm -> Engine.is_pending tm
+         | None -> false))
+    (List.rev
+       (Stable.fold_sorted ~compare:Int.compare
+          (fun k v acc -> (k, v) :: acc)
+          t.pending []));
+  W.varint w t.rr;
+  W.varint w t.max_seq;
+  W.option w node t.last_target;
+  W.bool w t.lookup_inflight;
+  W.contents w

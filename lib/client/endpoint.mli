@@ -50,3 +50,10 @@ val counters : t -> Rsmr_sim.Counters.t
 
 val believed_members : t -> Rsmr_net.Node_id.t list
 val believed_leader : t -> Rsmr_net.Node_id.t option
+
+val fingerprint : t -> string
+[@@rsmr.deterministic]
+(** Canonical encoding of the endpoint's complete retry state (believed
+    configuration, outstanding requests in sorted order, cursors) for
+    model-checker visited-state dedup.  Deterministic; excludes timer
+    due-times but includes timer presence. *)

@@ -1,8 +1,11 @@
+type mutation = No_first_wedge
+
 type t = {
   speculative : bool;
   residual_resubmit : bool;
   chunk_size : int;
   fetch_timeout : float;
+  mutation : mutation option;
 }
 
 let default =
@@ -11,8 +14,12 @@ let default =
     residual_resubmit = true;
     chunk_size = 64 * 1024;
     fetch_timeout = 0.25;
+    mutation = None;
   }
 
 let pp ppf t =
-  Format.fprintf ppf "spec=%b residual=%b chunk=%dB fetch_to=%.0fms"
+  Format.fprintf ppf "spec=%b residual=%b chunk=%dB fetch_to=%.0fms%s"
     t.speculative t.residual_resubmit t.chunk_size (t.fetch_timeout *. 1e3)
+    (match t.mutation with
+     | None -> ""
+     | Some No_first_wedge -> " MUTATION=no-first-wedge")

@@ -1,6 +1,15 @@
 (** Composition-layer knobs — each one is an ablation axis in the
     evaluation. *)
 
+type mutation = No_first_wedge
+      (** Deliberately re-breaks the first-wedge-wins dispatch guard:
+          commands the block orders {e after} an instance's wedge point
+          are applied instead of being diverted to residual handling.
+          This reintroduces the epoch-prefix bug the guard fixed, and
+          exists only as the model checker's teeth test — Scope must
+          find a counterexample within a few dozen steps when it is
+          enabled.  Never set it in a real configuration. *)
+
 type t = {
   speculative : bool;
       (** Paper's key optimization: boot the next configuration's SMR
@@ -13,6 +22,8 @@ type t = {
           them). *)
   chunk_size : int;  (** state-transfer chunk bytes *)
   fetch_timeout : float;  (** retry period for snapshot fetches *)
+  mutation : mutation option;
+      (** [None] in every legitimate run; see {!mutation}. *)
 }
 
 val default : t

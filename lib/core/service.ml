@@ -1,5 +1,6 @@
 module Engine = Rsmr_sim.Engine
 module Counters = Rsmr_sim.Counters
+module Fnv = Rsmr_sim.Fnv
 module Trace = Rsmr_sim.Trace
 module Obs = Rsmr_obs.Registry
 module Stable = Rsmr_sim.Stable
@@ -15,6 +16,7 @@ type epoch_stat = {
   es_retired : bool;
   es_wedged_at : int option;
   es_applied_hi : int;
+  es_digest : int64;
 }
 
 module type S = sig
@@ -30,11 +32,13 @@ module type S = sig
     ?options:Options.t ->
     ?universe:Rsmr_net.Node_id.t list ->
     ?obs:Rsmr_obs.Registry.t ->
+    ?net_mode:Rsmr_net.Network.mode ->
     members:Rsmr_net.Node_id.t list ->
     unit ->
     t
 
   val cluster : t -> Rsmr_iface.Cluster.t
+  val canonical_state : t -> string
   val engine : t -> Rsmr_sim.Engine.t
   val net : t -> Wire.t Rsmr_net.Network.t
   val directory_id : t -> Rsmr_net.Node_id.t
@@ -67,9 +71,14 @@ struct
         (* highest log index whose command took effect in this instance
            (applied, deduplicated, or wedged) — the epoch-prefix-safety
            oracle asserts it never passes the wedge index *)
+    mutable applied_digest : int64;
+        (* FNV-1a chain over every (idx, envelope-bytes) this instance
+           processed, in order.  Two nodes with equal [applied_hi] in the
+           same epoch must have equal digests — the model checker's
+           committed-prefix-agreement witness. *)
     mutable next_members : Node_id.t list;
     mutable final_snapshot : string option;
-    mutable spec_buf : (int * Envelope.t) list; (* newest first *)
+    mutable spec_buf : (int * string) list; (* raw envelopes, newest first *)
     mutable chunks : string option array;
     mutable chunks_got : int;
     mutable fetch_timer : Engine.timer option;
@@ -178,6 +187,7 @@ struct
                es_retired = inst.retired;
                es_wedged_at = inst.wedged_at;
                es_applied_hi = inst.applied_hi;
+               es_digest = inst.applied_digest;
              }
              :: acc)
            host.instances [])
@@ -259,6 +269,12 @@ struct
       Replica.submit r (Envelope.encode env)
     | Some _ | None -> ()
 
+  (* Same, for an envelope we already hold in wire form. *)
+  let submit_raw inst value =
+    match inst.replica with
+    | Some r when not (Replica.is_halted r) -> Replica.submit r value
+    | Some _ | None -> ()
+
   (* --- decided-command processing --- *)
 
   let env_client_seq (env : Envelope.t) =
@@ -266,12 +282,24 @@ struct
     | Envelope.App { client; seq; _ } | Envelope.Reconfig { client; seq; _ } ->
       (client, seq)
 
-  let rec dispatch t host inst idx env =
+  (* [value] is the envelope's wire bytes (what the block ordered); it is
+     decoded exactly once here and threaded alongside [env] so the
+     applied-digest chain and residual re-submission reuse the bytes
+     instead of re-encoding. *)
+  let rec dispatch t host inst idx value =
+    let env = Envelope.decode value in
     match inst.wedged_at with
-    | Some w when idx > w -> handle_residual t host inst idx env
-    | Some _ | None -> process t host inst idx env
+    | Some w when idx > w -> (
+      (* First-wedge-wins: the composed history for this epoch ends at
+         the wedge index, so anything the block ordered later is a
+         residual, never applied here.  [No_first_wedge] re-breaks this
+         guard on purpose — the model checker's mutation self-test. *)
+      match t.opts.Options.mutation with
+      | Some Options.No_first_wedge -> process t host inst idx env value
+      | None -> handle_residual t host inst idx env value)
+    | Some _ | None -> process t host inst idx env value
 
-  and handle_residual t host inst idx env =
+  and handle_residual t host inst idx env value =
     Counters.incr t.counters "residuals";
     incr inst.sc_residuals;
     if Trace.active t.bus && is_inst_leader inst then begin
@@ -302,7 +330,7 @@ struct
           ]
       end;
       match Hashtbl.find_opt host.instances (inst.epoch + 1) with
-      | Some next -> submit_envelope next env
+      | Some next -> submit_raw next value
       | None -> (
         match inst.next_members with
         | dst :: _ ->
@@ -310,13 +338,17 @@ struct
             (Wire.Block
                {
                  epoch = inst.epoch + 1;
-                 data = B.Msg.encode (B.submit_msg (Envelope.encode env));
+                 data = B.Msg.encode (B.submit_msg value);
                })
         | [] -> ())
     end
 
-  and process t host inst idx env =
+  and process t host inst idx env value =
     if idx > inst.applied_hi then inst.applied_hi <- idx;
+    inst.applied_digest <-
+      Fnv.combine_framed
+        (Fnv.combine inst.applied_digest (string_of_int idx))
+        value;
     if Trace.active t.bus && is_inst_leader inst then begin
       let client, seq = env_client_seq env in
       lifecycle t ~node:host.me "ordered"
@@ -364,9 +396,8 @@ struct
       | `Stale -> ())
 
   and on_decide t host inst idx value =
-    let env = Envelope.decode value in
-    if inst.activated then dispatch t host inst idx env
-    else inst.spec_buf <- (idx, env) :: inst.spec_buf
+    if inst.activated then dispatch t host inst idx value
+    else inst.spec_buf <- (idx, value) :: inst.spec_buf
 
   (* --- wedging and the next configuration --- *)
 
@@ -468,6 +499,7 @@ struct
         activated = false;
         wedged_at = None;
         applied_hi = -1;
+        applied_digest = Fnv.empty;
         next_members = [];
         final_snapshot = None;
         spec_buf = [];
@@ -566,15 +598,16 @@ struct
       if inst.replica = None then start_replica t host inst;
       (* Execute everything the speculative instance ordered while the
          snapshot was in flight, in log order.  Sort by slot index only:
-         polymorphic compare on envelopes would order replay by payload
-         bytes on (impossible, but cheap to exclude) duplicate indices. *)
+         polymorphic compare on raw envelopes would order replay by
+         payload bytes on (impossible, but cheap to exclude) duplicate
+         indices. *)
       let buffered =
         List.sort
           (fun (i, _) (j, _) -> Int.compare i j)
           (List.rev inst.spec_buf)
       in
       inst.spec_buf <- [];
-      List.iter (fun (idx, env) -> dispatch t host inst idx env) buffered;
+      List.iter (fun (idx, value) -> dispatch t host inst idx value) buffered;
       announce_poll t host inst
     end
 
@@ -767,8 +800,86 @@ struct
          ~payload:(Client_msg.Change_membership members)
      | None -> (* admin client is created with the service *) ())
 
+  (* Whole-system canonical snapshot: every behaviour-bearing field of
+     every host, instance, client and queued message, serialized through
+     the codec with all hash tables walked in sorted key order.  This is
+     what the model checker fingerprints for visited-state dedup, so the
+     exclusion rules match the block fingerprints: no virtual-clock
+     reading, no timer due-times (presence only), no RNG, no metrics.
+     Nothing ever decodes this — it is identity, not a wire format. *)
+  let canonical_state t =
+    let module W = Rsmr_app.Codec.Writer in
+    let w = W.create ~size_hint:4096 () in
+    let node w n = W.varint w (n : Node_id.t) in
+    let pending_timer slot =
+      match slot with Some tm -> Engine.is_pending tm | None -> false
+    in
+    let encode_instance inst =
+      W.varint w inst.epoch;
+      W.list w node inst.cfg.Config.members;
+      W.list w node inst.prev_members;
+      W.bool w inst.activated;
+      W.option w (fun w v -> W.varint w v) inst.wedged_at;
+      W.zigzag w inst.applied_hi;
+      W.string w (Fnv.to_hex inst.applied_digest);
+      W.list w node inst.next_members;
+      W.option w W.string inst.final_snapshot;
+      W.list w
+        (fun w (i, v) ->
+          W.varint w i;
+          W.string w v)
+        inst.spec_buf;
+      W.varint w (Array.length inst.chunks);
+      Array.iter (fun c -> W.bool w (Option.is_some c)) inst.chunks;
+      W.bool w (pending_timer inst.fetch_timer);
+      W.varint w inst.fetch_rr;
+      W.bool w inst.announced;
+      W.bool w inst.retired;
+      W.string w (Sm.snapshot inst.app);
+      W.string w (Session.encode inst.sessions);
+      W.option w W.string (Option.map Replica.fingerprint inst.replica)
+    in
+    Stable.iter_sorted ~compare:Node_id.compare
+      (fun id host ->
+        node w id;
+        W.varint w host.top_epoch;
+        W.list w node host.latest_members;
+        Stable.iter_sorted ~compare:Int.compare
+          (fun epoch waiting ->
+            W.varint w epoch;
+            W.list w node (List.sort Node_id.compare !waiting))
+          host.pending_fetches;
+        Stable.iter_sorted ~compare:Int.compare
+          (fun _ inst -> encode_instance inst)
+          host.instances)
+      t.hosts;
+    W.varint w (Directory.epoch t.dir);
+    W.list w node (Directory.members t.dir);
+    W.option w node (Directory.leader t.dir);
+    W.varint w t.admin_seq;
+    Stable.iter_sorted ~compare:Node_id.compare
+      (fun id record ->
+        node w id;
+        W.string w (Endpoint.fingerprint record.endpoint);
+        W.bool w (Option.is_some record.dir_k))
+      t.clients;
+    List.iter
+      (fun (src, dst) ->
+        node w src;
+        node w dst;
+        W.list w (fun w m -> W.nested w Wire.write m)
+          (Network.queued t.net ~src ~dst))
+      (Network.links t.net);
+    List.iter (fun n -> W.bool w (Network.is_crashed t.net n))
+      (List.sort Node_id.compare
+         (Stable.fold_sorted ~compare:Node_id.compare
+            (fun id _ acc -> id :: acc)
+            t.hosts []));
+    W.contents w
+  [@@rsmr.deterministic]
+
   let create ~engine ?latency ?drop ?bandwidth ?smr_params ?options ?universe
-      ?obs ~members () =
+      ?obs ?net_mode ~members () =
     if members = [] then invalid_arg "Service.create: empty member set";
     let obs = match obs with Some o -> o | None -> Obs.create () in
     Obs.set_meta obs "block" B.block_name;
@@ -797,8 +908,8 @@ struct
       | other -> Wire.tag other
     in
     let net =
-      Network.create engine ?latency ?drop ?bandwidth ~tagger ~sizer:Wire.size
-        ~obs ()
+      Network.create engine ?mode:net_mode ?latency ?drop ?bandwidth ~tagger
+        ~sizer:Wire.size ~obs ()
     in
     let t =
       {

@@ -34,6 +34,11 @@ type epoch_stat = {
       (** highest log index whose command took effect in this instance
           ([-1] if none).  Epoch-prefix safety is
           [es_wedged_at = Some w -> es_applied_hi <= w]. *)
+  es_digest : int64;
+      (** FNV-1a chain over every (index, envelope) the instance
+          processed, in order.  Committed-prefix agreement: two nodes
+          with equal [es_applied_hi] in the same epoch must have equal
+          digests — the model checker's cross-node witness. *)
 }
 (** Per-instance audit record, one per epoch a node hosts — the raw
     material for the crucible's epoch-prefix and wedge-agreement
@@ -53,10 +58,16 @@ module type S = sig
     ?options:Options.t ->
     ?universe:Rsmr_net.Node_id.t list ->
     ?obs:Rsmr_obs.Registry.t ->
+    ?net_mode:Rsmr_net.Network.mode ->
     members:Rsmr_net.Node_id.t list ->
     unit ->
     t
-  (** [universe] is every node id that may ever host a replica (defaults to
+  (** [net_mode] selects the transport mode (default [`Sim]); the model
+      checker passes [`Enumerate] so message delivery becomes its
+      choice rather than a scheduled event.  It must be fixed at
+      creation — the service sends messages while it boots.
+
+      [universe] is every node id that may ever host a replica (defaults to
       [members]); nodes outside it cannot be reconfigured in.  Two extra
       ids are allocated above the universe for the directory node and the
       administrative client.  Client ids must not collide with either.
@@ -69,6 +80,17 @@ module type S = sig
 
   val cluster : t -> Rsmr_iface.Cluster.t
   (** The protocol-agnostic face used by workloads and benchmarks. *)
+
+  val canonical_state : t -> string
+  (** Canonical encoding of the complete composed-system state — every
+      host's instance stack (including block fingerprints, sessions and
+      app snapshots), the directory, client endpoints, and all
+      enumerate-mode message queues — with unordered collections in
+      sorted order.  Two systems that will behave identically under
+      identical future choices encode identically; virtual-clock
+      readings and timer due-times are excluded (timer {e presence} is
+      included).  The model checker hashes this for visited-state
+      dedup.  Not a wire format: nothing decodes it. *)
 
   (** {1 Introspection (tests, invariant checks)} *)
 

@@ -4,8 +4,16 @@ module Counters = Rsmr_sim.Counters
 
 type 'm envelope = { src : Node_id.t; dst : Node_id.t; payload : 'm }
 
+type mode = [ `Sim | `Enumerate ]
+
 type 'm t = {
   engine : Engine.t;
+  mode : mode;
+  (* Enumerate mode: per-directed-link FIFO queues of undelivered
+     payloads.  Only the head of each queue is deliverable — the
+     in-order clamp [fifo] enforces with arrival-time bumps in `Sim
+     mode holds by construction here. *)
+  queues : (Node_id.t * Node_id.t, 'm Queue.t) Hashtbl.t;
   latency : Latency.t;
   mutable drop : float;
   mutable duplicate : float;
@@ -33,9 +41,9 @@ type 'm t = {
   tag_handles : (string, int ref * int ref) Hashtbl.t;
 }
 
-let create engine ?(latency = Latency.lan) ?(drop = 0.0) ?(duplicate = 0.0)
-    ?(bandwidth = 1.25e8) ?(fifo = true) ?tagger ?(sizer = fun _ -> 64) ?obs ()
-    =
+let create engine ?(mode = `Sim) ?(latency = Latency.lan) ?(drop = 0.0)
+    ?(duplicate = 0.0) ?(bandwidth = 1.25e8) ?(fifo = true) ?tagger
+    ?(sizer = fun _ -> 64) ?obs () =
   (* With an Observatory registry the network's counter table IS the
      registry's "net" section: same live cells, no extra hot-path cost,
      and the registry exports per-message-type series by splitting the
@@ -47,6 +55,8 @@ let create engine ?(latency = Latency.lan) ?(drop = 0.0) ?(duplicate = 0.0)
   in
   {
     engine;
+    mode;
+    queues = Hashtbl.create 16;
     latency;
     drop;
     duplicate;
@@ -71,6 +81,7 @@ let create engine ?(latency = Latency.lan) ?(drop = 0.0) ?(duplicate = 0.0)
   }
 
 let engine t = t.engine
+let mode t = t.mode
 let register t node f = Hashtbl.replace t.handlers node f
 let unregister t node = Hashtbl.remove t.handlers node
 
@@ -155,6 +166,25 @@ let prepare t payload =
   in
   (size, chan)
 
+(* Enumerate-mode send: no randomness, no latency, no engine event —
+   the payload parks on its directed link until the model checker picks
+   it (deliver_head) or loses it (drop_head).  Send-time crash and
+   partition checks match `Sim mode exactly. *)
+let enqueue t ~src ~dst payload =
+  if Node_id.Set.mem src t.crashed then t.c_dropped := !(t.c_dropped) + 1
+  else if not (connected t src dst) then t.c_dropped := !(t.c_dropped) + 1
+  else begin
+    let q =
+      match Hashtbl.find_opt t.queues (src, dst) with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.add t.queues (src, dst) q;
+        q
+    in
+    Queue.add payload q
+  end
+
 let transmit t ~src ~dst ~size ~chan payload =
   t.c_sent := !(t.c_sent) + 1;
   t.c_bytes_sent := !(t.c_bytes_sent) + size;
@@ -163,6 +193,8 @@ let transmit t ~src ~dst ~size ~chan payload =
      sent := !sent + 1;
      bytes := !bytes + size
    | None -> ());
+  if t.mode = `Enumerate then enqueue t ~src ~dst payload
+  else begin
   let env = { src; dst; payload } in
   if Node_id.Set.mem src t.crashed then t.c_dropped := !(t.c_dropped) + 1
   else if not (connected t src dst) then t.c_dropped := !(t.c_dropped) + 1
@@ -209,6 +241,7 @@ let transmit t ~src ~dst ~size ~chan payload =
       done
     end
   end
+  end
 
 let send t ~src ~dst payload =
   let size, chan = prepare t payload in
@@ -224,3 +257,58 @@ let broadcast t ~src ~dsts payload =
         if not (Node_id.equal dst src) then
           transmit t ~src ~dst ~size ~chan payload)
       dsts
+
+(* ------------------------------------------------------------------ *)
+(* Enumerate-mode introspection.  All listing is in sorted link order so
+   the checker's choice enumeration (and anything fingerprinting the
+   in-flight set) is deterministic regardless of hash-table layout. *)
+
+let compare_link (s1, d1) (s2, d2) =
+  match Int.compare (s1 : Node_id.t) s2 with
+  | 0 -> Int.compare (d1 : Node_id.t) d2
+  | c -> c
+
+let links t =
+  List.rev
+    (Rsmr_sim.Stable.fold_sorted ~compare:compare_link
+       (fun link q acc -> if Queue.is_empty q then acc else link :: acc)
+       t.queues [])
+
+let queued t ~src ~dst =
+  match Hashtbl.find_opt t.queues (src, dst) with
+  | None -> []
+  | Some q -> List.rev (Queue.fold (fun acc m -> m :: acc) [] q)
+
+let pending_total t =
+  Rsmr_sim.Stable.fold_sorted ~compare:compare_link
+    (fun _ q acc -> acc + Queue.length q)
+    t.queues 0
+
+let take_head t ~src ~dst =
+  match Hashtbl.find_opt t.queues (src, dst) with
+  | None -> None
+  | Some q ->
+    if Queue.is_empty q then None
+    else begin
+      let payload = Queue.pop q in
+      if Queue.is_empty q then Hashtbl.remove t.queues (src, dst);
+      Some payload
+    end
+
+let deliver_head t ~src ~dst =
+  match take_head t ~src ~dst with
+  | None -> None
+  | Some payload ->
+    (* Same delivery-time re-checks as the `Sim delivery closure: a
+       partition installed after the send cuts the message off, and
+       [deliver] itself drops on a crashed destination. *)
+    if connected t src dst then deliver t { src; dst; payload }
+    else t.c_dropped := !(t.c_dropped) + 1;
+    Some payload
+
+let drop_head t ~src ~dst =
+  match take_head t ~src ~dst with
+  | None -> None
+  | Some payload ->
+    t.c_dropped := !(t.c_dropped) + 1;
+    Some payload

@@ -11,8 +11,19 @@ type 'm t
 
 type 'm envelope = { src : Node_id.t; dst : Node_id.t; payload : 'm }
 
+type mode = [ `Sim | `Enumerate ]
+(** [`Sim] (the default) is the stochastic discrete-event network
+    described above.  [`Enumerate] is the model checker's network: a
+    send parks the payload on its directed link's FIFO queue instead of
+    scheduling a delivery event, and the checker consumes queue heads
+    explicitly via {!deliver_head} / {!drop_head} — loss and reordering
+    become enumerated choices rather than coin flips.  The mode is fixed
+    at {!create} time: components send messages during construction, so
+    flipping modes mid-run would strand in-flight messages. *)
+
 val create :
   Rsmr_sim.Engine.t ->
+  ?mode:mode ->
   ?latency:Latency.t ->
   ?drop:float ->
   ?duplicate:float ->
@@ -101,3 +112,35 @@ val set_duplicate : 'm t -> float -> unit
 
 val counters : 'm t -> Rsmr_sim.Counters.t
 (** Keys: "sent", "delivered", "dropped", "duplicated", "bytes_sent". *)
+
+(** {1 Enumerate mode}
+
+    Only meaningful when the network was created with
+    [~mode:`Enumerate]; in [`Sim] mode the queues are always empty.
+    Per directed link, messages are deliverable strictly in send order
+    (the FIFO clamp): only the head is reachable, via {!deliver_head}
+    (run the receive handler) or {!drop_head} (model message loss). *)
+
+val mode : 'm t -> mode
+
+val links : 'm t -> (Node_id.t * Node_id.t) list
+(** Directed links with at least one queued message, sorted by
+    [(src, dst)] — a deterministic enumeration order for choice
+    generation. *)
+
+val queued : 'm t -> src:Node_id.t -> dst:Node_id.t -> 'm list
+(** The link's queue, head (oldest) first.  Used for state
+    fingerprinting; does not consume anything. *)
+
+val pending_total : 'm t -> int
+(** Total queued messages across all links — the checker's in-flight
+    bound. *)
+
+val deliver_head : 'm t -> src:Node_id.t -> dst:Node_id.t -> 'm option
+(** Consume the head of the link and deliver it, re-checking partition
+    and crash at delivery time exactly like [`Sim] mode (the message is
+    consumed either way).  [None] if the link has no queued message. *)
+
+val drop_head : 'm t -> src:Node_id.t -> dst:Node_id.t -> 'm option
+(** Consume the head of the link as a message-loss choice.  Returns the
+    lost payload for trace rendering. *)

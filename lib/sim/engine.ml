@@ -1,4 +1,22 @@
-type timer = { mutable live : bool; cb : unit -> unit }
+(* Timer lifecycle is a one-way tri-state machine:
+
+     Pending --cancel--> Cancelled
+     Pending --fire----> Fired
+
+   [Fired] and [Cancelled] are terminal and distinct: cancelling a timer
+   that has already run is a no-op that does NOT reclassify it, so
+   callers (and the model checker's enabled-set) can always tell "this
+   event happened" from "this event was suppressed".  Heap entries for
+   non-pending timers are inert and discarded lazily. *)
+
+type timer_state = Pending | Fired | Cancelled
+
+type timer = {
+  mutable state : timer_state;
+  cb : unit -> unit;
+  id : int;
+  due : float; (* absolute virtual time, already clamped to >= now *)
+}
 
 type t = {
   mutable time : float;
@@ -6,48 +24,77 @@ type t = {
   queue : timer Heap.t;
   root_rng : Rng.t;
   mutable executed : int;
+  mutable pending : int;
+      (* live [Pending] timers in [queue]; drives lazy compaction so
+         choice-mode runs (which never pop) do not accrete dead
+         entries without bound *)
 }
 
 let create ?(seed = 1) () =
-  { time = 0.0; seq = 0; queue = Heap.create (); root_rng = Rng.create seed; executed = 0 }
+  {
+    time = 0.0;
+    seq = 0;
+    queue = Heap.create ();
+    root_rng = Rng.create seed;
+    executed = 0;
+    pending = 0;
+  }
 
 let now t = t.time
 let rng t = t.root_rng
 
 let at t ~time f =
   let time = if time < t.time then t.time else time in
-  let timer = { live = true; cb = f } in
   t.seq <- t.seq + 1;
+  let timer = { state = Pending; cb = f; id = t.seq; due = time } in
   Heap.push t.queue ~time ~seq:t.seq timer;
+  t.pending <- t.pending + 1;
   timer
 
 let schedule t ~delay f =
   let delay = if delay < 0.0 then 0.0 else delay in
   at t ~time:(t.time +. delay) f
 
-let cancel _t timer = timer.live <- false
-let is_pending timer = timer.live
+let cancel t timer =
+  if timer.state = Pending then begin
+    timer.state <- Cancelled;
+    t.pending <- t.pending - 1
+  end
+
+let is_pending timer = timer.state = Pending
+
+let timer_state timer =
+  match timer.state with
+  | Pending -> `Pending
+  | Fired -> `Fired
+  | Cancelled -> `Cancelled
+
+let timer_id timer = timer.id
 
 let step t =
   match Heap.pop t.queue with
   | None -> false
   | Some (time, _, timer) ->
-    t.time <- time;
-    if timer.live then begin
-      timer.live <- false;
+    if timer.state = Pending then begin
+      t.time <- time;
+      timer.state <- Fired;
+      t.pending <- t.pending - 1;
       t.executed <- t.executed + 1;
       timer.cb ()
     end;
+    (* A non-pending head is inert: popping it must not advance the
+       clock (its priority no longer means anything), only reclaim the
+       slot.  Either way an entry left the queue, so report progress. *)
     true
 
 let rec next_event_time t =
   match Heap.peek t.queue with
   | None -> None
   | Some (time, _, timer) ->
-    if timer.live then Some time
+    if timer.state = Pending then Some time
     else begin
-      (* Cancelled timers are inert; discard them so the answer is the
-         time of the next event that will actually run. *)
+      (* Dead timers are inert; discard them so the answer is the time
+         of the next event that will actually run. *)
       ignore (Heap.pop t.queue);
       next_event_time t
     end
@@ -56,9 +103,9 @@ let run ?until ?max_events t =
   let budget = ref (match max_events with Some n -> n | None -> max_int) in
   let continue = ref true in
   while !continue && !budget > 0 do
-    match Heap.peek t.queue with
+    match next_event_time t with
     | None -> continue := false
-    | Some (time, _, _) ->
+    | Some time ->
       (match until with
        | Some u when time > u ->
          (* Advance the clock to the horizon so repeated bounded runs
@@ -71,6 +118,7 @@ let run ?until ?max_events t =
   done
 
 let events_executed t = t.executed
+let pending_count t = t.pending
 
 let run_until t ~pred ~deadline =
   let rec loop () =
@@ -86,3 +134,53 @@ let run_until t ~pred ~deadline =
         loop ()
   in
   loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Choice-point mode: instead of popping by virtual time, a model
+   checker reads the enabled set and picks which pending timer fires
+   next.  Entries for fired/cancelled timers stay in the heap until a
+   compaction pass; they are filtered here and never observable. *)
+
+(* Rebuild the heap from its pending entries once dead ones dominate.
+   Without this, a long choice-mode exploration (which never calls
+   [step], hence never pops) would scan an ever-growing array in every
+   [enabled] call. *)
+let compact t =
+  if Heap.size t.queue > 64 && Heap.size t.queue > 2 * t.pending then begin
+    let live = ref [] in
+    let rec drain () =
+      match Heap.pop t.queue with
+      | None -> ()
+      | Some (time, seq, timer) ->
+        if timer.state = Pending then live := (time, seq, timer) :: !live;
+        drain ()
+    in
+    drain ();
+    List.iter
+      (fun (time, seq, timer) -> Heap.push t.queue ~time ~seq timer)
+      !live
+  end
+
+let enabled t =
+  compact t;
+  List.filter_map
+    (fun (_, seq, timer) ->
+      if timer.state = Pending then Some (seq, timer.due) else None)
+    (Heap.to_sorted_list t.queue)
+
+let fire t ~seq =
+  let found = ref None in
+  Heap.iter t.queue (fun _ s timer ->
+      if s = seq && timer.state = Pending then found := Some timer);
+  match !found with
+  | None -> false
+  | Some timer ->
+    (* Time is monotonic even under out-of-order firing: jumping to an
+       event scheduled before the current instant would make [now]
+       rewind, so clamp.  Firing in enabled-set order never clamps. *)
+    if timer.due > t.time then t.time <- timer.due;
+    timer.state <- Fired;
+    t.pending <- t.pending - 1;
+    t.executed <- t.executed + 1;
+    timer.cb ();
+    true

@@ -4,7 +4,29 @@
     random generator.  All protocol code runs inside event callbacks; a
     callback may schedule further events, send messages (via {!Rsmr_net}),
     and so on.  Execution is single-threaded and, for a fixed seed and
-    program, bit-for-bit reproducible. *)
+    program, bit-for-bit reproducible.
+
+    {2 Timer lifecycle}
+
+    Every timer is in exactly one of three states — pending, fired, or
+    cancelled — and the transitions are one-way: a pending timer either
+    fires (its callback runs) or is cancelled, and nothing ever leaves
+    the two terminal states.  Concretely:
+
+    - {!cancel} on an already-fired timer is a no-op that does {e not}
+      reclassify it: the timer stays [`Fired] and still counts in
+      {!events_executed}.  Callers cancelling defensively (e.g. a
+      heartbeat being torn down from inside its own callback) get the
+      obvious behaviour.
+    - Two events scheduled for the same virtual instant run in
+      scheduling order (FIFO by sequence number).  In particular
+      [schedule ~delay:0.0] runs {e after} every event already queued
+      for the current instant, never before — a zero-delay hand-off
+      cannot jump the queue.
+
+    These semantics are what the model checker's enabled-set relies on
+    (a choice is either still available or definitively consumed), and
+    they are pinned by regression tests in [test/test_sim.ml]. *)
 
 type t
 
@@ -29,25 +51,42 @@ val at : t -> time:float -> (unit -> unit) -> timer
     be no earlier than [now t]). *)
 
 val cancel : t -> timer -> unit
-(** Cancel a pending event; cancelling a fired or cancelled timer is a
-    no-op. *)
+(** Cancel a pending event.  Cancelling a fired or already-cancelled
+    timer is a no-op — the timer keeps its terminal state. *)
 
 val is_pending : timer -> bool
 
+val timer_state : timer -> [ `Pending | `Fired | `Cancelled ]
+(** Observable lifecycle state, mainly for tests and the checker's
+    enabled-set bookkeeping. *)
+
+val timer_id : timer -> int
+(** The engine-unique sequence number identifying this timer — the same
+    id {!enabled} reports and {!fire} consumes. *)
+
 val step : t -> bool
-(** Execute the next event.  Returns [false] if the queue was empty. *)
+(** Execute the next event.  Returns [false] if the queue was empty.
+    Popping a dead (fired or cancelled) entry returns [true] without
+    running anything and without advancing the clock — dead entries
+    have no meaningful priority. *)
 
 val run : ?until:float -> ?max_events:int -> t -> unit
-(** Drain the event queue, stopping when it empties, when virtual time
-    would exceed [until], or after [max_events] callbacks.  Events beyond
+(** Drain the event queue, stopping when it holds no live event, when
+    virtual time would exceed [until], or after [max_events] executed
+    callbacks (dead entries do not consume budget).  Events beyond
     [until] remain queued. *)
 
 val events_executed : t -> int
 (** Number of callbacks executed so far — a cheap determinism probe. *)
 
+val pending_count : t -> int
+(** Number of live pending timers, in O(1).  Part of the model
+    checker's state fingerprint (the {e count} of outstanding timers is
+    state; their absolute due-times are not, see DESIGN.md §11). *)
+
 val next_event_time : t -> float option
 (** Virtual time of the next event that will actually run, discarding any
-    cancelled timers found at the head of the queue.  [None] when the
+    dead timers found at the head of the queue.  [None] when the
     queue holds no live event. *)
 
 val run_until : t -> pred:(unit -> bool) -> deadline:float -> float option
@@ -58,3 +97,23 @@ val run_until : t -> pred:(unit -> bool) -> deadline:float -> float option
     queued).  This is the quiescence probe used by the crucible runner:
     unlike polling with a fixed horizon, it observes the predicate at
     event granularity and never overshoots. *)
+
+(** {2 Choice-point mode}
+
+    The model checker does not pop events by virtual time; it reads the
+    set of enabled events and decides which fires next.  The engine
+    stays in whatever mode its caller uses — these functions compose
+    with the normal API (a test can [run] to quiescence and then start
+    choosing). *)
+
+val enabled : t -> (int * float) list
+(** All pending timers as [(id, due_time)] pairs, sorted by
+    [(due_time, id)] — the order {!run} would execute them.  Fired and
+    cancelled timers never appear. *)
+
+val fire : t -> seq:int -> bool
+(** [fire t ~seq] runs the pending timer with id [seq] now, advancing
+    virtual time to [max (now t) due] (time never rewinds, even when
+    the checker fires events out of due-time order).  Returns [false]
+    if no pending timer has that id — a stale choice replayed against a
+    diverged state, which callers should treat as a hard error. *)

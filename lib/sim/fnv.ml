@@ -1,0 +1,36 @@
+(* FNV-1a, 64-bit.  The repository's one sanctioned content hash for
+   protocol state: unlike [Hashtbl.hash] it has a pinned published
+   definition (offset basis 0xcbf29ce484222325, prime 0x100000001b3),
+   hashes every byte it is given (no depth/size truncation), and is
+   independent of the OCaml heap representation — so a fingerprint
+   computed from a canonical encoding is stable across runs, word
+   sizes and compiler versions. *)
+
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+let empty = offset_basis
+
+let combine h s =
+  let h = ref h in
+  for i = 0 to String.length s - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code s.[i]))) prime
+  done;
+  !h
+
+(* Fold the length in first so concatenation cannot alias:
+   ["ab"] ++ ["c"] and ["a"] ++ ["bc"] chain to different digests. *)
+let combine_framed h s =
+  let h = combine h (string_of_int (String.length s)) in
+  combine (combine h "\x00") s
+
+let hash s = combine offset_basis s
+
+let of_parts parts =
+  List.fold_left (fun h part -> combine_framed h part) offset_basis parts
+
+let to_hex h = Printf.sprintf "%016Lx" h
+
+let of_hex s =
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some v -> Some v
+  | None -> None

@@ -105,3 +105,18 @@ let peek t =
     match t.payloads.(0) with
     | Some p -> Some (t.times.(0), t.seqs.(0), p)
     | None -> None
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    match t.payloads.(i) with
+    | Some p -> f t.times.(i) t.seqs.(i) p
+    | None -> ()
+  done
+
+let to_sorted_list t =
+  let acc = ref [] in
+  iter t (fun time seq p -> acc := (time, seq, p) :: !acc);
+  List.sort
+    (fun (t1, s1, _) (t2, s2, _) ->
+      match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c)
+    !acc

@@ -20,3 +20,13 @@ val pop : 'a t -> (float * int * 'a) option
     of the run. *)
 
 val peek : 'a t -> (float * int * 'a) option
+
+val iter : 'a t -> (float -> int -> 'a -> unit) -> unit
+(** Visit every live entry in unspecified (array) order.  The callback
+    must not push to or pop from the heap. *)
+
+val to_sorted_list : 'a t -> (float * int * 'a) list
+(** Non-destructive snapshot of all entries sorted by [(time, seq)] —
+    the exact order {!pop} would yield them.  Used by the model
+    checker's enabled-set enumeration, where the queue must be observed
+    without being drained. *)

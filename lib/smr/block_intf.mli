@@ -72,4 +72,15 @@ module type S = sig
   val is_halted : t -> bool
 
   val commit_index : t -> int
+
+  val fingerprint : t -> string
+  (** Canonical encoding of the replica's complete protocol state —
+      role, promises, log (values, ballots/views, commit marks),
+      delivery watermarks, queued submissions — for model-checker
+      visited-state dedup.  Two replicas with behaviourally identical
+      state must produce identical bytes, so implementations serialize
+      through the codec layer with all unordered collections emitted in
+      sorted order; structural hashing ([Hashtbl.hash]) and wall-clock
+      or timer due-times must not leak in.  Not a wire format: nothing
+      ever decodes a fingerprint. *)
 end

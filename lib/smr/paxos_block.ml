@@ -26,3 +26,4 @@ let leader_hint = Replica.leader_hint
 let halt = Replica.halt
 let is_halted = Replica.is_halted
 let commit_index = Replica.commit_index
+let fingerprint = Replica.fingerprint

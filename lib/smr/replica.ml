@@ -673,3 +673,72 @@ let create ~engine ?(params = Params.default) ?trace ~config:cfg ~me ~send
   in
   reset_election_timer t;
   t
+
+(* Canonical fingerprint (the Block_intf contract): every field that can
+   influence future behaviour, serialized through the codec with
+   unordered collections (promise sets, ack tables, merged entries)
+   emitted in sorted key order.  Timer due-times, the RNG, the trace
+   sink and metric counters are deliberately excluded — they are not
+   protocol state — but timer *presence* is included, since "a flush is
+   scheduled" and "no flush is scheduled" behave differently. *)
+let fingerprint t =
+  let module W = Rsmr_app.Codec.Writer in
+  let w = W.create ~size_hint:256 () in
+  let node w n = W.varint w (n : Node_id.t) in
+  let node_set w s = W.list w node (Node_id.Set.elements s) in
+  let entry w (e : Log.entry) =
+    Ballot.encode w e.Log.ballot;
+    Log.encode_kind w e.Log.kind
+  in
+  let pending_timer slot =
+    match slot with Some tm -> Engine.is_pending tm | None -> false
+  in
+  Ballot.encode w t.promised;
+  (match t.role with
+   | R_follower -> W.u8 w 0
+   | R_candidate c ->
+     W.u8 w 1;
+     Ballot.encode w c.c_ballot;
+     node_set w c.promised_from;
+     W.list w
+       (fun w (slot, e) ->
+         W.varint w slot;
+         entry w e)
+       (List.rev
+          (Stable.fold_sorted ~compare:Int.compare
+             (fun k v acc -> (k, v) :: acc)
+             c.merged []));
+     W.varint w c.from_index
+   | R_leader l ->
+     W.u8 w 2;
+     Ballot.encode w l.l_ballot;
+     W.varint w l.next_index;
+     W.list w
+       (fun w (slot, s) ->
+         W.varint w slot;
+         node_set w s)
+       (List.rev
+          (Stable.fold_sorted ~compare:Int.compare
+             (fun k v acc -> (k, !v) :: acc)
+             l.acks [])));
+  W.option w node t.hint;
+  W.varint w t.deliver_index;
+  W.varint w t.known_committed;
+  Ballot.encode w t.known_committed_ballot;
+  W.list w W.string
+    (List.rev (Queue.fold (fun acc v -> v :: acc) [] t.pending));
+  W.list w W.string t.batch_buf;
+  W.bool w (pending_timer t.batch_timer);
+  W.bool w (pending_timer t.election_timer);
+  W.bool w (pending_timer t.hb_timer);
+  W.bool w (pending_timer t.resend_timer);
+  W.bool w t.learn_inflight;
+  W.bool w t.halted;
+  W.varint w (Log.length t.log);
+  List.iter
+    (fun (slot, e) ->
+      W.varint w slot;
+      entry w e;
+      W.bool w (Log.is_committed t.log slot))
+    (Log.entries_from t.log 0);
+  W.contents w

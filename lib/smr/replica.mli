@@ -78,3 +78,10 @@ val me : t -> Rsmr_net.Node_id.t
 
 val kick_election : t -> unit
 (** Test hook: trigger an immediate election attempt. *)
+
+val fingerprint : t -> string
+[@@rsmr.deterministic]
+(** Canonical encoding of the replica's complete protocol state — see
+    {!Block_intf.S.fingerprint}.  Unordered collections are emitted in
+    sorted order; timer due-times, RNG and metrics are excluded, timer
+    presence is included. *)

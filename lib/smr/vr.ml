@@ -583,3 +583,47 @@ let create ~engine ~params ~config ~me ~send ?broadcast ?obs ~on_decide () =
   end
   else reset_view_timer t;
   t
+
+(* Canonical fingerprint (the Block_intf contract); same exclusion rules
+   as {!Replica.fingerprint}: no timer due-times, RNG or metrics, but
+   timer presence and every behaviour-bearing field, with unordered
+   collections in sorted order. *)
+let fingerprint t =
+  let w = W.create ~size_hint:256 () in
+  let node w n = W.varint w (n : Node_id.t) in
+  let node_set w s = W.list w node (Node_id.Set.elements s) in
+  let pending_timer slot =
+    match slot with Some tm -> Engine.is_pending tm | None -> false
+  in
+  W.varint w t.view;
+  (match t.status with
+   | Normal -> W.u8 w 0
+   | View_change { svc_from; dvc } ->
+     W.u8 w 1;
+     node_set w svc_from;
+     W.list w
+       (fun w (n, d) ->
+         node w n;
+         W.list w W.string d.d_log;
+         W.varint w d.d_last_normal;
+         W.varint w d.d_commit)
+       (List.sort (fun (a, _) (b, _) -> Int.compare a b) dvc));
+  W.varint w t.last_normal;
+  W.list w W.string (log_list t);
+  W.varint w t.commit;
+  W.varint w t.executed;
+  W.list w
+    (fun w (op, s) ->
+      W.varint w op;
+      node_set w s)
+    (List.rev
+       (Rsmr_sim.Stable.fold_sorted ~compare:Int.compare
+          (fun k v acc -> (k, !v) :: acc)
+          t.acks []));
+  W.list w W.string
+    (List.rev (Queue.fold (fun acc v -> v :: acc) [] t.pending));
+  W.bool w (pending_timer t.view_timer);
+  W.bool w (pending_timer t.hb_timer);
+  W.bool w (pending_timer t.resend_timer);
+  W.bool w t.halted;
+  W.contents w

@@ -1,0 +1,155 @@
+(* Scope (the explicit-state model checker) end-to-end: a tiny scope
+   must exhaust with zero violations while still reaching the protocol's
+   milestones (a wedge and an epoch-1 activation), re-breaking the
+   first-wedge-wins guard must produce a short replayable counterexample
+   (the checker's teeth), replays must be bit-for-bit deterministic
+   (fingerprint sequence identical across independent replays of the
+   same trace), and composite fingerprints must not depend on the order
+   their parts were gathered in. *)
+
+module Scope = Rsmr_mc.Scope
+module Choice = Rsmr_mc.Choice
+module Harness = Rsmr_mc.Harness
+module Explore = Rsmr_mc.Explore
+module Fingerprint = Rsmr_mc.Fingerprint
+
+let tiny_scope =
+  match Scope.parse "minimal,commands=1,timer_fires=1" with
+  | Ok s -> s
+  | Error e -> failwith e
+
+(* --- exhaustion: tiny scope, both protocol configurations --- *)
+
+let test_exhaust proto () =
+  let stats =
+    Explore.run ~proto ~scope:tiny_scope ~mutate:false ~strategy:Explore.Bfs ()
+  in
+  Alcotest.(check bool) "exhausted" true stats.Explore.exhausted;
+  Alcotest.(check bool) "no violation" true (stats.Explore.violation = None);
+  Alcotest.(check bool) "nontrivial" true (stats.Explore.visited > 1000);
+  let cov = stats.Explore.coverage in
+  Alcotest.(check bool) "reached a wedge" true cov.Harness.cov_wedged;
+  Alcotest.(check bool) "activated epoch 1" true cov.Harness.cov_activated;
+  Alcotest.(check bool) "client got a reply" true (cov.Harness.cov_replies >= 1)
+
+(* --- teeth: the mutation must yield a short counterexample --- *)
+
+let find_counterexample () =
+  let stats =
+    Explore.run ~proto:Harness.Core ~scope:Scope.minimal ~mutate:true
+      ~strategy:Explore.Bfs ()
+  in
+  match stats.Explore.violation with
+  | None -> Alcotest.fail "mutated exploration found no violation"
+  | Some (prop, trace) -> (prop, trace)
+
+let test_mutation_counterexample () =
+  let prop, trace = find_counterexample () in
+  Alcotest.(check bool)
+    "epoch-prefix property violated" true
+    (String.length prop >= 12 && String.sub prop 0 12 = "epoch-prefix");
+  Alcotest.(check bool)
+    "counterexample is short (a few dozen steps)" true
+    (List.length trace <= 36);
+  (* the trace must reproduce the violation when replayed from scratch *)
+  let h =
+    Harness.replay ~proto:Harness.Core ~scope:Scope.minimal ~mutate:true trace
+  in
+  (match Harness.violation h with
+   | Some p -> Alcotest.(check string) "replayed violation" prop p
+   | None -> Alcotest.fail "replaying the counterexample showed no violation");
+  (* and it must round-trip through the trace string format *)
+  let s = Choice.seq_to_string trace in
+  match Choice.seq_of_string s with
+  | Some trace' ->
+    Alcotest.(check bool) "trace round-trips" true
+      (List.for_all2 Choice.equal trace trace')
+  | None -> Alcotest.fail "trace failed to parse back"
+
+(* --- bit-for-bit determinism: independent replays agree stepwise --- *)
+
+let fingerprint_film trace =
+  let h =
+    Harness.create ~proto:Harness.Core ~scope:Scope.minimal ~mutate:true ()
+  in
+  let film = ref [ Harness.fingerprint h ] in
+  List.iter
+    (fun c ->
+      Harness.apply h c;
+      film := Harness.fingerprint h :: !film)
+    trace;
+  List.rev !film
+
+let test_replay_determinism () =
+  let _, trace = find_counterexample () in
+  let a = fingerprint_film trace in
+  let b = fingerprint_film trace in
+  Alcotest.(check int) "same length" (List.length a) (List.length b);
+  List.iteri
+    (fun i (x, y) ->
+      if not (Fingerprint.equal x y) then
+        Alcotest.failf "fingerprint diverged at step %d: %s vs %s" i
+          (Fingerprint.to_hex x) (Fingerprint.to_hex y))
+    (List.combine a b)
+
+(* --- fingerprints are insertion-order independent --- *)
+
+let kv_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 8)
+      (pair (string_size (int_bound 12)) (string_size (int_bound 24))))
+
+(* deterministic pseudo-shuffle: sort by a keyed digest of each binding *)
+let shuffle salt kvs =
+  List.map snd
+    (List.sort compare
+       (List.map
+          (fun (k, v) ->
+            (Fingerprint.of_string (Printf.sprintf "%d|%s|%s" salt k v), (k, v)))
+          kvs))
+
+let prop_of_kv_order_independent =
+  QCheck.Test.make ~name:"of_kv is insertion-order independent" ~count:500
+    (QCheck.make QCheck.Gen.(pair small_int kv_gen))
+    (fun (salt, kvs) ->
+      Fingerprint.equal (Fingerprint.of_kv kvs)
+        (Fingerprint.of_kv (shuffle salt kvs))
+      && Fingerprint.equal (Fingerprint.of_kv kvs)
+           (Fingerprint.of_kv (List.rev kvs)))
+
+let prop_of_kv_framed =
+  QCheck.Test.make ~name:"of_kv distinguishes rebracketed bindings" ~count:500
+    (QCheck.make (QCheck.Gen.pair QCheck.Gen.string QCheck.Gen.string))
+    (fun (a, b) ->
+      (* moving a character across the k/v boundary must change the
+         digest: length framing prevents ("ab","c") ~ ("a","bc") *)
+      String.length a = 0
+      || Fingerprint.equal
+           (Fingerprint.of_kv [ (a, b) ])
+           (Fingerprint.of_kv
+              [ (String.sub a 0 (String.length a - 1),
+                 String.make 1 a.[String.length a - 1] ^ b) ])
+         = false)
+
+let () =
+  Alcotest.run "mc"
+    [
+      ( "exhaustion",
+        [
+          Alcotest.test_case "core tiny scope" `Slow (test_exhaust Harness.Core);
+          Alcotest.test_case "stopworld tiny scope" `Slow
+            (test_exhaust Harness.Stopworld);
+        ] );
+      ( "teeth",
+        [
+          Alcotest.test_case "mutation yields counterexample" `Slow
+            test_mutation_counterexample;
+          Alcotest.test_case "replay is bit-for-bit deterministic" `Slow
+            test_replay_determinism;
+        ] );
+      ( "fingerprint",
+        [
+          QCheck_alcotest.to_alcotest prop_of_kv_order_independent;
+          QCheck_alcotest.to_alcotest prop_of_kv_framed;
+        ] );
+    ]

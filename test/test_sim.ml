@@ -95,6 +95,80 @@ let test_engine_determinism () =
   in
   Alcotest.(check (list (float 0.0))) "same seed, same trajectory" (run ()) (run ())
 
+(* Cancelling a timer from inside (or after) its own firing must be a
+   no-op that leaves the timer [`Fired]: a heartbeat torn down from its
+   own callback must not be reclassified as cancelled, or the model
+   checker's enabled-set bookkeeping would see a choice both consumed
+   and revoked. *)
+let test_engine_cancel_after_fire () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let handle = ref None in
+  let t =
+    Engine.schedule e ~delay:0.1 (fun () ->
+        incr fired;
+        Option.iter (Engine.cancel e) !handle)
+  in
+  handle := Some t;
+  Engine.run e;
+  Alcotest.(check int) "fired exactly once" 1 !fired;
+  Alcotest.(check bool) "state is `Fired after self-cancel" true
+    (Engine.timer_state t = `Fired);
+  Engine.cancel e t;
+  Alcotest.(check bool) "state stays `Fired after late cancel" true
+    (Engine.timer_state t = `Fired);
+  Alcotest.(check int) "fired event still counted" 1 (Engine.events_executed e)
+
+(* A zero-delay hand-off scheduled while the current instant's queue is
+   non-empty must run after everything already queued for that instant,
+   and two zero-delay hand-offs must run in scheduling order. *)
+let test_engine_zero_delay_fifo () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let push tag () = order := tag :: !order in
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun () ->
+         push "first" ();
+         ignore (Engine.schedule e ~delay:0.0 (push "handoff-a"));
+         ignore (Engine.schedule e ~delay:0.0 (push "handoff-b"))));
+  ignore (Engine.schedule e ~delay:1.0 (push "second"));
+  Engine.run e;
+  Alcotest.(check (list string))
+    "zero-delay hand-off cannot jump the same-instant queue"
+    [ "first"; "second"; "handoff-a"; "handoff-b" ]
+    (List.rev !order)
+
+(* Choice-point mode: [enabled] lists pending timers in run order,
+   [fire] consumes exactly the chosen one (advancing time monotonically
+   even when fired out of due order), and a consumed id is a stale
+   choice thereafter. *)
+let test_engine_enabled_fire () =
+  let e = Engine.create () in
+  let hits = ref [] in
+  let ta = Engine.schedule e ~delay:0.3 (fun () -> hits := "a" :: !hits) in
+  let tb = Engine.schedule e ~delay:0.1 (fun () -> hits := "b" :: !hits) in
+  let tc = Engine.schedule e ~delay:0.2 (fun () -> hits := "c" :: !hits) in
+  Engine.cancel e tc;
+  Alcotest.(check (list int))
+    "enabled = pending timers in (due, id) order"
+    [ Engine.timer_id tb; Engine.timer_id ta ]
+    (List.map fst (Engine.enabled e));
+  Alcotest.(check int) "pending_count ignores the cancelled" 2
+    (Engine.pending_count e);
+  (* fire the LATER timer first: time jumps to 0.3 and never rewinds *)
+  Alcotest.(check bool) "fire a" true (Engine.fire e ~seq:(Engine.timer_id ta));
+  Alcotest.(check (float 1e-9)) "time at a's due" 0.3 (Engine.now e);
+  Alcotest.(check bool) "fire b (past due)" true
+    (Engine.fire e ~seq:(Engine.timer_id tb));
+  Alcotest.(check (float 1e-9)) "time did not rewind" 0.3 (Engine.now e);
+  Alcotest.(check (list string)) "callbacks ran in chosen order" [ "a"; "b" ]
+    (List.rev !hits);
+  Alcotest.(check bool) "consumed id is stale" false
+    (Engine.fire e ~seq:(Engine.timer_id tb));
+  Alcotest.(check bool) "cancelled id is stale" false
+    (Engine.fire e ~seq:(Engine.timer_id tc));
+  Alcotest.(check int) "nothing pending" 0 (Engine.pending_count e)
+
 (* --- rng --- *)
 
 let test_rng_bounds () =
@@ -169,6 +243,29 @@ let prop_heap_pop_sorted =
         | Some (time, _, _) -> time >= last && check time
       in
       check neg_infinity)
+
+(* [to_sorted_list] must observe the queue without draining it, in the
+   exact order [pop] would, and [iter] must visit every live entry —
+   the model checker's enabled-set enumeration depends on both. *)
+let test_heap_observation () =
+  let h = Heap.create () in
+  let rng = Rng.create 11 in
+  for i = 0 to 49 do
+    Heap.push h ~time:(Rng.float rng 10.0) ~seq:i i
+  done;
+  let snapshot = Heap.to_sorted_list h in
+  Alcotest.(check int) "snapshot is complete" 50 (List.length snapshot);
+  Alcotest.(check int) "snapshot did not drain" 50 (Heap.size h);
+  let seen = ref 0 in
+  Heap.iter h (fun _ _ _ -> incr seen);
+  Alcotest.(check int) "iter visits every live entry" 50 !seen;
+  let rec drain acc =
+    match Heap.pop h with
+    | None -> List.rev acc
+    | Some e -> drain (e :: acc)
+  in
+  let popped = drain [] in
+  Alcotest.(check bool) "snapshot order = pop order" true (snapshot = popped)
 
 (* --- histogram --- *)
 
@@ -327,6 +424,12 @@ let () =
           Alcotest.test_case "negative delay" `Quick
             test_engine_negative_delay_clamped;
           Alcotest.test_case "determinism" `Quick test_engine_determinism;
+          Alcotest.test_case "cancel after fire is a no-op" `Quick
+            test_engine_cancel_after_fire;
+          Alcotest.test_case "zero-delay hand-off keeps FIFO" `Quick
+            test_engine_zero_delay_fifo;
+          Alcotest.test_case "enabled/fire choice-point mode" `Quick
+            test_engine_enabled_fire;
         ] );
       ( "rng",
         [
@@ -340,6 +443,8 @@ let () =
       ( "heap",
         [
           Alcotest.test_case "sorts" `Quick test_heap_sorts;
+          Alcotest.test_case "observation without draining" `Quick
+            test_heap_observation;
           QCheck_alcotest.to_alcotest prop_heap_pop_sorted;
         ] );
       ( "histogram",

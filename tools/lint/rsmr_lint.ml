@@ -28,6 +28,16 @@
                           constructor of each variant type declared there
                           must appear in BOTH the encode and the decode
                           body — catching silently-dropped message tags.
+     [state-hash]         no structural hashing ([Hashtbl.hash],
+                          [Hashtbl.seeded_hash], [Hashtbl.hash_param]) in
+                          protocol libraries or the model checker
+                          (lib/mc): structural hashing truncates deep
+                          values (hash_param's meaningful-node budget)
+                          and depends on in-memory representation, so two
+                          runs of the checker could fingerprint equal
+                          protocol states differently.  Fingerprints come
+                          from canonical encodings via [Rsmr_sim.Fnv] /
+                          [Rsmr_mc.Fingerprint].
    R3 hygiene
      [missing-mli]        every module under lib/ has an .mli.
      [decode-failwith]    no [failwith]/[assert false] inside [decode*]
@@ -58,6 +68,11 @@ let alias = Lint_config.alias
 
 let protocol_dirs = [ "lib/smr"; "lib/baselines"; "lib/core"; "lib/client" ]
 
+(* state-hash additionally covers the model checker itself: its
+   fingerprints are the dedup identity of visited states, exactly where
+   structural hashing would be most tempting and most wrong. *)
+let state_hash_dirs = protocol_dirs @ [ "lib/mc" ]
+
 type config = Lint_config.t
 
 let severity = Lint_config.severity
@@ -82,6 +97,7 @@ let loc_pos (loc : Location.t) =
 type ctx = {
   relpath : string;
   protocol : bool; (* protocol-library scope: R1/R2 expression rules *)
+  state_scope : bool; (* protocol scope plus lib/mc: state-hash rule *)
   cfg : config;
   suppressions : (int, string list) Hashtbl.t; (* line -> tokens *)
   toplevel : (string, unit) Hashtbl.t; (* top-level value names *)
@@ -333,6 +349,7 @@ let mentions_registry expr =
 (* ------------------------------------------------------ expression rules *)
 
 let hashtbl_iterators = [ "iter"; "fold" ]
+let structural_hashers = [ "hash"; "seeded_hash"; "hash_param" ]
 let equality_ops = [ "="; "<>"; "=="; "!=" ]
 
 let wall_clock_idents =
@@ -362,6 +379,14 @@ let check_expression ctx (e : P.expression) =
             with (* lint: order-insensitive *)"
            f
            (if f = "iter" then "iter" else "fold"))
+    | [ "Hashtbl"; f ] when ctx.state_scope && List.mem f structural_hashers ->
+      flag ctx ~loc "state-hash"
+        (Printf.sprintf
+           "Hashtbl.%s on protocol state: structural hashing truncates \
+            deep values and depends on representation; fingerprint the \
+            canonical encoding with Rsmr_sim.Fnv / Rsmr_mc.Fingerprint \
+            instead"
+           f)
     | _ when List.mem path wall_clock_idents ->
       flag ctx ~loc "wall-clock"
         (Printf.sprintf
@@ -488,10 +513,14 @@ let scan_ml ~cfg ~scope_all ~root relpath =
   let protocol =
     scope_all || List.exists (fun d -> starts_with d relpath) protocol_dirs
   in
+  let state_scope =
+    scope_all || List.exists (fun d -> starts_with d relpath) state_hash_dirs
+  in
   let ctx =
     {
       relpath;
       protocol;
+      state_scope;
       cfg;
       suppressions = scan_suppressions src;
       toplevel = Hashtbl.create 32;

@@ -7,3 +7,4 @@ let jitter () = Random.float 1.0
 let same a b = compare a b = 0
 let shout v = Printf.printf "decided %d\n" v
 let trace = print_endline
+let fp state = Hashtbl.hash state

@@ -16,3 +16,11 @@ let render ppf s = Format.pp_print_string ppf s
 let banner () =
   (* lint: print-noise — fixture stand-in for a CLI entry point *)
   print_endline "ok"
+
+(* Fingerprinting the canonical encoding is the sanctioned way to hash
+   state — [state-hash] only bans the structural Hashtbl.hash family. *)
+let fingerprint s = Rsmr_sim.Fnv.hash s
+
+let bucket_key s =
+  (* lint: state-hash — keying a scratch table, not fingerprinting state *)
+  Hashtbl.hash s land 0xff
