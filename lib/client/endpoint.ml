@@ -225,3 +225,4 @@ let fingerprint t =
   W.option w node t.last_target;
   W.bool w t.lookup_inflight;
   W.contents w
+[@@rsmr.codec.oneway]

@@ -876,7 +876,7 @@ struct
             (fun id _ acc -> id :: acc)
             t.hosts []));
     W.contents w
-  [@@rsmr.deterministic]
+  [@@rsmr.deterministic] [@@rsmr.codec.oneway]
 
   let create ~engine ?latency ?drop ?bandwidth ?smr_params ?options ?universe
       ?obs ?net_mode ~members () =

@@ -742,3 +742,4 @@ let fingerprint t =
       W.bool w (Log.is_committed t.log slot))
     (Log.entries_from t.log 0);
   W.contents w
+[@@rsmr.codec.oneway]

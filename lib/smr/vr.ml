@@ -627,3 +627,4 @@ let fingerprint t =
   W.bool w (pending_timer t.resend_timer);
   W.bool w t.halted;
   W.contents w
+[@@rsmr.codec.oneway]

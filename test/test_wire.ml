@@ -19,6 +19,8 @@ module Paxos_msg = Rsmr_smr.Msg
 module Ballot = Rsmr_smr.Ballot
 module Log = Rsmr_smr.Log
 module Vr_msg = Rsmr_smr.Vr.Msg
+module Session = Rsmr_core.Session
+module Snapshot = Rsmr_core.Snapshot
 
 (* ------------------------------------------------------------ generators *)
 
@@ -228,6 +230,34 @@ let vr_msg_gen =
           num (pair num num) ops;
       ])
 
+let snapshot_gen =
+  QCheck.Gen.(
+    map2
+      (fun app sessions -> { Snapshot.app; sessions })
+      short_string short_string)
+
+(* Session.t is abstract: generate one by replaying a random trace of the
+   operations that can actually produce a table, so trimmed floors and
+   cached responses both appear. *)
+let session_gen =
+  QCheck.Gen.(
+    let op =
+      oneof
+        [
+          map3
+            (fun client seq rsp -> `Record (client, seq, rsp))
+            nid num short_string;
+          map2 (fun client below -> `Trim (client, below)) nid num;
+        ]
+    in
+    map
+      (List.fold_left
+         (fun t -> function
+           | `Record (client, seq, rsp) -> Session.record t ~client ~seq ~rsp
+           | `Trim (client, below) -> Session.trim t ~client ~below)
+         Session.empty)
+      (list_size (int_bound 12) op))
+
 let envelope_gen =
   QCheck.Gen.(
     oneof
@@ -412,6 +442,55 @@ let prop_envelope_size =
       Envelope.size m = String.length (Envelope.encode m)
       && Envelope.decode (Envelope.encode m) = m)
 
+(* --- state-transfer codecs: snapshot payloads and session tables --- *)
+
+let prop_snapshot_roundtrip =
+  QCheck.Test.make ~name:"Snapshot decode∘encode = id" ~count:1000
+    (QCheck.make snapshot_gen) (fun s ->
+      Snapshot.decode (Snapshot.encode s) = s)
+
+(* Session.t is abstract, so round-tripping is checked on the canonical
+   form: decoding and re-encoding must reproduce the bytes, and the
+   table size must survive the trip. *)
+let prop_session_roundtrip =
+  QCheck.Test.make ~name:"Session encode∘decode∘encode = encode" ~count:1000
+    (QCheck.make session_gen) (fun t ->
+      let s = Session.encode t in
+      let t' = Session.decode s in
+      Session.encode t' = s && Session.cardinal t' = Session.cardinal t)
+
+(* --- truncation fuzz: every strict prefix of a valid encoding must be
+   rejected with Codec.Truncated — never Invalid_argument, Failure, a
+   Match_failure from a tag dispatch, or a silently wrong value.  The
+   prefix length is drawn from the generated integer so shrinking finds
+   the shortest failing cut. *)
+
+let prefix_prop name gen encode decode =
+  QCheck.Test.make ~name:(name ^ " strict prefix raises Truncated")
+    ~count:1000
+    (QCheck.make QCheck.Gen.(pair gen (int_bound 1_000_000)))
+    (fun (m, k) ->
+      let s = encode m in
+      String.length s = 0
+      ||
+      let cut = k mod String.length s in
+      match decode (String.sub s 0 cut) with
+      | _ -> false
+      | exception Rsmr_app.Codec.Truncated -> true)
+
+let truncation_fuzz =
+  [
+    prefix_prop "Wire" wire_gen Wire.encode Wire.decode;
+    prefix_prop "Raft_wire" raft_wire_gen Raft_wire.encode Raft_wire.decode;
+    prefix_prop "Raft_msg" raft_msg_gen Raft_msg.encode Raft_msg.decode;
+    prefix_prop "Client_msg" client_msg_gen Client_msg.encode Client_msg.decode;
+    prefix_prop "Paxos Msg" paxos_msg_gen Paxos_msg.encode Paxos_msg.decode;
+    prefix_prop "Vr Msg" vr_msg_gen Vr_msg.encode Vr_msg.decode;
+    prefix_prop "Envelope" envelope_gen Envelope.encode Envelope.decode;
+    prefix_prop "Snapshot" snapshot_gen Snapshot.encode Snapshot.decode;
+    prefix_prop "Session" session_gen Session.encode Session.decode;
+  ]
+
 (* --- tag_of_encoded: first-byte classification agrees with tag --- *)
 
 let prop_paxos_tag_of_encoded =
@@ -423,6 +502,22 @@ let prop_vr_tag_of_encoded =
   QCheck.Test.make ~name:"Vr Msg tag_of_encoded∘encode = tag" ~count:500
     (QCheck.make vr_msg_gen) (fun m ->
       Vr_msg.tag_of_encoded (Vr_msg.encode m) = Vr_msg.tag m)
+
+(* The semantic closure of the two properties above: classifying the raw
+   bytes must agree with decoding them and classifying the result, i.e.
+   the tag_of_encoded shortcut can never disagree with the full decoder
+   about which constructor a message is. *)
+let prop_paxos_tag_semantic =
+  QCheck.Test.make ~name:"Paxos Msg tag∘decode = tag_of_encoded" ~count:500
+    (QCheck.make paxos_msg_gen) (fun m ->
+      let s = Paxos_msg.encode m in
+      Paxos_msg.tag (Paxos_msg.decode s) = Paxos_msg.tag_of_encoded s)
+
+let prop_vr_tag_semantic =
+  QCheck.Test.make ~name:"Vr Msg tag∘decode = tag_of_encoded" ~count:500
+    (QCheck.make vr_msg_gen) (fun m ->
+      let s = Vr_msg.encode m in
+      Vr_msg.tag (Vr_msg.decode s) = Vr_msg.tag_of_encoded s)
 
 let () =
   Alcotest.run "wire"
@@ -448,10 +543,19 @@ let () =
           QCheck_alcotest.to_alcotest prop_raft_wire_size;
           QCheck_alcotest.to_alcotest prop_envelope_size;
         ] );
+      ( "state-transfer",
+        [
+          QCheck_alcotest.to_alcotest prop_snapshot_roundtrip;
+          QCheck_alcotest.to_alcotest prop_session_roundtrip;
+        ] );
+      ( "truncation-fuzz",
+        List.map QCheck_alcotest.to_alcotest truncation_fuzz );
       ( "tag-of-encoded",
         [
           QCheck_alcotest.to_alcotest prop_paxos_tag_of_encoded;
           QCheck_alcotest.to_alcotest prop_vr_tag_of_encoded;
+          QCheck_alcotest.to_alcotest prop_paxos_tag_semantic;
+          QCheck_alcotest.to_alcotest prop_vr_tag_semantic;
         ] );
       ("malformed", [ Alcotest.test_case "tagged errors" `Quick test_bad_input ]);
     ]

@@ -14,6 +14,13 @@ let all_rules =
     (* rsmr-flow (interprocedural, typedtree) *)
     "flow-nondet";
     "flow-raise";
+    (* rsmr-mirror (codec write/read shape analysis, typedtree) *)
+    "mirror-shape";
+    "mirror-tag";
+    "mirror-default";
+    "mirror-unpaired";
+    "mirror-eval-order";
+    "mirror-opaque";
   ]
 
 let alias = function "order-insensitive" -> "hashtbl-iteration" | t -> t
@@ -76,7 +83,12 @@ let parse path =
 let severity cfg rule =
   match Hashtbl.find_opt cfg.severities rule with
   | Some s -> s
-  | None -> ( match rule with "stale-exemption" -> Diag.Warn | _ -> Diag.Error)
+  | None -> (
+    match rule with
+    (* mirror-opaque marks soundness gaps in the shape abstraction, not
+       codec bugs; advisory by default *)
+    | "stale-exemption" | "mirror-opaque" -> Diag.Warn
+    | _ -> Diag.Error)
 
 let starts_with prefix s =
   String.length s >= String.length prefix

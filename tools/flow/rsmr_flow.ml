@@ -55,6 +55,9 @@
 module T = Typedtree
 module Diag = Rsmr_diag.Diag
 module Lint_config = Rsmr_diag.Lint_config
+open Rsmr_tt.Tt
+(* unit_display, wrapper registration, env/resolve_*, attrs, loc_pos,
+   register_structure, walk — shared with rsmr-mirror. *)
 
 (* ------------------------------------------------------------- effects *)
 
@@ -121,12 +124,6 @@ let pending_roots : (string * string) list ref = ref []
 let diagnostics : Diag.t list ref = ref []
 let modules_loaded = ref 0
 
-let loc_pos (loc : Location.t) =
-  let p = loc.Location.loc_start in
-  ( p.Lexing.pos_fname,
-    max 1 p.Lexing.pos_lnum,
-    max 0 (p.Lexing.pos_cnum - p.Lexing.pos_bol) )
-
 let get_node key ~loc =
   match Hashtbl.find_opt nodes key with
   | Some n -> n
@@ -149,104 +146,7 @@ let get_node key ~loc =
     Hashtbl.replace nodes key n;
     n
 
-(* ------------------------------------------------- path normalization *)
-
-(* "Rsmr_smr__Replica" -> "Replica"; "Stdlib__List" -> "List". *)
-let unit_display name =
-  let rec last_sep i acc =
-    if i + 1 >= String.length name then acc
-    else if name.[i] = '_' && name.[i + 1] = '_' then last_sep (i + 1) (Some i)
-    else last_sep (i + 1) acc
-  in
-  match last_sep 0 None with
-  | Some i when i + 2 < String.length name ->
-    String.capitalize_ascii
-      (String.sub name (i + 2) (String.length name - i - 2))
-  | _ -> name
-
-(* Library wrapper modules generated by dune contain only aliases, and
-   every module of a wrapped library is compiled under [-open Wrapper], so
-   cross-module references surface as paths through the wrapper
-   ("Rsmr_smr.Replica.handle" rather than "Rsmr_smr__Replica.handle").
-   Both spellings mean the same function, so the wrapper component is
-   dropped.  Wrapper names are learned from the mangled unit filenames
-   before any cmt is loaded ("rsmr_smr__Replica.cmt" -> "Rsmr_smr"). *)
-let wrapper_units : (string, unit) Hashtbl.t =
-  let t = Hashtbl.create 16 in
-  Hashtbl.replace t "Stdlib" ();
-  t
-
-let register_wrapper_of_filename path =
-  let base = Filename.remove_extension (Filename.basename path) in
-  match String.index_opt base '_' with
-  | Some _ -> (
-    let rec first_sep i =
-      if i + 1 >= String.length base then None
-      else if base.[i] = '_' && base.[i + 1] = '_' then Some i
-      else first_sep (i + 1)
-    in
-    match first_sep 0 with
-    | Some i ->
-      Hashtbl.replace wrapper_units
-        (String.capitalize_ascii (String.sub base 0 i))
-        ()
-    | None -> ())
-  | None -> ()
-
-let is_wrapper name = Hashtbl.mem wrapper_units name
-
-(* Per-compilation-unit resolution environment.  Ident stamps are only
-   unique within one typechecking run, so the tables are per-cmt. *)
-type env = {
-  values : (string, string) Hashtbl.t; (* Ident.unique_name -> node key *)
-  modules : (string, string) Hashtbl.t; (* local module/alias -> display *)
-  opaque : (string, unit) Hashtbl.t; (* functor parameters *)
-}
-
-let fresh_env () =
-  {
-    values = Hashtbl.create 64;
-    modules = Hashtbl.create 16;
-    opaque = Hashtbl.create 8;
-  }
-
-let rec resolve_module env (path : Path.t) =
-  match path with
-  | Path.Pident id ->
-    if Hashtbl.mem env.opaque (Ident.unique_name id) then None
-    else (
-      match Hashtbl.find_opt env.modules (Ident.unique_name id) with
-      | Some m -> Some m
-      | None ->
-        if Ident.global id then Some (unit_display (Ident.name id)) else None)
-  | Path.Pdot (p, name) -> (
-    match resolve_module env p with
-    | Some m when is_wrapper m -> Some name
-    | Some m -> Some (m ^ "." ^ name)
-    | None -> None)
-  | _ -> None
-
-let resolve_value env (path : Path.t) =
-  match path with
-  | Path.Pident id -> (
-    match Hashtbl.find_opt env.values (Ident.unique_name id) with
-    | Some key -> Some key
-    | None ->
-      (* A persistent value ident would be a compilation unit, which is
-         never a value; anything else unknown is opaque. *)
-      None)
-  | Path.Pdot (p, name) -> (
-    match resolve_module env p with
-    | Some m when is_wrapper m -> Some name
-    | Some m -> Some (m ^ "." ^ name)
-    | None -> None)
-  | _ -> None
-
 (* ------------------------------------------------------- cmt traversal *)
-
-let attr_name (a : Parsetree.attribute) = a.Parsetree.attr_name.txt
-
-let has_attr name attrs = List.exists (fun a -> attr_name a = name) attrs
 
 let apply_attrs node attrs =
   if has_attr "rsmr.deterministic" attrs then node.n_root_det <- true;
@@ -335,77 +235,8 @@ let analyze_body env node (body : T.expression) =
   in
   iter.Tast_iterator.expr iter body
 
-(* Registration pass: bind every module-level name (values, submodules,
-   aliases, exceptions, functor bodies) before bodies are analyzed, so
-   within-module and let-rec references resolve. *)
-
-let vb_name (vb : T.value_binding) =
-  match vb.T.vb_pat.T.pat_desc with
-  | T.Tpat_var (id, name) -> Some (id, name.txt)
-  | _ -> None
-
-let rec unwrap_module_expr (me : T.module_expr) =
-  match me.T.mod_desc with
-  | T.Tmod_constraint (me', _, _, _) -> unwrap_module_expr me'
-  | _ -> me
-
-let rec register_structure env prefix (str : T.structure) =
-  List.iter (register_item env prefix) str.T.str_items
-
-and register_item env prefix (item : T.structure_item) =
-  match item.T.str_desc with
-  | T.Tstr_value (_, vbs) ->
-    List.iter
-      (fun vb ->
-        match vb_name vb with
-        | Some (id, name) ->
-          Hashtbl.replace env.values (Ident.unique_name id)
-            (prefix ^ "." ^ name)
-        | None -> ())
-      vbs
-  | T.Tstr_exception ext ->
-    let id = ext.T.tyexn_constructor.T.ext_id in
-    Hashtbl.replace env.values (Ident.unique_name id)
-      (prefix ^ "." ^ Ident.name id)
-  | T.Tstr_module mb -> register_module env prefix mb
-  | T.Tstr_recmodule mbs -> List.iter (register_module env prefix) mbs
-  | _ -> ()
-
-and register_module env prefix (mb : T.module_binding) =
-  match mb.T.mb_id with
-  | None -> ()
-  | Some id -> (
-    let uid = Ident.unique_name id in
-    let me = unwrap_module_expr mb.T.mb_expr in
-    match me.T.mod_desc with
-    | T.Tmod_ident (path, _) -> (
-      match resolve_module env path with
-      | Some m -> Hashtbl.replace env.modules uid m
-      | None -> Hashtbl.replace env.opaque uid ())
-    | T.Tmod_structure str ->
-      let sub = prefix ^ "." ^ Ident.name id in
-      Hashtbl.replace env.modules uid sub;
-      register_structure env sub str
-    | T.Tmod_functor _ ->
-      let sub = prefix ^ "." ^ Ident.name id in
-      Hashtbl.replace env.modules uid sub;
-      let rec peel (me : T.module_expr) =
-        match me.T.mod_desc with
-        | T.Tmod_functor (param, body) ->
-          (match param with
-           | T.Named (Some pid, _, _) ->
-             Hashtbl.replace env.opaque (Ident.unique_name pid) ()
-           | _ -> ());
-          peel (unwrap_module_expr body)
-        | T.Tmod_structure str -> register_structure env sub str
-        | _ -> ()
-      in
-      peel me
-    | _ ->
-      (* functor application (Map.Make (...)) and friends: opaque *)
-      Hashtbl.replace env.opaque uid ())
-
-(* Analysis pass: walk the same shape, creating graph nodes. *)
+(* Analysis pass: walk the same shape as Tt.register_structure,
+   creating graph nodes. *)
 
 let rec analyze_structure env prefix (str : T.structure) =
   List.iter (analyze_item env prefix) str.T.str_items
@@ -585,19 +416,6 @@ let check_root cfg root dim =
   end
 
 (* ------------------------------------------------------------------ main *)
-
-let rec walk path acc =
-  if Sys.is_directory path then
-    Array.fold_left
-      (fun acc entry -> walk (Filename.concat path entry) acc)
-      acc
-      (let entries = Sys.readdir path in
-       Array.sort compare entries;
-       entries)
-  else if
-    Filename.check_suffix path ".cmt" || Filename.check_suffix path ".cmti"
-  then path :: acc
-  else acc
 
 let usage =
   "usage: rsmr_flow [--config FILE] [--format text|json] DIR-or-CMT..."

@@ -1,0 +1,278 @@
+module S = Shape
+
+type ctx = {
+  note : S.finding -> unit;
+  pairs_ok : string -> string -> bool;
+  wkey : string;
+  rkey : string;
+  wloc : Location.t;
+  rloc : Location.t;
+  wfile : string;
+  rfile : string;
+}
+
+(* Witness chains are accumulated innermost-first; reverse on report so
+   they read outside-in ("tag 3 (Heartbeat)" then "item 2"). *)
+let mism ctx path msg =
+  ctx.note
+    (S.finding ~alt_file:ctx.rfile ~rule:"mirror-shape" ctx.wloc
+       (Printf.sprintf "%s / %s: %s" ctx.wkey ctx.rkey msg)
+       ~chain:(List.rev path) ())
+
+let tag_note ctx ~reader path msg =
+  let loc, alt = if reader then (ctx.rloc, ctx.wfile) else (ctx.wloc, ctx.rfile) in
+  ctx.note
+    (S.finding ~alt_file:alt ~rule:"mirror-tag" loc
+       (Printf.sprintf "%s / %s: %s" ctx.wkey ctx.rkey msg)
+       ~chain:(List.rev path) ())
+
+(* ---------- writer-side preparation -------------------------------- *)
+
+(* A writer constructor dispatch emits its tag as a leading literal byte
+   per case; pull it out into [c_tag] so the tag sets can be compared
+   against the decoder's dispatch. *)
+let rec assign_tags items = List.map assign1 items
+
+and assign1 = function
+  | S.Switch ({ sw_tag = None; sw_cases; _ } as sw)
+    when List.for_all (fun c -> c.S.c_tag = None) sw_cases ->
+    let cases =
+      List.map
+        (fun c ->
+          match assign_tags c.S.c_items with
+          | S.Const n :: rest -> { c with S.c_tag = Some n; c_items = rest }
+          | items -> { c with S.c_items = items })
+        sw_cases
+    in
+    S.Switch { sw with sw_cases = cases }
+  | S.Switch sw ->
+    S.Switch
+      {
+        sw with
+        sw_cases =
+          List.map
+            (fun c -> { c with S.c_items = assign_tags c.S.c_items })
+            sw.S.sw_cases;
+      }
+  | S.Opt sub -> S.Opt (assign_tags sub)
+  | S.Rep sub -> S.Rep (assign_tags sub)
+  | S.Loop sub -> S.Loop (assign_tags sub)
+  | S.Branch alts -> S.Branch (List.map assign_tags alts)
+  | x -> x
+
+(* ---------- comparison --------------------------------------------- *)
+
+let rec compare_items ctx path i ws rs =
+  match (ws, rs) with
+  | [], [] -> ()
+  | [], r :: _ ->
+    mism ctx
+      (Printf.sprintf "item %d" i :: path)
+      (Printf.sprintf
+         "the encoder is done but the decoder still reads %s"
+         (S.to_string r))
+  | w :: _, [] ->
+    mism ctx
+      (Printf.sprintf "item %d" i :: path)
+      (Printf.sprintf
+         "the decoder is done but the encoder still writes %s"
+         (S.to_string w))
+  | w :: ws', r :: rs' ->
+    if compare_item ctx (Printf.sprintf "item %d" i :: path) w r then
+      compare_items ctx path (i + 1) ws' rs'
+      (* stop at the first divergence per level: shortest witness *)
+
+and compare_item ctx path w r =
+  let leaf_mism () =
+    mism ctx path
+      (Printf.sprintf "write = %s, read = %s" (S.to_string w)
+         (S.to_string r));
+    false
+  in
+  match (w, r) with
+  | S.Opaque _, _ | _, S.Opaque _ -> true
+  | S.Prim a, S.Prim b -> if a = b then true else leaf_mism ()
+  | S.Const _, S.Prim S.U8 | S.Prim S.U8, S.Const _ -> true
+  | S.Const a, S.Const b -> if a = b then true else leaf_mism ()
+  | S.Framed a, S.Framed b -> (
+    match (a, b) with
+    | None, _ | _, None -> true
+    | Some x, Some y ->
+      if x = y || ctx.pairs_ok x y then true else leaf_mism ())
+  | S.Call a, S.Call b ->
+    if a = b || ctx.pairs_ok a b then true else leaf_mism ()
+  | S.Opt a, S.Opt b ->
+    compare_items ctx ("option body" :: path) 1 a b;
+    true
+  | S.Loop a, S.Loop b ->
+    compare_items ctx ("per-iteration body" :: path) 1 a b;
+    true
+  | S.Branch a, S.Branch b ->
+    if List.length a <> List.length b then leaf_mism ()
+    else begin
+      List.iteri
+        (fun k (x, y) ->
+          compare_items ctx
+            (Printf.sprintf "branch %d" (k + 1) :: path)
+            1 x y)
+        (List.combine a b);
+      true
+    end
+  | S.Switch sw, S.Switch sr -> compare_switch ctx path sw sr
+  | _ -> leaf_mism ()
+
+and compare_switch ctx path (w : S.switch) (r : S.switch) =
+  match r.S.sw_tag with
+  | None ->
+    (* constructor dispatch on both sides (no tag byte): positional *)
+    if
+      w.S.sw_tag = None
+      && List.length w.S.sw_cases = List.length r.S.sw_cases
+      && List.for_all (fun c -> c.S.c_tag = None) w.S.sw_cases
+      && List.for_all (fun c -> c.S.c_tag = None) r.S.sw_cases
+    then begin
+      List.iter2
+        (fun wc rc ->
+          compare_items ctx
+            (Printf.sprintf "case %s" wc.S.c_label :: path)
+            1 wc.S.c_items rc.S.c_items)
+        w.S.sw_cases r.S.sw_cases;
+      true
+    end
+    else begin
+      mism ctx path
+        (Printf.sprintf
+           "dispatch structure differs: write = %s, read = %s"
+           (S.to_string (S.Switch w))
+           (S.to_string (S.Switch r)));
+      false
+    end
+  | Some rp ->
+    (* tag-byte dispatch.  Tag values below 128 encode identically as u8
+       and varint, which covers every tag this abstraction can extract
+       (u8 literals), so either dispatch width is accepted. *)
+    if rp <> S.U8 && rp <> S.Varint then begin
+      mism ctx path
+        (Printf.sprintf "decoder dispatches on %s, not a tag byte"
+           (S.prim_name rp));
+      false
+    end
+    else begin
+      (match w.S.sw_tag with
+       | Some wp when wp <> rp && wp <> S.U8 && wp <> S.Varint ->
+         mism ctx path
+           (Printf.sprintf "tag written as %s but dispatched as %s"
+              (S.prim_name wp) (S.prim_name rp))
+       | _ -> ());
+      List.iter
+        (fun c ->
+          if c.S.c_tag = None then
+            tag_note ctx ~reader:false path
+              (Printf.sprintf
+                 "encoder case %s writes no leading literal tag byte"
+                 c.S.c_label))
+        w.S.sw_cases;
+      let wtags =
+        List.filter_map
+          (fun c ->
+            match c.S.c_tag with Some n -> Some (n, c) | None -> None)
+          w.S.sw_cases
+      and rtags =
+        List.filter_map
+          (fun c ->
+            match c.S.c_tag with Some n -> Some (n, c) | None -> None)
+          r.S.sw_cases
+      in
+      let dups side ~reader tags =
+        let seen = Hashtbl.create 8 in
+        List.iter
+          (fun (n, (c : S.case)) ->
+            match Hashtbl.find_opt seen n with
+            | Some first ->
+              tag_note ctx ~reader path
+                (Printf.sprintf "%s emits tag %d for both %s and %s" side
+                   n first c.S.c_label)
+            | None -> Hashtbl.replace seen n c.S.c_label)
+          tags
+      in
+      dups "encoder" ~reader:false wtags;
+      dups "decoder" ~reader:true rtags;
+      List.iter
+        (fun (n, (c : S.case)) ->
+          if not (List.mem_assoc n rtags) then
+            tag_note ctx ~reader:false path
+              (Printf.sprintf
+                 "encoder writes tag %d (%s) but the decoder never \
+                  dispatches it"
+                 n c.S.c_label))
+        wtags;
+      List.iter
+        (fun (n, _) ->
+          if not (List.mem_assoc n wtags) then
+            tag_note ctx ~reader:true path
+              (Printf.sprintf
+                 "decoder dispatches tag %d but the encoder never writes \
+                  it"
+                 n))
+        rtags;
+      List.iter
+        (fun (n, (wc : S.case)) ->
+          match List.assoc_opt n rtags with
+          | Some rc ->
+            compare_items ctx
+              (Printf.sprintf "tag %d (%s)" n wc.S.c_label :: path)
+              1 wc.S.c_items rc.S.c_items
+          | None -> ())
+        wtags;
+      true
+    end
+
+(* ---------- entry points ------------------------------------------- *)
+
+let check_pair ~note ~pairs_ok ~(writer : Lift.body) ~(reader : Lift.body) =
+  let file loc = let f, _, _ = Rsmr_tt.Tt.loc_pos loc in f in
+  let ctx =
+    {
+      note;
+      pairs_ok;
+      wkey = writer.Lift.b_key;
+      rkey = reader.Lift.b_key;
+      wloc = writer.Lift.b_loc;
+      rloc = reader.Lift.b_loc;
+      wfile = file writer.Lift.b_loc;
+      rfile = file reader.Lift.b_loc;
+    }
+  in
+  let wn = assign_tags (S.normalize writer.Lift.b_items) in
+  let rn = S.normalize reader.Lift.b_items in
+  compare_items ctx [] 1 wn rn
+
+let check_reader_defaults ~note (body : Lift.body) =
+  let bad msg = function
+    | S.No_default ->
+      Some (Printf.sprintf "%s has no default branch; an unknown tag %s" body.Lift.b_key msg)
+    | S.Default_other what ->
+      Some
+        (Printf.sprintf "%s's default branch %s instead of raising Codec.Truncated"
+           body.Lift.b_key what)
+    | S.Truncates -> None
+  in
+  let rec scan = function
+    | S.Switch sw ->
+      (match sw.S.sw_tag with
+       | Some _ -> (
+         match
+           bad "crashes with Match_failure instead of Codec.Truncated"
+             sw.S.sw_default
+         with
+         | Some msg ->
+           note
+             (S.finding ~rule:"mirror-default" body.Lift.b_loc msg ())
+         | None -> ())
+       | None -> ());
+      List.iter (fun c -> List.iter scan c.S.c_items) sw.S.sw_cases
+    | S.Opt sub | S.Rep sub | S.Loop sub -> List.iter scan sub
+    | S.Branch alts -> List.iter (List.iter scan) alts
+    | _ -> ()
+  in
+  List.iter scan (S.normalize body.Lift.b_items)

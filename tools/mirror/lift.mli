@@ -1,0 +1,34 @@
+(** Abstract interpreter lifting a typedtree codec body into its
+    symbolic byte shape.
+
+    A body qualifies as a codec body when lifting it produces at least
+    one shape item, i.e. it calls a [Codec.Writer] or [Codec.Reader]
+    primitive (directly, through a combinator sub-function, a local
+    helper, or by passing a sink to another codec body).  Sinks are
+    recognized by type ([Codec.Writer.t] / [Codec.Reader.t]), so bodies
+    that create their own sink ([let w = Writer.create () in ...]) are
+    lifted the same as bodies taking one as a parameter. *)
+
+type body = {
+  b_key : string;  (** canonical key, e.g. ["Wire.write"] *)
+  b_loc : Location.t;
+  b_items : Shape.t list;  (** un-normalized lifted shape *)
+  b_writer : bool;  (** touches a [Codec.Writer] sink *)
+  b_reader : bool;  (** touches a [Codec.Reader] sink *)
+  b_codec_name : string option;  (** [[@@rsmr.codec "Name"]] pairing *)
+  b_oneway : bool;  (** [[@@rsmr.codec.oneway]]: canonical encoder *)
+}
+
+val lift_binding :
+  note:(Shape.finding -> unit) ->
+  env:Rsmr_tt.Tt.env ->
+  key:string ->
+  Typedtree.value_binding ->
+  body option
+(** [None] when the binding produces no shape items or never touches a
+    sink (not a codec body — value-level tag matches like
+    [tag_of_encoded] lift to switches but read no sink).
+    [note] receives lift-time findings: [mirror-opaque] for constructs
+    the abstraction cannot see through, [mirror-eval-order] for two or
+    more effectful codec operations in sibling positions whose
+    evaluation order OCaml leaves unspecified. *)

@@ -1,0 +1,22 @@
+let split_key key =
+  match String.rindex_opt key '.' with
+  | Some i ->
+    ( String.sub key 0 i,
+      String.sub key (i + 1) (String.length key - i - 1) )
+  | None -> ("", key)
+
+let drop n s = String.sub s n (String.length s - n)
+
+let reader_name = function
+  | "write" -> Some "read"
+  | "encode" -> Some "decode"
+  | "snapshot" -> Some "restore"
+  | n when String.starts_with ~prefix:"write_" n ->
+    Some ("read_" ^ drop 6 n)
+  | n when String.starts_with ~prefix:"encode_" n ->
+    Some ("decode_" ^ drop 7 n)
+  | _ -> None
+
+let conventional wkey rkey =
+  let wp, wn = split_key wkey and rp, rn = split_key rkey in
+  wp = rp && reader_name wn = Some rn

@@ -1,0 +1,28 @@
+(** Write/read pairing by naming convention.
+
+    Codec halves pair when they live under the same module prefix and
+    their last segments are related by one of:
+
+    - [write] / [read]
+    - [encode] / [decode]
+    - [write_X] / [read_X]
+    - [encode_X] / [decode_X]
+    - [snapshot] / [restore]
+
+    Bodies the conventions cannot reach carry an explicit
+    [[@@rsmr.codec "Name"]] attribute instead (both halves, same name),
+    and canonical one-way encoders (fingerprints) opt out with
+    [[@@rsmr.codec.oneway]]. *)
+
+val split_key : string -> string * string
+(** ["Wire.write"] → [("Wire", "write")]; a bare name gets prefix
+    [""]. *)
+
+val reader_name : string -> string option
+(** The decoder name an encoder name pairs with, by convention:
+    [reader_name "encode_entry" = Some "decode_entry"];
+    [None] when no convention applies. *)
+
+val conventional : string -> string -> bool
+(** [conventional wkey rkey]: same prefix, and the last segments are a
+    conventional pair. *)

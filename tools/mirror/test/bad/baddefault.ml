@@ -1,0 +1,28 @@
+(* Decoder default-branch fixtures: unknown tags must raise
+   [Codec.Truncated], not [Failure] (read) and not [Match_failure]
+   (read_partial — its dispatch has no wildcard at all; the library is
+   compiled with -w -8 to let that through). *)
+
+module W = Rsmr_app.Codec.Writer
+module R = Rsmr_app.Codec.Reader
+
+type t = P | Q
+
+let write w = function
+  | P -> W.u8 w 0
+  | Q -> W.u8 w 1
+
+let read r =
+  match R.u8 r with
+  | 0 -> P
+  | 1 -> Q
+  | n -> failwith (Printf.sprintf "bad tag %d" n)
+
+let write_partial w = function
+  | P -> W.u8 w 0
+  | Q -> W.u8 w 1
+
+let read_partial r =
+  match R.u8 r with
+  | 0 -> P
+  | 1 -> Q

@@ -1,0 +1,22 @@
+(* Mutation fixture: the decoder dropped the dispatch arm for tag 2, so
+   every [C _] value encodes fine and then fails to decode. *)
+
+module W = Rsmr_app.Codec.Writer
+module R = Rsmr_app.Codec.Reader
+
+type t = A | B of int | C of string
+
+let write w = function
+  | A -> W.u8 w 0
+  | B n ->
+    W.u8 w 1;
+    W.zigzag w n
+  | C s ->
+    W.u8 w 2;
+    W.string w s
+
+let read r =
+  match R.u8 r with
+  | 0 -> A
+  | 1 -> B (R.zigzag r)
+  | _ -> raise Rsmr_app.Codec.Truncated

@@ -1,0 +1,21 @@
+(* Copy-paste bug: both constructors encode under tag 0, so [Y 5]
+   decodes as [X 5] and tag 1 is dead dispatch. *)
+
+module W = Rsmr_app.Codec.Writer
+module R = Rsmr_app.Codec.Reader
+
+type t = X of int | Y of int
+
+let write w = function
+  | X n ->
+    W.u8 w 0;
+    W.varint w n
+  | Y n ->
+    W.u8 w 0;
+    W.varint w n
+
+let read r =
+  match R.u8 r with
+  | 0 -> X (R.varint r)
+  | 1 -> Y (R.varint r)
+  | _ -> raise Rsmr_app.Codec.Truncated

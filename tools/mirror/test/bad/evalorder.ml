@@ -1,0 +1,15 @@
+(* Two effectful reads in record-literal sibling positions: OCaml does
+   not specify their evaluation order, so the wire layout this decoder
+   implements is formally unspecified even though both fields are the
+   same width. *)
+
+module W = Rsmr_app.Codec.Writer
+module R = Rsmr_app.Codec.Reader
+
+type pair = { a : int; b : int }
+
+let write_pair w p =
+  W.varint w p.a;
+  W.varint w p.b
+
+let read_pair r = { a = R.varint r; b = R.varint r }

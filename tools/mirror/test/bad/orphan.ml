@@ -1,0 +1,6 @@
+(* An encoder with no decoder counterpart and no
+   [@@rsmr.codec.oneway] opt-out. *)
+
+module W = Rsmr_app.Codec.Writer
+
+let write_event w (n : int) = W.varint w n

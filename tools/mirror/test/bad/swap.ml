@@ -1,0 +1,18 @@
+(* Mutation fixture: the decoder reads the two fields in the opposite
+   order from the encoder.  Round-trips "work" whenever both fields
+   happen to hold small non-negative values, so value-based tests can
+   miss it; the shapes (varint·zigzag vs zigzag·varint) cannot. *)
+
+module W = Rsmr_app.Codec.Writer
+module R = Rsmr_app.Codec.Reader
+
+type t = { round : int; node : int }
+
+let write w t =
+  W.varint w t.round;
+  W.zigzag w t.node
+
+let read r =
+  let node = R.zigzag r in
+  let round = R.varint r in
+  { round; node }

@@ -1,0 +1,8 @@
+(* Width bug: deltas are signed, the encoder zigzags them, but the
+   decoder reads a plain varint — negative deltas decode as garbage. *)
+
+module W = Rsmr_app.Codec.Writer
+module R = Rsmr_app.Codec.Reader
+
+let encode_delta w (d : int) = W.zigzag w d
+let decode_delta r = R.varint r

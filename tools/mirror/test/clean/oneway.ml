@@ -1,0 +1,11 @@
+(* A canonical fingerprint-style encoder: nothing ever decodes it, so
+   it opts out of pairing with [@@rsmr.codec.oneway]. *)
+
+module W = Rsmr_app.Codec.Writer
+
+let checksum (t : int list) =
+  let w = W.create () in
+  W.varint w (List.length t);
+  List.iter (fun x -> W.varint w x) t;
+  W.contents w
+[@@rsmr.codec.oneway]

@@ -1,0 +1,16 @@
+(* Halves whose names no convention relates, paired explicitly with
+   [@@rsmr.codec "record"] on both bindings. *)
+
+module W = Rsmr_app.Codec.Writer
+module R = Rsmr_app.Codec.Reader
+
+let emit w (n : int) =
+  W.varint w n;
+  W.bool w (n > 0)
+[@@rsmr.codec "record"]
+
+let parse r =
+  let n = R.varint r in
+  let _pos = R.bool r in
+  n
+[@@rsmr.codec "record"]

@@ -1,0 +1,72 @@
+(** Typedtree machinery shared by the repo's interprocedural analyzers
+    (rsmr-flow, rsmr-mirror): .cmt/.cmti discovery, dune library-wrapper
+    unmangling, and per-compilation-unit path resolution so that
+    cross-module references surface under one canonical display name
+    ("Replica.handle", "Codec.Writer.u8") regardless of aliases, opens
+    and wrapper modules. *)
+
+val ends_with_component : suffix:string -> string -> bool
+(** [s] equals [suffix], or ends with it at a ['.'] or ['_'] component
+    boundary — so ["Codec.Writer.u8"] matches both the wrapped-library
+    spelling ["Codec.Writer.u8"] and the external one
+    ["Rsmr_app.Codec.Writer.u8"] (or mangled ["Rsmr_app__Codec..."]). *)
+
+val unit_display : string -> string
+(** ["Rsmr_smr__Replica"] → ["Replica"]; ["Stdlib__List"] → ["List"]. *)
+
+val register_wrapper_of_filename : string -> unit
+(** Learn a dune library-wrapper module name from a mangled unit
+    filename (["rsmr_smr__Replica.cmt"] registers ["Rsmr_smr"]).  Call
+    on every discovered file before any typedtree is resolved; the
+    wrapper component is then dropped from resolved paths.  ["Stdlib"]
+    is pre-registered. *)
+
+val is_wrapper : string -> bool
+
+(** Per-compilation-unit resolution environment.  Ident stamps are only
+    unique within one typechecking run, so make a fresh one per cmt. *)
+type env = {
+  values : (string, string) Hashtbl.t;  (** Ident.unique_name → node key *)
+  modules : (string, string) Hashtbl.t;  (** local module/alias → display *)
+  opaque : (string, unit) Hashtbl.t;  (** functor parameters etc. *)
+}
+
+val fresh_env : unit -> env
+
+val resolve_module : env -> Path.t -> string option
+(** Canonical display name of a module path, seeing through local
+    aliases and library wrappers; [None] for opaque modules (functor
+    parameters, functor applications). *)
+
+val resolve_value : env -> Path.t -> string option
+(** Canonical key of a value path ("Codec.Writer.u8", "Replica.handle"),
+    or [None] when it cannot be resolved (locals not registered,
+    members of opaque modules). *)
+
+val register_letmodule : env -> Ident.t option -> Typedtree.module_expr -> unit
+(** Register a [let module M = ...] binding encountered mid-expression:
+    aliases resolve to their target display name, structures and
+    anything else become opaque. *)
+
+val attr_name : Parsetree.attribute -> string
+val has_attr : string -> Parsetree.attribute list -> bool
+
+val attr_string_payload : Parsetree.attribute -> string option
+(** The payload of [[@@attr "text"]], if it is a single string
+    constant. *)
+
+val loc_pos : Location.t -> string * int * int
+(** file, 1-based line, 0-based column of the location's start. *)
+
+val vb_name : Typedtree.value_binding -> (Ident.t * string) option
+val unwrap_module_expr : Typedtree.module_expr -> Typedtree.module_expr
+
+val register_structure : env -> string -> Typedtree.structure -> unit
+(** Bind every module-level name (values, submodules, aliases,
+    exceptions, functor bodies) under the given display prefix, so
+    within-module and let-rec references resolve before bodies are
+    analyzed. *)
+
+val walk : string -> string list -> string list
+(** [walk path acc] prepends every .cmt/.cmti under [path] (depth-first,
+    sorted directory order) to [acc]. *)
