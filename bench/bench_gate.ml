@@ -1,0 +1,97 @@
+(* Wire-cost regression gate.
+
+     dune exec bench/bench_gate.exe -- BASELINE.json CANDIDATE.json
+
+   Compares the deterministic wire-cost fields of two rsmr-bench/1
+   documents (BENCH_*.json) and exits non-zero if the candidate regresses
+   more than [tolerance] over the committed baseline.  Only the
+   simulator-exact fields are gated — messages_per_command and
+   bytes_per_command come from virtual-time network counters, so they are
+   bit-stable across hosts; the bechamel timings are NOT gated (CI
+   runners are too noisy for wall-clock thresholds).
+
+   The parser is a deliberate micro-scanner for the flat one-line-per-
+   section JSON that bench/main.ml emits — no JSON dependency, and a
+   malformed or field-free document fails loudly rather than passing. *)
+
+let tolerance = 0.15
+
+let fields = [ "messages_per_command"; "bytes_per_command" ]
+
+let read_file path =
+  let ic = try open_in path with Sys_error e -> failwith e in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Find ["<field>": <number>] in [doc]; numbers are %.6g-printed by the
+   writer, so scan the usual float alphabet. *)
+let extract doc field =
+  let needle = "\"" ^ field ^ "\": " in
+  let nl = String.length needle in
+  let rec search from =
+    match String.index_from_opt doc from '"' with
+    | None -> None
+    | Some i ->
+      if i + nl <= String.length doc && String.sub doc i nl = needle then begin
+        let start = i + nl in
+        let j = ref start in
+        let len = String.length doc in
+        while
+          !j < len
+          && (match doc.[!j] with
+              | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+              | _ -> false)
+        do
+          incr j
+        done;
+        if !j > start then float_of_string_opt (String.sub doc start (!j - start))
+        else None
+      end
+      else search (i + 1)
+  in
+  search 0
+
+let () =
+  let baseline_path, candidate_path =
+    match Sys.argv with
+    | [| _; b; c |] -> (b, c)
+    | _ ->
+      prerr_endline "usage: bench_gate BASELINE.json CANDIDATE.json";
+      exit 2
+  in
+  let baseline = read_file baseline_path in
+  let candidate = read_file candidate_path in
+  let failed = ref false in
+  List.iter
+    (fun field ->
+      match (extract baseline field, extract candidate field) with
+      | Some b, Some c ->
+        let ratio = if b > 0.0 then c /. b else infinity in
+        let verdict =
+          if ratio > 1.0 +. tolerance then begin
+            failed := true;
+            "REGRESSION"
+          end
+          else "ok"
+        in
+        Printf.printf "%-24s baseline=%-10.4g candidate=%-10.4g %+6.1f%%  %s\n"
+          field b c
+          ((ratio -. 1.0) *. 100.0)
+          verdict
+      | b, c ->
+        failed := true;
+        Printf.printf "%-24s MISSING (baseline %s, candidate %s)\n" field
+          (if b = None then "absent" else "present")
+          (if c = None then "absent" else "present"))
+    fields;
+  if !failed then begin
+    Printf.eprintf
+      "bench gate: wire-cost regression beyond %.0f%% tolerance (or missing \
+       field) vs %s\n"
+      (tolerance *. 100.0) baseline_path;
+    exit 1
+  end
+  else Printf.printf "bench gate: within %.0f%% of %s\n" (tolerance *. 100.0)
+      baseline_path

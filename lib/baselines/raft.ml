@@ -56,6 +56,8 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
     snap_in : Buffer.t; (* partially received chunked snapshot *)
     mutable election_timer : Engine.timer option;
     mutable hb_timer : Engine.timer option;
+    mutable batch_timer : Engine.timer option;
+    mutable batch_n : int; (* entries appended since the last broadcast *)
     mutable halted : bool;
     rng : Rng.t;
     n_applied : int ref;  (* {node}-scoped registry cell, resolved once *)
@@ -248,7 +250,9 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
     (match node.role with
      | Leader _ | Candidate _ ->
        node.role <- Follower;
-       node.hb_timer <- cancel t node.hb_timer
+       node.hb_timer <- cancel t node.hb_timer;
+       node.batch_timer <- cancel t node.batch_timer;
+       node.batch_n <- 0
      | Follower -> ());
     reset_election_timer t node
 
@@ -258,6 +262,35 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
     match node.role with
     | Leader _ -> List.iter (fun f -> send_append_to t node f) (peers node)
     | Follower | Candidate _ -> ()
+
+  (* Leader-side batching, matching the Paxos/VR blocks: client appends
+     accumulate for batch_delay (or batch_max entries) and go out as one
+     multi-entry Append per follower instead of one broadcast each. *)
+  and schedule_appends t node =
+    if t.params.Params.batch_delay <= 0.0 then begin
+      broadcast_appends t node;
+      advance_commit t node
+    end
+    else begin
+      node.batch_n <- node.batch_n + 1;
+      if node.batch_n >= t.params.Params.batch_max then flush_appends t node
+      else if node.batch_timer = None then
+        node.batch_timer <-
+          Some
+            (Engine.schedule t.engine ~delay:t.params.Params.batch_delay
+               (fun () ->
+                 node.batch_timer <- None;
+                 flush_appends t node))
+    end
+
+  and flush_appends t node =
+    node.batch_timer <- cancel t node.batch_timer;
+    node.batch_n <- 0;
+    match node.role with
+    | Leader _ when not node.halted ->
+      broadcast_appends t node;
+      advance_commit t node
+    | _ -> ()
 
   and send_append_to t node f =
     match node.role with
@@ -294,7 +327,10 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
         let prev_term =
           Option.value (Raft_log.term_at node.log prev_index) ~default:0
         in
-        let entries = Raft_log.entries_from node.log next ~max:64 in
+        let entries =
+          Raft_log.entries_from node.log next
+            ~max:t.params.Params.max_outstanding
+        in
         (* Optimistic pipelining: advance next as soon as entries are sent,
            so each log entry crosses the wire once in the common case
            (re-sending the whole unacked window on every heartbeat melts
@@ -461,6 +497,8 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
       node.halted <- true;
       node.election_timer <- cancel t node.election_timer;
       node.hb_timer <- cancel t node.hb_timer;
+      node.batch_timer <- cancel t node.batch_timer;
+      node.batch_n <- 0;
       node.role <- Follower
     end
 
@@ -718,8 +756,7 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
                  Raft_log.term = node.term;
                  payload = Raft_log.App { client = src; seq; low_water; cmd };
                });
-          broadcast_appends t node;
-          advance_commit t node (* single-member configs commit instantly *))
+          schedule_appends t node)
       | Client_msg.Change_membership target ->
         (match node.pending_target with
          | Some (cur_target, _, _) when sorted cur_target = sorted target -> ()
@@ -739,6 +776,52 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
                 members = node.config;
                 epoch = node.config_index;
               }))
+
+  (* A coalesced client window: per-request dedup/reply semantics are those
+     of [handle_request], but all fresh commands append first and the
+     leader broadcasts once for the whole window. *)
+  let handle_request_batch t node ~src ~low_water ~reqs =
+    match node.role with
+    | Leader _ when not node.halted ->
+      let appended = ref false in
+      List.iter
+        (fun (seq, payload) ->
+          match (payload : Client_msg.payload) with
+          | Client_msg.Cmd cmd ->
+            Counters.incr t.counters "requests";
+            (match Session.check node.sessions ~client:src ~seq with
+             | `Dup rsp -> reply_client t node ~client:src ~seq ~rsp
+             | `Stale -> ()
+             | `New ->
+               ignore
+                 (Raft_log.append node.log
+                    {
+                      Raft_log.term = node.term;
+                      payload =
+                        Raft_log.App { client = src; seq; low_water; cmd };
+                    });
+               appended := true)
+          | Client_msg.Change_membership _ ->
+            handle_request t node ~src ~seq ~low_water ~payload)
+        reqs;
+      (* The window is already complete — no reason to sit out the batch
+         timer; this also flushes any buffered singles along with it. *)
+      if !appended then flush_appends t node
+    | _ ->
+      List.iter
+        (fun (seq, _) ->
+          Counters.incr t.counters "requests";
+          Counters.incr t.counters "redirects";
+          Network.send t.net ~src:node.me ~dst:src
+            (Raft_wire.Client
+               (Client_msg.Redirect
+                  {
+                    seq;
+                    leader = node.leader_hint;
+                    members = node.config;
+                    epoch = node.config_index;
+                  })))
+        reqs
 
   let rec node_handler t node (env : Raft_wire.t Network.envelope) =
     let src = env.Network.src in
@@ -760,17 +843,25 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
         node.role <- Follower;
         reset_election_timer t node;
         node_handler t node env
-      | Raft_wire.Client (Client_msg.Request { seq; _ }) ->
-        Counters.incr t.counters "redirects";
+      | Raft_wire.Client
+          (Client_msg.Request _ | Client_msg.Request_batch _) ->
         let leader =
           match node.leader_hint with
           | Some l when Node_id.equal l node.me -> None (* stale self-hint *)
           | other -> other
         in
-        Network.send t.net ~src:node.me ~dst:src
-          (Raft_wire.Client
-             (Client_msg.Redirect
-                { seq; leader; members = node.config; epoch = node.config_index }))
+        let redirect seq =
+          Counters.incr t.counters "redirects";
+          Network.send t.net ~src:node.me ~dst:src
+            (Raft_wire.Client
+               (Client_msg.Redirect
+                  { seq; leader; members = node.config; epoch = node.config_index }))
+        in
+        (match env.Network.payload with
+         | Raft_wire.Client (Client_msg.Request { seq; _ }) -> redirect seq
+         | Raft_wire.Client (Client_msg.Request_batch { reqs; _ }) ->
+           List.iter (fun (seq, _) -> redirect seq) reqs
+         | _ -> ())
       | _ -> ()
     end
     else
@@ -796,6 +887,8 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
         on_snapshot_reply t node ~src ~term ~last_index
       | Raft_wire.Client (Client_msg.Request { seq; low_water; payload }) ->
         handle_request t node ~src ~seq ~low_water ~payload
+      | Raft_wire.Client (Client_msg.Request_batch { low_water; reqs }) ->
+        handle_request_batch t node ~src ~low_water ~reqs
       | Raft_wire.Client (Client_msg.Reply _ | Client_msg.Redirect _) -> ()
       | Raft_wire.Dir_update _ | Raft_wire.Dir_lookup | Raft_wire.Dir_info _ ->
         ()
@@ -836,6 +929,8 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
           ~send:(fun ~dst msg ->
             Network.send t.net ~src:cid ~dst (Raft_wire.Client msg))
           ~members:(Directory.members t.dir)
+          ~batch_window:t.params.Params.batch_delay
+          ~batch_max:t.params.Params.batch_max
           ~lookup:(fun k ->
             (match !record_ref with
              | Some record -> record.dir_k <- Some k
@@ -921,6 +1016,8 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
             snap_in = Buffer.create 64;
             election_timer = None;
             hb_timer = None;
+            batch_timer = None;
+            batch_n = 0;
             halted = false;
             rng = Rng.split (Engine.rng engine);
             n_applied =

@@ -14,6 +14,12 @@ type t =
           session-GC watermark: every sequence number below it has been
           acknowledged to this client, so replicas may forget those cached
           responses. *)
+  | Request_batch of { low_water : int; reqs : (int * payload) list }
+      (** A coalesced window of requests from one client, in sequence
+          order.  Semantically identical to sending each [(seq, payload)]
+          as its own [Request] with the same [low_water]: every inner
+          request keeps its own sequence number and receives its own
+          {!Reply} (or {!Redirect}). *)
   | Reply of { seq : int; rsp : string }
   | Redirect of {
       seq : int;

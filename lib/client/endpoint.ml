@@ -21,8 +21,12 @@ type t = {
   mutable epoch : int;
   lookup : ((Node_id.t list -> unit) -> unit) option;
   req_timeout : float;
+  batch_window : float;
+  batch_max : int;
   on_reply : seq:int -> rsp:string -> unit;
   pending : (int, outstanding) Hashtbl.t;
+  mutable batch_buf : int list; (* buffered seqs, newest first *)
+  mutable batch_timer : Engine.timer option;
   mutable rr : int;
   mutable max_seq : int;
   mutable last_target : Node_id.t option;
@@ -48,8 +52,8 @@ let lifecycle t ev ~seq =
       ev
   | Some _ | None -> ()
 
-let create ~engine ~me ~send ~members ?lookup ?(req_timeout = 0.5) ?bus
-    ~on_reply () =
+let create ~engine ~me ~send ~members ?lookup ?(req_timeout = 0.5)
+    ?(batch_window = 0.0) ?(batch_max = 16) ?bus ~on_reply () =
   if members = [] then invalid_arg "Endpoint.create: empty member list";
   {
     engine;
@@ -60,8 +64,12 @@ let create ~engine ~me ~send ~members ?lookup ?(req_timeout = 0.5) ?bus
     epoch = 0;
     lookup;
     req_timeout;
+    batch_window;
+    batch_max;
     on_reply;
     pending = Hashtbl.create 8;
+    batch_buf = [];
+    batch_timer = None;
     rr = 0;
     max_seq = 0;
     last_target = None;
@@ -134,6 +142,50 @@ and refresh_members t =
         if members <> [] then t.members <- members)
   | Some _ | None -> ()
 
+let low_water t =
+  Stable.fold_sorted ~compare:Int.compare
+    (fun s _ acc -> min s acc)
+    t.pending (t.max_seq + 1)
+
+(* Ship the coalescing buffer as one framed multi-request message (or a
+   plain [Request] when only one command accumulated).  Every inner
+   request keeps its own retry timer; retries and redirects then flow
+   through the ordinary single-request path, so batching only changes the
+   first transmission. *)
+let flush_batch t =
+  (match t.batch_timer with
+   | Some timer ->
+     Engine.cancel t.engine timer;
+     t.batch_timer <- None
+   | None -> ());
+  let seqs = List.rev t.batch_buf in
+  t.batch_buf <- [];
+  let live =
+    List.filter_map
+      (fun seq ->
+        match Hashtbl.find_opt t.pending seq with
+        | Some o -> Some (seq, o)
+        | None -> None)
+      seqs
+  in
+  match live with
+  | [] -> ()
+  | [ (seq, _) ] -> attempt t seq
+  | _ ->
+    Counters.incr t.counters "sent";
+    let reqs = List.map (fun (seq, o) -> (seq, o.payload)) live in
+    t.send ~dst:(target t)
+      (Client_msg.Request_batch { low_water = low_water t; reqs });
+    List.iter
+      (fun (seq, o) ->
+        o.attempts <- o.attempts + 1;
+        cancel_timer t o;
+        o.timer <-
+          Some
+            (Engine.schedule t.engine ~delay:t.req_timeout (fun () ->
+                 on_timeout t seq)))
+      live
+
 let submit t ~seq ~payload =
   if seq > t.max_seq then t.max_seq <- seq;
   if not (Hashtbl.mem t.pending seq) then begin
@@ -141,7 +193,19 @@ let submit t ~seq ~payload =
       { payload; attempts = 0; redirects = 0; timer = None };
     lifecycle t "submit" ~seq
   end;
-  attempt t seq
+  if t.batch_window <= 0.0 then attempt t seq
+  else begin
+    if not (List.mem seq t.batch_buf) then begin
+      t.batch_buf <- seq :: t.batch_buf;
+      if List.length t.batch_buf >= t.batch_max then flush_batch t
+      else if t.batch_timer = None then
+        t.batch_timer <-
+          Some
+            (Engine.schedule t.engine ~delay:t.batch_window (fun () ->
+                 t.batch_timer <- None;
+                 flush_batch t))
+    end
+  end
 
 let handle t msg =
   match (msg : Client_msg.t) with
@@ -185,7 +249,8 @@ let handle t msg =
        o.timer <-
          Some (Engine.schedule t.engine ~delay:jitter (fun () -> attempt t seq))
      | None -> ())
-  | Client_msg.Request _ -> (* not addressed to clients *) ()
+  | Client_msg.Request _ | Client_msg.Request_batch _ ->
+    (* not addressed to clients *) ()
 
 let me t = t.me
 let outstanding t = Hashtbl.length t.pending
@@ -224,5 +289,10 @@ let fingerprint t =
   W.varint w t.max_seq;
   W.option w node t.last_target;
   W.bool w t.lookup_inflight;
+  W.list w W.varint (List.rev t.batch_buf);
+  W.bool w
+    (match t.batch_timer with
+     | Some tm -> Engine.is_pending tm
+     | None -> false);
   W.contents w
 [@@rsmr.codec.oneway]

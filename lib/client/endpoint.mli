@@ -19,6 +19,8 @@ val create :
   members:Rsmr_net.Node_id.t list ->
   ?lookup:((Rsmr_net.Node_id.t list -> unit) -> unit) ->
   ?req_timeout:float ->
+  ?batch_window:float ->
+  ?batch_max:int ->
   ?bus:Rsmr_sim.Trace.t ->
   on_reply:(seq:int -> rsp:string -> unit) ->
   unit ->
@@ -26,6 +28,13 @@ val create :
 (** [lookup k] asynchronously fetches a fresh member list (e.g. from the
     directory) and calls [k]; consulted after repeated timeouts.
     [req_timeout] defaults to 0.5 s.
+
+    [batch_window] > 0 turns on client-side coalescing: submissions
+    accumulate for that long (or until [batch_max] of them, default 16)
+    and ship as one {!Client_msg.Request_batch}.  Retries and redirects
+    always travel as single requests, so at-most-once and ordering
+    semantics are unchanged.  Default [0.]: every submission is sent
+    immediately.
 
     [bus], when provided and listened to, receives per-command
     [`Lifecycle] events ("submit", "retry", "replied") with structured

@@ -5,6 +5,8 @@ type t = {
   residual_resubmit : bool;
   chunk_size : int;
   fetch_timeout : float;
+  client_batch_window : float;
+  client_batch_max : int;
   mutation : mutation option;
 }
 
@@ -14,12 +16,16 @@ let default =
     residual_resubmit = true;
     chunk_size = 64 * 1024;
     fetch_timeout = 0.25;
+    client_batch_window = 0.0005;
+    client_batch_max = 16;
     mutation = None;
   }
 
 let pp ppf t =
-  Format.fprintf ppf "spec=%b residual=%b chunk=%dB fetch_to=%.0fms%s"
+  Format.fprintf ppf
+    "spec=%b residual=%b chunk=%dB fetch_to=%.0fms cbatch=%.1fms/%d%s"
     t.speculative t.residual_resubmit t.chunk_size (t.fetch_timeout *. 1e3)
+    (t.client_batch_window *. 1e3) t.client_batch_max
     (match t.mutation with
      | None -> ""
      | Some No_first_wedge -> " MUTATION=no-first-wedge")

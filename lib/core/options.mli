@@ -22,6 +22,14 @@ type t = {
           them). *)
   chunk_size : int;  (** state-transfer chunk bytes *)
   fetch_timeout : float;  (** retry period for snapshot fetches *)
+  client_batch_window : float;
+      (** Client endpoint coalescing window (seconds): submissions
+          accumulate for this long and ship as one
+          {!Rsmr_client.Client_msg.Request_batch}.  [0.] sends each
+          request immediately. *)
+  client_batch_max : int;
+      (** Coalescing buffer capacity: a full buffer flushes without
+          waiting for the window. *)
   mutation : mutation option;
       (** [None] in every legitimate run; see {!mutation}. *)
 }

@@ -79,6 +79,10 @@ struct
     mutable next_members : Node_id.t list;
     mutable final_snapshot : string option;
     mutable spec_buf : (int * string) list; (* raw envelopes, newest first *)
+    mutable residual_buf : string list;
+        (* wedge-time residual envelopes awaiting batched re-submission
+           into the next epoch, newest first *)
+    mutable residual_timer : Engine.timer option;
     mutable chunks : string option array;
     mutable chunks_got : int;
     mutable fetch_timer : Engine.timer option;
@@ -269,10 +273,16 @@ struct
       Replica.submit r (Envelope.encode env)
     | Some _ | None -> ()
 
-  (* Same, for an envelope we already hold in wire form. *)
-  let submit_raw inst value =
+  (* Same, for envelopes we already hold in wire form: the whole list
+     reaches the block as one proposal batch (one broadcast when the block
+     leads), in list order. *)
+  let submit_raw_many inst values =
     match inst.replica with
-    | Some r when not (Replica.is_halted r) -> Replica.submit r value
+    | Some r when not (Replica.is_halted r) -> (
+      match values with
+      | [] -> ()
+      | [ value ] -> Replica.submit r value
+      | _ -> Replica.submit_many r values)
     | Some _ | None -> ()
 
   (* --- decided-command processing --- *)
@@ -329,17 +339,37 @@ struct
             ("to", string_of_int (inst.epoch + 1));
           ]
       end;
+      (* Buffer and flush on a zero-delay timer: every residual decided in
+         the same engine step (the common case — one committed batch past
+         the wedge point) crosses the epoch boundary as a single vector
+         submission instead of a per-command storm. *)
+      inst.residual_buf <- value :: inst.residual_buf;
+      if inst.residual_timer = None then
+        inst.residual_timer <-
+          Some
+            (Engine.schedule t.engine ~delay:0.0 (fun () ->
+                 inst.residual_timer <- None;
+                 flush_residuals t host inst))
+    end
+
+  and flush_residuals t host inst =
+    let values = List.rev inst.residual_buf in
+    inst.residual_buf <- [];
+    if values <> [] then begin
       match Hashtbl.find_opt host.instances (inst.epoch + 1) with
-      | Some next -> submit_raw next value
+      | Some next -> submit_raw_many next values
       | None -> (
+        (* Disjoint replacement: forward the whole residual batch to a new
+           member as one static message; its replica routes it onward. *)
         match inst.next_members with
         | dst :: _ ->
+          let msg =
+            match values with
+            | [ value ] -> B.submit_msg value
+            | _ -> B.submit_many_msg values
+          in
           send t ~src:host.me ~dst
-            (Wire.Block
-               {
-                 epoch = inst.epoch + 1;
-                 data = B.Msg.encode (B.submit_msg value);
-               })
+            (Wire.Block { epoch = inst.epoch + 1; data = B.Msg.encode msg })
         | [] -> ())
     end
 
@@ -503,6 +533,8 @@ struct
         next_members = [];
         final_snapshot = None;
         spec_buf = [];
+        residual_buf = [];
+        residual_timer = None;
         chunks = [||];
         chunks_got = 0;
         fetch_timer = None;
@@ -720,6 +752,64 @@ struct
         submit_envelope inst env)
     | Some _ | None -> redirect ()
 
+  (* A coalesced client window: per-request dedup/reply semantics are those
+     of [handle_request], but every non-duplicate command reaches the block
+     as one vector submission (one proposal batch, one broadcast). *)
+  let handle_request_batch t host ~src ~low_water ~reqs =
+    let current =
+      newest_instance host ~pred:(fun i -> i.replica <> None && not i.retired)
+    in
+    let redirect seq =
+      Counters.incr t.counters "redirects";
+      let leader =
+        match current with
+        | Some inst when inst.wedged_at = None -> (
+          match inst.replica with
+          | Some r -> Replica.leader_hint r
+          | None -> None)
+        | Some _ | None -> None
+      in
+      send t ~src:host.me ~dst:src
+        (Wire.Client
+           (Client_msg.Redirect
+              { seq; leader; members = host.latest_members; epoch = host.top_epoch }))
+    in
+    match current with
+    | Some inst when is_inst_leader inst && inst.wedged_at = None ->
+      let envs =
+        List.filter_map
+          (fun (seq, payload) ->
+            Counters.incr t.counters "requests";
+            let dup =
+              if inst.activated then
+                match Session.check inst.sessions ~client:src ~seq with
+                | `Dup rsp -> Some rsp
+                | `New | `Stale -> None
+              else None
+            in
+            match dup with
+            | Some rsp ->
+              reply_client t host ~client:src ~seq ~rsp;
+              None
+            | None ->
+              let env =
+                match (payload : Client_msg.payload) with
+                | Client_msg.Cmd cmd ->
+                  Envelope.App { client = src; seq; low_water; cmd }
+                | Client_msg.Change_membership members ->
+                  Envelope.Reconfig { client = src; seq; members }
+              in
+              Some (Envelope.encode env))
+          reqs
+      in
+      submit_raw_many inst envs
+    | Some _ | None ->
+      List.iter
+        (fun (seq, _) ->
+          Counters.incr t.counters "requests";
+          redirect seq)
+        reqs
+
   let host_handler t host (env : Wire.t Network.envelope) =
     let src = env.Network.src in
     match env.Network.payload with
@@ -732,6 +822,8 @@ struct
       | None -> ())
     | Wire.Client (Client_msg.Request { seq; low_water; payload }) ->
       handle_request t host ~src ~seq ~low_water ~payload
+    | Wire.Client (Client_msg.Request_batch { low_water; reqs }) ->
+      handle_request_batch t host ~src ~low_water ~reqs
     | Wire.Client (Client_msg.Reply _ | Client_msg.Redirect _) -> ()
     | Wire.Bootstrap { epoch; members; prev_epoch; prev_members } ->
       handle_bootstrap t host ~epoch ~members ~prev_epoch ~prev_members
@@ -779,6 +871,8 @@ struct
                 ~send:(fun ~dst msg ->
                   send t ~src:cid ~dst (Wire.Client msg))
                 ~members:(Directory.members t.dir)
+                ~batch_window:t.opts.Options.client_batch_window
+                ~batch_max:t.opts.Options.client_batch_max
                 ~lookup:(fun k ->
                   (Lazy.force record).dir_k <- Some k;
                   send t ~src:cid ~dst:t.dir_id Wire.Dir_lookup)
@@ -829,6 +923,8 @@ struct
           W.varint w i;
           W.string w v)
         inst.spec_buf;
+      W.list w W.string (List.rev inst.residual_buf);
+      W.bool w (pending_timer inst.residual_timer);
       W.varint w (Array.length inst.chunks);
       Array.iter (fun c -> W.bool w (Option.is_some c)) inst.chunks;
       W.bool w (pending_timer inst.fetch_timer);

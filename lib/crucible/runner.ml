@@ -213,10 +213,13 @@ let run proto (sc : Scenario.t) =
   in
   let rng = Rng.split (Engine.rng engine) in
   let stats =
+    (* window=4 keeps each client's coalescing buffer fed, so the soak
+       exercises Request_batch / multi-slot proposals under every fault
+       the script throws, not just the single-command path. *)
     Driver.run_closed ~cluster:stack.cluster
       ~n_clients:sc.Scenario.n_clients ~first_client_id ~gen:(gen_of rng)
-      ~think:0.02 ~on_event ~start:workload_start ~duration:sc.Scenario.duration
-      ()
+      ~think:0.02 ~window:4 ~on_event ~start:workload_start
+      ~duration:sc.Scenario.duration ()
   in
   (* Quiescence: past the endgame repair, every submitted command has a
      reply (clients retry forever, so a lost command shows up here). *)

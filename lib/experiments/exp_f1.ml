@@ -19,7 +19,7 @@ let run_one proto ~n ~duration =
   let gen = Kv_gen.create ~rng ~keys:(Keys.uniform ~n:1000) ~read_ratio:0.5 () in
   let stats =
     Driver.run_closed ~cluster:setup.Common.cluster ~n_clients:8
-      ~first_client_id:100
+      ~first_client_id:100 ~window:16
       ~gen:(fun ~client:_ ~seq:_ -> Kv_gen.next gen)
       ~start:1.0 ~duration ()
   in
@@ -52,7 +52,7 @@ let run ?(quick = false) () =
     ~headers:[ "replicas"; "protocol"; "txn/s"; "p50"; "p99" ]
     ~notes:
       [
-        "8 closed-loop clients, 50/50 read/write, LAN latency model";
+        "8 closed-loop clients x 16-deep windows, 50/50 read/write, LAN latency model";
         "expected shape: core ~ raft at every size; both fall as quorums grow";
       ]
     rows

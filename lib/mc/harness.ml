@@ -50,12 +50,25 @@ let scope t = t.scope
 let proto t = t.proto
 let engine t = t.engine
 
-let options ~proto ~mutate =
+let options ~proto ~scope ~mutate =
   let base =
     match proto with
     | Core -> Options.default
     | Stopworld ->
       { Options.default with speculative = false; residual_resubmit = false }
+  in
+  (* Client coalescing follows the scope's batch key: the presets check
+     the immediate-send configuration; batch >= 2 pulls the coalescing
+     window (flush forced by a full buffer, not by wall-clock) into the
+     explored space. *)
+  let base =
+    if scope.Scope.batch >= 2 then
+      {
+        base with
+        Options.client_batch_window = 0.0005;
+        client_batch_max = scope.Scope.batch;
+      }
+    else { base with Options.client_batch_window = 0.0 }
   in
   if mutate then { base with Options.mutation = Some Options.No_first_wedge }
   else base
@@ -67,20 +80,27 @@ let options ~proto ~mutate =
    timer fires and out of reach of any exhaustible depth).  Periodic
    timers are slowed so they widen the state space only where the
    in-flight bound allows. *)
-let mc_params =
-  {
-    Rsmr_smr.Params.default with
-    Rsmr_smr.Params.election_timeout_min = 0.001;
-    election_timeout_max = 0.001;
-    heartbeat_interval = 0.05;
-    resend_interval = 0.05;
-  }
+let mc_params ~scope =
+  let base =
+    {
+      Rsmr_smr.Params.default with
+      Rsmr_smr.Params.election_timeout_min = 0.001;
+      election_timeout_max = 0.001;
+      heartbeat_interval = 0.05;
+      resend_interval = 0.05;
+    }
+  in
+  (* The presets check the historical unbatched block configuration;
+     batch >= 2 bounds the proposal window at the scope's width instead. *)
+  if scope.Scope.batch >= 2 then
+    { base with Rsmr_smr.Params.batch_max = scope.Scope.batch }
+  else { base with Rsmr_smr.Params.batch_delay = 0.0 }
 
 let create ~proto ~scope ~mutate () =
   let engine = Engine.create ~seed:7 () in
   let svc =
-    Svc.create ~engine ~smr_params:mc_params
-      ~options:(options ~proto ~mutate)
+    Svc.create ~engine ~smr_params:(mc_params ~scope)
+      ~options:(options ~proto ~scope ~mutate)
       ~universe:(Scope.universe scope) ~net_mode:`Enumerate
       ~members:(Scope.initial_members scope) ()
   in

@@ -9,6 +9,7 @@ type t = {
   timer_width : int;
   timer_fires : int;
   depth : int;
+  batch : int;
 }
 
 let minimal =
@@ -23,6 +24,7 @@ let minimal =
     timer_width = 4;
     timer_fires = 2;
     depth = 60;
+    batch = 0;
   }
 
 let small =
@@ -37,6 +39,7 @@ let small =
     timer_width = 4;
     timer_fires = 6;
     depth = 100;
+    batch = 0;
   }
 
 (* Node ids: protocol nodes are 1..nodes+spare so that id 0 stays free
@@ -69,6 +72,7 @@ let set t key value =
     | "timer_width" -> Ok { t with timer_width = v }
     | "timer_fires" -> Ok { t with timer_fires = v }
     | "depth" -> Ok { t with depth = v }
+    | "batch" -> Ok { t with batch = v }
     | _ -> Error (Printf.sprintf "scope: unknown key %S" key))
 
 let parse s =
@@ -97,8 +101,8 @@ let parse s =
 
 let to_string t =
   Printf.sprintf
-    "nodes=%d,spare=%d,reconfigs=%d,commands=%d,crashes=%d,drops=%d,max_inflight=%d,timer_width=%d,timer_fires=%d,depth=%d"
+    "nodes=%d,spare=%d,reconfigs=%d,commands=%d,crashes=%d,drops=%d,max_inflight=%d,timer_width=%d,timer_fires=%d,depth=%d,batch=%d"
     t.nodes t.spare t.reconfigs t.commands t.crashes t.drops t.max_inflight
-    t.timer_width t.timer_fires t.depth
+    t.timer_width t.timer_fires t.depth t.batch
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -34,6 +34,12 @@ type t = {
       (** maximum choices along one path — a termination backstop, not
           the primary bound; sized so budget-limited paths run out of
           enabled choices before they run out of depth *)
+  batch : int;
+      (** batching width under check: 0 (the presets) runs the stack
+          with batching and client coalescing off — the historical
+          checked configuration; [batch] ≥ 2 turns on the proposal
+          window with [batch_max = batch] and client coalescing, so the
+          multi-command slot path itself is inside the scope *)
 }
 
 val minimal : t

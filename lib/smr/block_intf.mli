@@ -60,10 +60,21 @@ module type S = sig
   val handle : t -> src:Rsmr_net.Node_id.t -> Msg.t -> unit
   val submit : t -> string -> unit
 
+  val submit_many : t -> string list -> unit
+  (** Submit an ordered vector of commands as one batch: the block must
+      preserve the vector's order and propose it with O(1) messages (one
+      multi-command slot run) rather than one proposal per command.
+      Equivalent to [List.iter (submit t)] w.r.t. ordering and delivery. *)
+
   val submit_msg : string -> Msg.t
   (** A message that, delivered to any replica of the instance, submits the
       command remotely (used to forward residual commands into an instance
       the sender does not host). *)
+
+  val submit_many_msg : string list -> Msg.t
+  (** Vector form of {!submit_msg}: one message that remotely submits the
+      whole ordered batch (used to forward residuals across epochs without
+      a per-command message storm). *)
 
   val is_leader : t -> bool
   val leader_hint : t -> Rsmr_net.Node_id.t option

@@ -23,6 +23,9 @@ type t =
   | Learn_req of { from_index : int }
   | Learn_rsp of { entries : (int * Log.kind) list; commit_index : int }
   | Submit of { value : string }
+  | Submit_multi of { values : string list }
+      (** forwarded vector submission: ordered client commands that should
+          be proposed as one batch by whoever is leader *)
 
 let encode_entry w (i, (e : Log.entry)) =
   W.varint w i;
@@ -96,6 +99,9 @@ let write w t =
     Ballot.encode w ballot;
     W.varint w from_index;
     W.varint w upto
+  | Submit_multi { values } ->
+    W.u8 w 11;
+    W.list w W.string values
 
 let read r =
   match R.u8 r with
@@ -135,6 +141,7 @@ let read r =
     let ballot = Ballot.decode r in
     let from_index = R.varint r in
     Accepted_multi { ballot; from_index; upto = R.varint r }
+  | 11 -> Submit_multi { values = R.list r R.string }
   | _ -> raise Rsmr_app.Codec.Truncated
 
 let encode t =
@@ -161,6 +168,7 @@ let tag = function
   | Learn_req _ -> "learn_req"
   | Learn_rsp _ -> "learn_rsp"
   | Submit _ -> "submit"
+  | Submit_multi _ -> "submit_multi"
 
 (* Tag from the leading wire byte alone, so the network tagger can
    classify an encoded payload without a full decode.  Must agree with
@@ -180,6 +188,7 @@ let tag_of_encoded s =
     | 8 -> "submit"
     | 9 -> "accept_multi"
     | 10 -> "accepted_multi"
+    | 11 -> "submit_multi"
     | _ -> "invalid"
 
 let pp ppf t =
@@ -209,3 +218,5 @@ let pp ppf t =
   | Accepted_multi { ballot; from_index; upto } ->
     Format.fprintf ppf "accepted_multi(%a,%d..%d)" Ballot.pp ballot from_index
       upto
+  | Submit_multi { values } ->
+    Format.fprintf ppf "submit_multi(%d values)" (List.length values)

@@ -3,8 +3,8 @@
     [Prepare]/[Promise] are phase 1 over the whole uncommitted log suffix;
     [Accept]/[Accepted] are per-slot phase 2; [Heartbeat] renews leadership
     and carries the commit watermark; [Learn_req]/[Learn_rsp] let a lagging
-    replica fetch chosen values; [Submit] forwards a command to the
-    leader. *)
+    replica fetch chosen values; [Submit]/[Submit_multi] forward commands
+    to the leader. *)
 
 type t =
   | Prepare of { ballot : Ballot.t; from_index : int }
@@ -28,6 +28,9 @@ type t =
   | Learn_req of { from_index : int }
   | Learn_rsp of { entries : (int * Log.kind) list; commit_index : int }
   | Submit of { value : string }
+  | Submit_multi of { values : string list }
+      (** forwarded vector submission: ordered client commands that should
+          be proposed as one batch by whoever is leader *)
 
 val size : t -> int
 (** Wire size in bytes: a single counting pass over the same body as

@@ -6,6 +6,7 @@ type t = {
   learn_batch : int;
   batch_delay : float;
   batch_max : int;
+  max_outstanding : int;
 }
 
 let default =
@@ -15,16 +16,20 @@ let default =
     election_timeout_max = 0.200;
     resend_interval = 0.050;
     learn_batch = 256;
-    batch_delay = 0.0;
+    batch_delay = 0.0005;
     batch_max = 64;
+    max_outstanding = 64;
   }
 
+let unbatched = { default with batch_delay = 0.0 }
 let with_batching delay = { default with batch_delay = delay }
 
 let pp ppf t =
-  Format.fprintf ppf "hb=%.0fms eto=[%.0f,%.0f]ms resend=%.0fms batch=%.1fms"
+  Format.fprintf ppf
+    "hb=%.0fms eto=[%.0f,%.0f]ms resend=%.0fms batch=%.1fms/%d pipe=%d"
     (t.heartbeat_interval *. 1e3)
     (t.election_timeout_min *. 1e3)
     (t.election_timeout_max *. 1e3)
     (t.resend_interval *. 1e3)
     (t.batch_delay *. 1e3)
+    t.batch_max t.max_outstanding

@@ -1,5 +1,8 @@
 (** Timing parameters of the static SMR building block.  Defaults are tuned
-    for the LAN latency model (sub-millisecond RTT). *)
+    for the LAN latency model (sub-millisecond RTT) and have batching and
+    pipelining ON: leaders coalesce submissions for [batch_delay] into
+    multi-command slots and keep up to [max_outstanding] uncommitted slots
+    in flight. *)
 
 type t = {
   heartbeat_interval : float;  (** leader heartbeat period, seconds *)
@@ -12,13 +15,23 @@ type t = {
   batch_delay : float;
       (** leader-side batching window: submissions are accumulated for this
           long (seconds) and proposed with a single [Accept_multi] per
-          follower.  0 disables batching (one [Accept] broadcast per
-          command). *)
+          follower.  0 disables the window (a lone submission is proposed
+          immediately as a plain [Accept]; vector submissions via
+          [submit_many] still travel as one batch). *)
   batch_max : int;  (** flush early at this many buffered commands *)
+  max_outstanding : int;
+      (** pipelining cap: the leader keeps at most this many uncommitted
+          slots in flight; further submissions wait in the batch buffer
+          until commit progress frees a slot.  Also bounds the resend
+          window for stuck slots. *)
 }
 
 val with_batching : float -> t
 (** [default] with the given batching window. *)
+
+val unbatched : t
+(** [default] with the batching window disabled (one [Accept] broadcast per
+    command) — the pre-batching ablation baseline. *)
 
 val default : t
 val pp : Format.formatter -> t -> unit

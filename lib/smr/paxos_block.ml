@@ -20,7 +20,9 @@ let create ~engine ~params ~config ~me ~send ?broadcast ?obs ~on_decide () =
 
 let handle = Replica.handle
 let submit = Replica.submit
+let submit_many = Replica.submit_many
 let submit_msg value = M.Submit { value }
+let submit_many_msg values = M.Submit_multi { values }
 let is_leader = Replica.is_leader
 let leader_hint = Replica.leader_hint
 let halt = Replica.halt

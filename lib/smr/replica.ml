@@ -257,7 +257,8 @@ and maybe_commit_solo t lead =
       (fun i -> Log.mark_committed t.log i)
       (Stable.sorted_keys ~compare:Int.compare lead.acks);
     Hashtbl.reset lead.acks;
-    deliver t
+    deliver t;
+    pump t
   end
 
 and start_heartbeat t =
@@ -287,18 +288,43 @@ and start_resend t =
         | _ when n = 0 -> []
         | x :: rest -> x :: take (n - 1) rest
       in
-      List.iter
-        (fun (i, (e : Log.entry)) ->
-          if Ballot.equal e.Log.ballot lead.l_ballot then
-            broadcast t
-              (Msg.Accept
-                 {
-                   ballot = lead.l_ballot;
-                   index = i;
-                   kind = e.Log.kind;
-                   commit_index = Log.committed_prefix t.log;
-                 }))
-        (take 64 stuck);
+      (* Re-broadcast stuck slots at our ballot, coalescing consecutive
+         runs into a single Accept_multi so a stalled pipeline window is
+         one message per follower, not max_outstanding of them. *)
+      let commit_index = Log.committed_prefix t.log in
+      let flush_run run =
+        match List.rev run with
+        | [] -> ()
+        | [ (index, (e : Log.entry)) ] ->
+          broadcast t
+            (Msg.Accept
+               { ballot = lead.l_ballot; index; kind = e.Log.kind; commit_index })
+        | (from_index, _) :: _ as entries ->
+          broadcast t
+            (Msg.Accept_multi
+               {
+                 ballot = lead.l_ballot;
+                 from_index;
+                 kinds = List.map (fun (_, (e : Log.entry)) -> e.Log.kind) entries;
+                 commit_index;
+               })
+      in
+      let rec walk run = function
+        | [] -> flush_run run
+        | (i, (e : Log.entry)) :: rest ->
+          if Ballot.equal e.Log.ballot lead.l_ballot then (
+            match run with
+            | (j, _) :: _ when i = j + 1 -> walk ((i, e) :: run) rest
+            | [] -> walk [ (i, e) ] rest
+            | _ ->
+              flush_run run;
+              walk [ (i, e) ] rest)
+          else begin
+            flush_run run;
+            walk [] rest
+          end
+      in
+      walk [] (take t.params.Params.max_outstanding stuck);
       t.resend_timer <-
         Some (Engine.schedule t.engine ~delay:t.params.Params.resend_interval tick)
     | _ -> ()
@@ -325,54 +351,84 @@ and propose t kind =
     maybe_commit_solo t lead
   | R_candidate _ | R_follower -> invalid_arg "propose: not leader"
 
-(* Leader-side batching: accumulate submissions for batch_delay seconds
-   (or batch_max commands) and propose them with a single Accept_multi
-   broadcast.  batch_delay = 0 keeps the one-Accept-per-command path. *)
+(* Leader-side batching + pipelining: accumulate submissions for
+   batch_delay seconds (or batch_max commands) and propose them with a
+   single Accept_multi broadcast, keeping at most max_outstanding
+   uncommitted slots in flight.  batch_delay = 0 skips the window (a lone
+   submission is proposed immediately as a plain Accept), but vector
+   submissions still travel as one batch. *)
+and buffer_value t value =
+  t.batch_buf <- value :: t.batch_buf;
+  t.batch_len <- t.batch_len + 1
+
 and enqueue_value t value =
-  if t.params.Params.batch_delay <= 0.0 then propose t (Log.Value value)
-  else begin
-    t.batch_buf <- value :: t.batch_buf;
-    t.batch_len <- t.batch_len + 1;
-    if t.batch_len >= t.params.Params.batch_max then flush_batch t
-    else if t.batch_timer = None then
-      t.batch_timer <-
-        Some
-          (Engine.schedule t.engine ~delay:t.params.Params.batch_delay
-             (fun () ->
-               t.batch_timer <- None;
-               flush_batch t))
-  end
+  buffer_value t value;
+  if
+    t.params.Params.batch_delay <= 0.0
+    || t.batch_len >= t.params.Params.batch_max
+  then flush_batch t
+  else if t.batch_timer = None then
+    t.batch_timer <-
+      Some
+        (Engine.schedule t.engine ~delay:t.params.Params.batch_delay (fun () ->
+             t.batch_timer <- None;
+             flush_batch t))
 
 and flush_batch t =
   match t.role with
   | R_leader lead when t.batch_buf <> [] ->
-    let values = List.rev t.batch_buf in
-    t.batch_buf <- [];
-    t.batch_len <- 0;
-    t.batch_timer <- cancel_timer t t.batch_timer;
-    let from_index = lead.next_index in
-    let kinds =
-      List.map
-        (fun value ->
-          let index = lead.next_index in
-          lead.next_index <- index + 1;
-          let kind = Log.Value value in
-          incr t.c_proposals;
-          Log.set t.log index { Log.ballot = lead.l_ballot; kind };
-          Hashtbl.replace lead.acks index (ref (Node_id.Set.singleton t.me));
-          kind)
-        values
+    (* Pipelining cap: only as many slots as commit progress has freed.
+       Whatever does not fit stays buffered and is re-flushed by [pump]
+       when commits advance (the window has already elapsed by then). *)
+    let cap =
+      t.params.Params.max_outstanding
+      - (lead.next_index - Log.committed_prefix t.log)
     in
-    broadcast t
-      (Msg.Accept_multi
-         {
-           ballot = lead.l_ballot;
-           from_index;
-           kinds;
-           commit_index = Log.committed_prefix t.log;
-         });
-    maybe_commit_solo t lead
+    if cap > 0 then begin
+      let values = List.rev t.batch_buf in
+      let rec split n acc rest =
+        match rest with
+        | _ when n = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: tl -> split (n - 1) (x :: acc) tl
+      in
+      let now_values, later = split (min cap t.batch_len) [] values in
+      t.batch_buf <- List.rev later;
+      t.batch_len <- List.length later;
+      t.batch_timer <- cancel_timer t t.batch_timer;
+      match now_values with
+      | [] -> ()
+      | [ value ] -> propose t (Log.Value value)
+      | _ ->
+        let from_index = lead.next_index in
+        let kinds =
+          List.map
+            (fun value ->
+              let index = lead.next_index in
+              lead.next_index <- index + 1;
+              let kind = Log.Value value in
+              incr t.c_proposals;
+              Log.set t.log index { Log.ballot = lead.l_ballot; kind };
+              Hashtbl.replace lead.acks index (ref (Node_id.Set.singleton t.me));
+              kind)
+            now_values
+        in
+        broadcast t
+          (Msg.Accept_multi
+             {
+               ballot = lead.l_ballot;
+               from_index;
+               kinds;
+               commit_index = Log.committed_prefix t.log;
+             });
+        maybe_commit_solo t lead
+    end
   | _ -> ()
+
+(* Commit progress freed pipeline slots: re-flush values that were parked
+   waiting for capacity.  An armed batch timer means the window is still
+   open — leave those to the timer. *)
+and pump t = if t.batch_len > 0 && t.batch_timer = None then flush_batch t
 
 and drain_pending t =
   let rec drain f =
@@ -390,7 +446,13 @@ and drain_pending t =
   | R_follower -> (
     match t.hint with
     | Some dst when not (Node_id.equal dst t.me) ->
-      drain (fun value -> t.send ~dst (Msg.Submit { value }))
+      (* Forward everything queued as one vector submission. *)
+      let values = ref [] in
+      drain (fun value -> values := value :: !values);
+      (match List.rev !values with
+       | [] -> ()
+       | [ value ] -> t.send ~dst (Msg.Submit { value })
+       | values -> t.send ~dst (Msg.Submit_multi { values }))
     | _ -> ())
 
 let step_down t ~higher =
@@ -515,7 +577,8 @@ let on_accepted t ~src (ballot : Ballot.t) index =
         Log.mark_committed t.log index;
         Hashtbl.remove lead.acks index;
         incr t.c_commits;
-        deliver t
+        deliver t;
+        pump t
       end
     end
   | _ -> ()
@@ -543,7 +606,10 @@ let on_accepted_multi t ~src (ballot : Ballot.t) from_index upto =
         end
       end
     done;
-    if !committed_any then deliver t
+    if !committed_any then begin
+      deliver t;
+      pump t
+    end
   | _ -> ()
 
 let on_heartbeat t ~src (ballot : Ballot.t) commit_index =
@@ -591,6 +657,23 @@ let submit t value =
       | _ -> Queue.push value t.pending)
   end
 
+(* Vector submission: the values are already a batch, so they are proposed
+   (or forwarded) as one multi-command slot run regardless of the batching
+   window, preserving their order. *)
+let submit_many t values =
+  if (not t.halted) && values <> [] then begin
+    match t.role with
+    | R_leader _ ->
+      List.iter (fun value -> buffer_value t value) values;
+      flush_batch t
+    | R_candidate _ -> List.iter (fun value -> Queue.push value t.pending) values
+    | R_follower -> (
+      match t.hint with
+      | Some dst when not (Node_id.equal dst t.me) ->
+        t.send ~dst (Msg.Submit_multi { values })
+      | _ -> List.iter (fun value -> Queue.push value t.pending) values)
+  end
+
 let handle t ~src msg =
   if not t.halted then
     match (msg : Msg.t) with
@@ -610,6 +693,7 @@ let handle t ~src msg =
     | Msg.Learn_rsp { entries; commit_index } ->
       on_learn_rsp t entries commit_index
     | Msg.Submit { value } -> submit t value
+    | Msg.Submit_multi { values } -> submit_many t values
 
 let halt t =
   if not t.halted then begin

@@ -56,6 +56,14 @@ val submit : t -> string -> unit
 (** Offer a command for ordering.  If this replica is not the leader it
     forwards the command (best effort — the client layer owns retries). *)
 
+val submit_many : t -> string list -> unit
+[@@rsmr.deterministic] [@@rsmr.total]
+(** Offer an ordered vector of commands.  On the leader the vector is
+    proposed as one multi-command slot run (a single [Accept_multi]
+    broadcast) regardless of the batching window; a follower forwards it
+    as one [Submit_multi].  Equivalent to [List.iter (submit t)] w.r.t.
+    ordering and delivery, but O(1) messages instead of O(n). *)
+
 val status : t -> status
 val is_leader : t -> bool
 val leader_hint : t -> Rsmr_net.Node_id.t option

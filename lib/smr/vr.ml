@@ -22,6 +22,15 @@ module Msg = struct
     | Start_view of { view : int; log : string list; commit : int }
     | Get_state of { view : int; from : int }
     | New_state of { view : int; from : int; ops : string list; commit : int }
+    | Request_multi of { values : string list }
+        (** forwarded vector submission, proposed as one batch *)
+    | Prepare_multi of {
+        view : int;
+        from_op : int;
+        values : string list;  (** consecutive ops from [from_op] *)
+        commit : int;
+      }
+    | Prepare_ok_multi of { view : int; from_op : int; upto : int }
 
   (* Single wire-format body shared by [encode] (buffer sink) and
      [size] (counting sink). *)
@@ -68,6 +77,20 @@ module Msg = struct
       W.varint w from;
       W.list w W.string ops;
       W.varint w commit
+    | Request_multi { values } ->
+      W.u8 w 9;
+      W.list w W.string values
+    | Prepare_multi { view; from_op; values; commit } ->
+      W.u8 w 10;
+      W.varint w view;
+      W.varint w from_op;
+      W.list w W.string values;
+      W.varint w commit
+    | Prepare_ok_multi { view; from_op; upto } ->
+      W.u8 w 11;
+      W.varint w view;
+      W.varint w from_op;
+      W.varint w upto
 
   let read r =
     match R.u8 r with
@@ -101,6 +124,16 @@ module Msg = struct
       let from = R.varint r in
       let ops = R.list r R.string in
       New_state { view; from; ops; commit = R.varint r }
+    | 9 -> Request_multi { values = R.list r R.string }
+    | 10 ->
+      let view = R.varint r in
+      let from_op = R.varint r in
+      let values = R.list r R.string in
+      Prepare_multi { view; from_op; values; commit = R.varint r }
+    | 11 ->
+      let view = R.varint r in
+      let from_op = R.varint r in
+      Prepare_ok_multi { view; from_op; upto = R.varint r }
     | _ -> raise Rsmr_app.Codec.Truncated
 
   let encode t =
@@ -125,6 +158,9 @@ module Msg = struct
     | Start_view _ -> "start_view"
     | Get_state _ -> "get_state"
     | New_state _ -> "new_state"
+    | Request_multi _ -> "request_multi"
+    | Prepare_multi _ -> "prepare_multi"
+    | Prepare_ok_multi _ -> "prepare_ok_multi"
 
   (* Tag from the leading wire byte alone, so the network tagger can
      classify an encoded payload without a full decode.  Must agree with
@@ -142,6 +178,9 @@ module Msg = struct
       | 6 -> "start_view"
       | 7 -> "get_state"
       | 8 -> "new_state"
+      | 9 -> "request_multi"
+      | 10 -> "prepare_multi"
+      | 11 -> "prepare_ok_multi"
       | _ -> "invalid"
 end
 
@@ -172,6 +211,9 @@ type t = {
   mutable executed : int;
   acks : (int, Node_id.Set.t ref) Hashtbl.t;
   pending : string Queue.t;
+  mutable batch_buf : string list; (* newest first; primary only *)
+  mutable batch_len : int; (* List.length batch_buf, kept O(1) *)
+  mutable batch_timer : Engine.timer option;
   mutable view_timer : Engine.timer option;
   mutable hb_timer : Engine.timer option;
   mutable resend_timer : Engine.timer option;
@@ -196,6 +238,7 @@ let is_normal t = t.status = Normal
 let log_length t = t.len
 
 let submit_msg value = Msg.Request { value }
+let submit_many_msg values = Msg.Request_multi { values }
 
 let log_list t = Array.to_list (Array.sub t.log 0 t.len)
 
@@ -238,6 +281,14 @@ let broadcast t msg =
       (fun dst -> if not (Node_id.equal dst t.me) then t.send ~dst msg)
       t.members
 
+(* A primary losing its status (view change) returns unproposed batched
+   values to pending so they get forwarded to whoever leads next. *)
+let park_batch t =
+  t.batch_timer <- cancel t t.batch_timer;
+  List.iter (fun v -> Queue.push v t.pending) (List.rev t.batch_buf);
+  t.batch_buf <- [];
+  t.batch_len <- 0
+
 (* --- timers --- *)
 
 let rec reset_view_timer t =
@@ -258,6 +309,7 @@ and on_view_timeout t =
 and start_view_change t new_view =
   if new_view > t.view || (new_view = t.view && t.status = Normal) then begin
     incr t.c_view_changes;
+    park_batch t;
     t.view <- new_view;
     t.status <- View_change { svc_from = Node_id.Set.singleton t.me; dvc = [] };
     broadcast t (Msg.Start_view_change { view = new_view });
@@ -337,7 +389,8 @@ and maybe_commit_solo t =
   if f_of t = 0 && is_leader t then begin
     t.commit <- t.len;
     Hashtbl.reset t.acks;
-    execute t
+    execute t;
+    pump t
   end
 
 and advance_commit t =
@@ -358,6 +411,62 @@ and propose t value =
   broadcast t (Msg.Prepare { view = t.view; op; value; commit = t.commit });
   maybe_commit_solo t
 
+(* Primary-side batching + pipelining, mirroring {!Replica}: submissions
+   accumulate for batch_delay (or batch_max commands) and are prepared as
+   one multi-op run, with at most max_outstanding uncommitted ops in
+   flight; the overflow stays buffered until commit progress pumps it. *)
+and buffer_value t value =
+  t.batch_buf <- value :: t.batch_buf;
+  t.batch_len <- t.batch_len + 1
+
+and enqueue_value t value =
+  buffer_value t value;
+  if
+    t.params.Params.batch_delay <= 0.0
+    || t.batch_len >= t.params.Params.batch_max
+  then flush_batch t
+  else if t.batch_timer = None then
+    t.batch_timer <-
+      Some
+        (Engine.schedule t.engine ~delay:t.params.Params.batch_delay (fun () ->
+             t.batch_timer <- None;
+             flush_batch t))
+
+and flush_batch t =
+  if is_leader t && t.batch_buf <> [] then begin
+    let cap = t.params.Params.max_outstanding - (t.len - t.commit) in
+    if cap > 0 then begin
+      let values = List.rev t.batch_buf in
+      let rec split n acc rest =
+        match rest with
+        | _ when n = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: tl -> split (n - 1) (x :: acc) tl
+      in
+      let now_values, later = split (min cap t.batch_len) [] values in
+      t.batch_buf <- List.rev later;
+      t.batch_len <- List.length later;
+      t.batch_timer <- cancel t t.batch_timer;
+      match now_values with
+      | [] -> ()
+      | [ value ] -> propose t value
+      | _ ->
+        let from_op = t.len in
+        List.iter
+          (fun value ->
+            let op = t.len in
+            append t value;
+            Hashtbl.replace t.acks op (ref (Node_id.Set.singleton t.me)))
+          now_values;
+        broadcast t
+          (Msg.Prepare_multi
+             { view = t.view; from_op; values = now_values; commit = t.commit });
+        maybe_commit_solo t
+    end
+  end
+
+and pump t = if t.batch_len > 0 && t.batch_timer = None then flush_batch t
+
 and drain_pending t =
   let rec drain f =
     match Queue.take_opt t.pending with
@@ -366,11 +475,21 @@ and drain_pending t =
       drain f
     | None -> ()
   in
-  if is_leader t then drain (fun value -> propose t value)
+  if is_leader t then begin
+    drain (fun value -> enqueue_value t value);
+    flush_batch t
+  end
   else if t.status = Normal then begin
     let p = primary t in
-    if not (Node_id.equal p t.me) then
-      drain (fun value -> t.send ~dst:p (Msg.Request { value }))
+    if not (Node_id.equal p t.me) then begin
+      (* Forward everything queued as one vector submission. *)
+      let values = ref [] in
+      drain (fun value -> values := value :: !values);
+      match List.rev !values with
+      | [] -> ()
+      | [ value ] -> t.send ~dst:p (Msg.Request { value })
+      | values -> t.send ~dst:p (Msg.Request_multi { values })
+    end
   end
 
 and start_heartbeat t =
@@ -389,13 +508,28 @@ and start_resend t =
   t.resend_timer <- cancel t t.resend_timer;
   let rec tick () =
     if is_leader t then begin
-      (* Re-prepare the uncommitted suffix (lost Prepares / PrepareOKs). *)
-      let hi = min t.len (t.commit + 64) in
-      for op = t.commit to hi - 1 do
-        broadcast t
-          (Msg.Prepare
-             { view = t.view; op; value = t.log.(op); commit = t.commit })
-      done;
+      (* Re-prepare the uncommitted suffix (lost Prepares / PrepareOKs) as
+         one multi-op run per follower, bounded by the pipeline window. *)
+      let hi = min t.len (t.commit + t.params.Params.max_outstanding) in
+      (if hi - t.commit = 1 then
+         broadcast t
+           (Msg.Prepare
+              {
+                view = t.view;
+                op = t.commit;
+                value = t.log.(t.commit);
+                commit = t.commit;
+              })
+       else if hi > t.commit then
+         broadcast t
+           (Msg.Prepare_multi
+              {
+                view = t.view;
+                from_op = t.commit;
+                values =
+                  Array.to_list (Array.sub t.log t.commit (hi - t.commit));
+                commit = t.commit;
+              }));
       t.resend_timer <-
         Some (Engine.schedule t.engine ~delay:t.params.Params.resend_interval tick)
     end
@@ -432,12 +566,48 @@ let on_prepare t ~src ~view ~op ~value ~commit =
     end
   end
 
+(* Multi-op Prepare: consecutive values from [from_op].  Appends the
+   portion past our log end, re-acks duplicates, and answers with a single
+   Prepare_ok_multi covering the whole run. *)
+let on_prepare_multi t ~src ~view ~from_op ~values ~commit =
+  if behind t view then catch_up t view
+  else if view = t.view && t.status = Normal && not (is_primary t) then begin
+    reset_view_timer t;
+    let n = List.length values in
+    if from_op > t.len then
+      (* Gap: lost earlier prepares. *)
+      t.send ~dst:src (Msg.Get_state { view; from = t.len })
+    else begin
+      List.iteri
+        (fun offset value -> if from_op + offset = t.len then append t value)
+        values;
+      t.send ~dst:src
+        (Msg.Prepare_ok_multi { view; from_op; upto = from_op + n - 1 })
+    end;
+    if commit > t.commit then begin
+      t.commit <- min commit t.len;
+      execute t
+    end
+  end
+
 let on_prepare_ok t ~src ~view ~op =
   if view = t.view && is_leader t then begin
     (match Hashtbl.find_opt t.acks op with
      | Some acked -> acked := Node_id.Set.add src !acked
      | None -> () (* already committed *));
-    advance_commit t
+    advance_commit t;
+    pump t
+  end
+
+let on_prepare_ok_multi t ~src ~view ~from_op ~upto =
+  if view = t.view && is_leader t then begin
+    for op = from_op to upto do
+      match Hashtbl.find_opt t.acks op with
+      | Some acked -> acked := Node_id.Set.add src !acked
+      | None -> () (* already committed *)
+    done;
+    advance_commit t;
+    pump t
   end
 
 let on_commit t ~view ~commit =
@@ -453,6 +623,7 @@ let on_commit t ~view ~commit =
 
 let on_start_view t ~view ~log ~commit =
   if view >= t.view then begin
+    park_batch t;
     t.view <- view;
     t.status <- Normal;
     t.last_normal <- view;
@@ -461,11 +632,13 @@ let on_start_view t ~view ~log ~commit =
     Hashtbl.reset t.acks;
     execute t;
     reset_view_timer t;
-    (* Ack the uncommitted suffix to the new primary. *)
+    (* Ack the uncommitted suffix to the new primary in one message. *)
     let p = primary t in
-    for op = t.commit to t.len - 1 do
-      t.send ~dst:p (Msg.Prepare_ok { view; op })
-    done;
+    (if t.len - t.commit = 1 then
+       t.send ~dst:p (Msg.Prepare_ok { view; op = t.commit })
+     else if t.len > t.commit then
+       t.send ~dst:p
+         (Msg.Prepare_ok_multi { view; from_op = t.commit; upto = t.len - 1 }));
     drain_pending t
   end
 
@@ -483,6 +656,7 @@ let on_get_state t ~src ~view ~from =
 let on_new_state t ~view ~from ~ops ~commit =
   if view >= t.view then begin
     if view > t.view then begin
+      park_batch t;
       t.view <- view;
       t.status <- Normal;
       t.last_normal <- view
@@ -495,9 +669,24 @@ let on_new_state t ~view ~from ~ops ~commit =
 
 let submit t value =
   if not t.halted then begin
-    if is_leader t then propose t value
+    if is_leader t then enqueue_value t value
     else begin
       Queue.push value t.pending;
+      drain_pending t
+    end
+  end
+[@@rsmr.deterministic] [@@rsmr.total]
+
+(* Vector submission: proposed (or forwarded) as one multi-op run
+   regardless of the batching window, preserving order. *)
+let submit_many t values =
+  if (not t.halted) && values <> [] then begin
+    if is_leader t then begin
+      List.iter (fun value -> buffer_value t value) values;
+      flush_batch t
+    end
+    else begin
+      List.iter (fun value -> Queue.push value t.pending) values;
       drain_pending t
     end
   end
@@ -507,9 +696,14 @@ let handle t ~src msg =
   if not t.halted then
     match (msg : Msg.t) with
     | Msg.Request { value } -> submit t value
+    | Msg.Request_multi { values } -> submit_many t values
     | Msg.Prepare { view; op; value; commit } ->
       on_prepare t ~src ~view ~op ~value ~commit
+    | Msg.Prepare_multi { view; from_op; values; commit } ->
+      on_prepare_multi t ~src ~view ~from_op ~values ~commit
     | Msg.Prepare_ok { view; op } -> on_prepare_ok t ~src ~view ~op
+    | Msg.Prepare_ok_multi { view; from_op; upto } ->
+      on_prepare_ok_multi t ~src ~view ~from_op ~upto
     | Msg.Commit { view; commit } -> on_commit t ~view ~commit
     | Msg.Start_view_change { view } ->
       if view > t.view then start_view_change t view;
@@ -536,7 +730,8 @@ let halt t =
     t.halted <- true;
     t.view_timer <- cancel t t.view_timer;
     t.hb_timer <- cancel t t.hb_timer;
-    t.resend_timer <- cancel t t.resend_timer
+    t.resend_timer <- cancel t t.resend_timer;
+    t.batch_timer <- cancel t t.batch_timer
   end
 
 let create ~engine ~params ~config ~me ~send ?broadcast ?obs ~on_decide () =
@@ -569,6 +764,9 @@ let create ~engine ~params ~config ~me ~send ?broadcast ?obs ~on_decide () =
       executed = 0;
       acks = Hashtbl.create 64;
       pending = Queue.create ();
+      batch_buf = [];
+      batch_len = 0;
+      batch_timer = None;
       view_timer = None;
       hb_timer = None;
       resend_timer = None;
@@ -622,6 +820,8 @@ let fingerprint t =
           t.acks []));
   W.list w W.string
     (List.rev (Queue.fold (fun acc v -> v :: acc) [] t.pending));
+  W.list w W.string t.batch_buf;
+  W.bool w (pending_timer t.batch_timer);
   W.bool w (pending_timer t.view_timer);
   W.bool w (pending_timer t.hb_timer);
   W.bool w (pending_timer t.resend_timer);

@@ -26,6 +26,15 @@ module Msg : sig
     | Start_view of { view : int; log : string list; commit : int }
     | Get_state of { view : int; from : int }
     | New_state of { view : int; from : int; ops : string list; commit : int }
+    | Request_multi of { values : string list }
+        (** forwarded vector submission, proposed as one batch *)
+    | Prepare_multi of {
+        view : int;
+        from_op : int;
+        values : string list;  (** consecutive ops from [from_op] *)
+        commit : int;
+      }
+    | Prepare_ok_multi of { view : int; from_op : int; upto : int }
 
   val size : t -> int
   (** Wire size in bytes: a single counting pass over the same body as

@@ -71,7 +71,7 @@ let setup ~(cluster : Cluster.t) ~n_clients ~first_client_id ?on_event
   (engine, stats, clients, submit)
 
 let run_closed ~cluster ~n_clients ~first_client_id ~gen ?(think = 0.0)
-    ?on_event ~start ~duration () =
+    ?(window = 1) ?on_event ~start ~duration () =
   let seqs : (Node_id.t, int) Hashtbl.t = Hashtbl.create 16 in
   let next_seq client =
     let s = 1 + Option.value (Hashtbl.find_opt seqs client) ~default:0 in
@@ -102,7 +102,14 @@ let run_closed ~cluster ~n_clients ~first_client_id ~gen ?(think = 0.0)
   submit_ref := submit;
   engine_ref := Some engine;
   List.iter
-    (fun client -> ignore (Engine.at engine ~time:start (fun () -> issue client)))
+    (fun client ->
+      ignore
+        (Engine.at engine ~time:start (fun () ->
+             (* [window] requests in flight per client; completions keep the
+                pipe full one-for-one from then on. *)
+             for _ = 1 to max 1 window do
+               issue client
+             done)))
     clients;
   stats
 

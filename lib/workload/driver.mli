@@ -29,13 +29,16 @@ val run_closed :
   first_client_id:Rsmr_net.Node_id.t ->
   gen:(client:Rsmr_net.Node_id.t -> seq:int -> string) ->
   ?think:float ->
+  ?window:int ->
   ?on_event:(event -> unit) ->
   start:float ->
   duration:float ->
   unit ->
   stats
-(** Closed loop: each of [n_clients] keeps exactly one request outstanding,
-    issuing the next [think] seconds after each reply (default 0).  Clients
+(** Closed loop: each of [n_clients] keeps [window] requests outstanding
+    (default 1), issuing a replacement [think] seconds after each reply
+    (default 0).  [window] > 1 is what feeds the client endpoints'
+    coalescing buffers — a window of one can never form a batch.  Clients
     stop issuing at [start +. duration].  Installs the cluster's reply
     handler — one driver per cluster at a time. *)
 

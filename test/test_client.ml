@@ -16,6 +16,17 @@ let test_msg_roundtrip () =
       Client_msg.Redirect
         { seq = 3; leader = Some 2; members = [ 0; 1; 2 ]; epoch = 7 };
       Client_msg.Redirect { seq = 3; leader = None; members = []; epoch = 0 };
+      Client_msg.Request_batch
+        {
+          low_water = 1;
+          reqs =
+            [
+              (5, Client_msg.Cmd "a");
+              (6, Client_msg.Change_membership [ 2; 3 ]);
+              (7, Client_msg.Cmd "b");
+            ];
+        };
+      Client_msg.Request_batch { low_water = 0; reqs = [] };
     ]
   in
   List.iter
@@ -34,7 +45,8 @@ type harness = {
   mutable lookup_k : (Rsmr_net.Node_id.t list -> unit) option;
 }
 
-let make_harness ?(members = [ 0; 1; 2 ]) ?req_timeout () =
+let make_harness ?(members = [ 0; 1; 2 ]) ?req_timeout ?batch_window ?batch_max
+    () =
   let engine = Engine.create ~seed:3 () in
   let sent = ref [] and replies = ref [] and lookups = ref 0 in
   let h_ref = ref None in
@@ -45,7 +57,7 @@ let make_harness ?(members = [ 0; 1; 2 ]) ?req_timeout () =
       ~lookup:(fun k ->
         incr lookups;
         match !h_ref with Some h -> h.lookup_k <- Some k | None -> ())
-      ?req_timeout
+      ?req_timeout ?batch_window ?batch_max
       ~on_reply:(fun ~seq ~rsp -> replies := (seq, rsp) :: !replies)
       ()
   in
@@ -152,6 +164,67 @@ let test_resubmit_same_seq_is_retry () =
   Endpoint.handle h.endpoint (Client_msg.Reply { seq = 1; rsp = "ok" });
   Alcotest.(check int) "one reply" 1 (List.length !(h.replies))
 
+let test_coalescing_forms_batch () =
+  let h = make_harness ~batch_window:0.001 () in
+  Endpoint.submit h.endpoint ~seq:1 ~payload:(Client_msg.Cmd "a");
+  Endpoint.submit h.endpoint ~seq:2 ~payload:(Client_msg.Cmd "b");
+  Endpoint.submit h.endpoint ~seq:3 ~payload:(Client_msg.Cmd "c");
+  Alcotest.(check int) "nothing sent inside the window" 0
+    (List.length !(h.sent));
+  Engine.run ~until:0.002 h.engine;
+  (match !(h.sent) with
+   | [ (_, Client_msg.Request_batch { reqs; _ }) ] ->
+     Alcotest.(check (list int)) "submission order preserved" [ 1; 2; 3 ]
+       (List.map fst reqs)
+   | sent ->
+     Alcotest.failf "expected exactly one Request_batch, got %d sends"
+       (List.length sent));
+  Alcotest.(check int) "all three outstanding" 3
+    (Endpoint.outstanding h.endpoint)
+
+let test_batch_max_flushes_immediately () =
+  let h = make_harness ~batch_window:1.0 ~batch_max:2 () in
+  Endpoint.submit h.endpoint ~seq:1 ~payload:(Client_msg.Cmd "a");
+  Alcotest.(check int) "first submit buffered" 0 (List.length !(h.sent));
+  Endpoint.submit h.endpoint ~seq:2 ~payload:(Client_msg.Cmd "b");
+  (* Buffer hit batch_max: flushed without the engine advancing at all. *)
+  match last_send h with
+  | Some (_, Client_msg.Request_batch { reqs; _ }) ->
+    Alcotest.(check (list int)) "full buffer shipped" [ 1; 2 ]
+      (List.map fst reqs)
+  | _ -> Alcotest.fail "expected an immediate Request_batch"
+
+let test_batch_retry_is_single_request () =
+  let h = make_harness ~batch_window:0.001 ~req_timeout:0.2 () in
+  Endpoint.submit h.endpoint ~seq:1 ~payload:(Client_msg.Cmd "a");
+  Endpoint.submit h.endpoint ~seq:2 ~payload:(Client_msg.Cmd "b");
+  Engine.run ~until:0.002 h.engine;
+  Alcotest.(check int) "one batched send" 1 (List.length !(h.sent));
+  (* One of the two gets a reply; the other times out and is retried. *)
+  Endpoint.handle h.endpoint (Client_msg.Reply { seq = 1; rsp = "ok" });
+  Engine.run ~until:0.5 h.engine;
+  let retries =
+    List.filter_map
+      (function
+        | _, Client_msg.Request { seq; _ } -> Some seq
+        | _ -> None)
+      !(h.sent)
+  in
+  Alcotest.(check bool) "timed-out request retried singly" true
+    (List.length retries >= 1 && List.for_all (fun s -> s = 2) retries);
+  Endpoint.handle h.endpoint (Client_msg.Reply { seq = 2; rsp = "ok" });
+  Alcotest.(check int) "both complete" 0 (Endpoint.outstanding h.endpoint)
+
+let test_single_submit_skips_batch_framing () =
+  (* A lone request in the buffer goes out as a plain Request at flush
+     time: no batch framing overhead for a window that caught nothing. *)
+  let h = make_harness ~batch_window:0.001 () in
+  Endpoint.submit h.endpoint ~seq:1 ~payload:(Client_msg.Cmd "a");
+  Engine.run ~until:0.002 h.engine;
+  match last_send h with
+  | Some (_, Client_msg.Request { seq = 1; _ }) -> ()
+  | _ -> Alcotest.fail "expected a plain Request for a singleton flush"
+
 let () =
   Alcotest.run "client"
     [
@@ -172,5 +245,16 @@ let () =
             test_lookup_after_repeated_timeouts;
           Alcotest.test_case "re-submit same seq" `Quick
             test_resubmit_same_seq_is_retry;
+        ] );
+      ( "coalescing",
+        [
+          Alcotest.test_case "window forms one batch" `Quick
+            test_coalescing_forms_batch;
+          Alcotest.test_case "batch_max flushes immediately" `Quick
+            test_batch_max_flushes_immediately;
+          Alcotest.test_case "retry is a single request" `Quick
+            test_batch_retry_is_single_request;
+          Alcotest.test_case "singleton skips batch framing" `Quick
+            test_single_submit_skips_batch_framing;
         ] );
     ]

@@ -253,6 +253,48 @@ let test_first_wedge_wins () =
   Alcotest.(check bool) "run quiesced" true report.Runner.quiesced;
   Alcotest.(check bool) "run converged" true report.Runner.converged
 
+(* --- batched fast path under churn ---
+
+   Batching, pipelining and client coalescing are default-on, and the
+   runner drives 4-deep client windows, so this scenario pushes
+   multi-command slots through reconfiguration churn, a duplicate storm
+   and background loss on every stack.  The exactly-once and epoch-prefix
+   oracles must hold: a batch is never applied twice, split, or carried
+   past a wedge. *)
+
+let batched_churn =
+  {
+    Scenario.seed = 808;
+    members = [ 0; 1; 2 ];
+    universe = [ 0; 1; 2; 3; 4 ];
+    n_clients = 4;
+    duration = 2.0;
+    events =
+      Scenario.sort_events
+        [
+          { Scenario.at = 0.2; fault = Scenario.Duplicate 0.3 };
+          { Scenario.at = 0.3; fault = Scenario.Drop 0.05 };
+          { Scenario.at = 0.4; fault = Scenario.Reconfigure [ 1; 2; 3 ] };
+          { Scenario.at = 0.9; fault = Scenario.Reconfigure [ 2; 3; 4 ] };
+          { Scenario.at = 1.2; fault = Scenario.Duplicate 0.0 };
+          { Scenario.at = 1.4; fault = Scenario.Reconfigure [ 0; 1; 2 ] };
+          { Scenario.at = 1.6; fault = Scenario.Drop 0.0 };
+        ];
+  }
+
+let test_batched_fast_path_under_churn () =
+  List.iter
+    (fun proto ->
+      let report = Runner.run proto batched_churn in
+      let outcome = Oracle.check report in
+      if not (Oracle.ok outcome) then
+        Alcotest.failf "%s oracles failed: %s" (Runner.proto_name proto)
+          (Format.asprintf "%a" Oracle.pp outcome);
+      Alcotest.(check bool)
+        (Runner.proto_name proto ^ " quiesced")
+        true report.Runner.quiesced)
+    Runner.all_protos
+
 let () =
   Alcotest.run "crucible"
     [
@@ -284,5 +326,7 @@ let () =
       ( "regressions",
         [
           Alcotest.test_case "first wedge wins" `Quick test_first_wedge_wins;
+          Alcotest.test_case "batched fast path under churn" `Quick
+            test_batched_fast_path_under_churn;
         ] );
     ]

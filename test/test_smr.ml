@@ -87,6 +87,16 @@ let msg_roundtrip_cases =
     Msg.Learn_rsp
       { entries = [ (3, Log.Value "a"); (4, Log.Noop) ]; commit_index = 5 };
     Msg.Submit { value = "payload" };
+    Msg.Submit_multi { values = [ "first"; "second"; "third" ] };
+    Msg.Accept_multi
+      {
+        ballot = { Ballot.round = 4; node = 1 };
+        from_index = 12;
+        kinds = [ Log.Value "a"; Log.Noop; Log.Value "b" ];
+        commit_index = 11;
+      };
+    Msg.Accepted_multi
+      { ballot = { Ballot.round = 4; node = 1 }; from_index = 12; upto = 14 };
   ]
 
 let test_msg_roundtrip () =
@@ -421,7 +431,7 @@ let test_batching_reduces_messages () =
       Rsmr_sim.Counters.get counters "sent.accept",
       Rsmr_sim.Counters.get counters "sent.accept_multi" )
   in
-  let d0, d1, accepts, multi = run None in
+  let d0, d1, accepts, multi = run (Some Rsmr_smr.Params.unbatched) in
   Alcotest.(check int) "unbatched: all decided" 60 (List.length d0);
   Alcotest.(check (list string)) "unbatched: agreement" d0 d1;
   Alcotest.(check int) "unbatched: no multi messages" 0 multi;
@@ -442,6 +452,44 @@ let test_batching_preserves_order () =
   Cluster.run c ~until:5.0;
   Alcotest.(check (list string)) "submission order preserved through batches"
     cmds (Cluster.decided_values c 0)
+
+(* Batch split/merge FIFO property: commands arrive as vector submissions
+   of random widths, under tight pipelining caps (so flush_batch must
+   split batches at capacity and park the rest) and a randomized window.
+   Whatever the split/merge boundaries, the decided sequence must equal
+   the concatenated submission order. *)
+let prop_batch_split_merge_fifo =
+  QCheck.Test.make ~name:"vector submissions decide in FIFO order" ~count:30
+    QCheck.(
+      triple (int_range 1 5) (int_range 1 8)
+        (list_of_size (Gen.int_range 1 12) (int_range 1 7)))
+    (fun (max_outstanding, batch_max, widths) ->
+      let params =
+        {
+          Rsmr_smr.Params.default with
+          Rsmr_smr.Params.batch_max;
+          max_outstanding;
+          batch_delay = (if batch_max mod 2 = 0 then 0.0005 else 0.0);
+        }
+      in
+      let c = Cluster.create ~seed:(max_outstanding + batch_max) ~params 3 in
+      let leader = run_until_leader c ~deadline:2.0 in
+      let counter = ref 0 in
+      let submitted =
+        List.concat_map
+          (fun width ->
+            let chunk =
+              List.init width (fun _ ->
+                  incr counter;
+                  Printf.sprintf "f%03d" !counter)
+            in
+            Replica.submit_many c.Cluster.replicas.(leader) chunk;
+            chunk)
+          widths
+      in
+      Cluster.run c ~until:15.0;
+      Cluster.decided_values c 0 = submitted
+      && Cluster.decided_values c 1 = submitted)
 
 (* Agreement property under randomized seeds, loss, and a mid-run crash. *)
 let prop_agreement_under_faults =
@@ -516,6 +564,7 @@ let () =
             test_batching_reduces_messages;
           Alcotest.test_case "batching preserves order" `Quick
             test_batching_preserves_order;
+          QCheck_alcotest.to_alcotest prop_batch_split_merge_fifo;
           QCheck_alcotest.to_alcotest prop_agreement_under_faults;
         ] );
     ]

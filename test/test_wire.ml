@@ -51,6 +51,10 @@ let client_msg_gen =
           (fun seq (leader, members) epoch ->
             Client_msg.Redirect { seq; leader; members; epoch })
           num (pair opt_nid nids) num;
+        map2
+          (fun low_water reqs -> Client_msg.Request_batch { low_water; reqs })
+          num
+          (list_size (int_bound 5) (pair num client_payload_gen));
       ])
 
 let raft_payload_gen =
@@ -201,6 +205,9 @@ let paxos_msg_gen =
           (list_size (int_bound 4) (pair num kind_gen))
           num;
         map (fun value -> Paxos_msg.Submit { value }) short_string;
+        map
+          (fun values -> Paxos_msg.Submit_multi { values })
+          (list_size (int_bound 5) short_string);
       ])
 
 let vr_msg_gen =
@@ -228,6 +235,15 @@ let vr_msg_gen =
           (fun view (from, commit) ops ->
             Vr_msg.New_state { view; from; ops; commit })
           num (pair num num) ops;
+        map (fun values -> Vr_msg.Request_multi { values }) ops;
+        map3
+          (fun view (from_op, commit) values ->
+            Vr_msg.Prepare_multi { view; from_op; values; commit })
+          num (pair num num) ops;
+        map3
+          (fun view from_op upto ->
+            Vr_msg.Prepare_ok_multi { view; from_op; upto })
+          num num num;
       ])
 
 let snapshot_gen =
@@ -286,6 +302,17 @@ let wire_samples =
            seq = 2;
            low_water = 1;
            payload = Client_msg.Change_membership [ 0; 1; 2 ];
+         });
+    Wire.Client
+      (Client_msg.Request_batch
+         {
+           low_water = 1;
+           reqs =
+             [
+               (3, Client_msg.Cmd "set a 1");
+               (4, Client_msg.Cmd "set b 2");
+               (5, Client_msg.Change_membership [ 1; 2; 3 ]);
+             ];
          });
     Wire.Client (Client_msg.Reply { seq = 7; rsp = "" });
     Wire.Client
@@ -387,7 +414,15 @@ let test_bad_input () =
       ("wire empty", fun () -> ignore (Wire.decode ""));
       ("raft_wire bad tag", fun () -> ignore (Raft_wire.decode "\xff"));
       ("raft_msg bad tag", fun () -> ignore (Raft_msg.decode "\x09"));
-      ("client_msg bad tag", fun () -> ignore (Client_msg.decode "\x03"));
+      ("client_msg bad tag", fun () -> ignore (Client_msg.decode "\x04"));
+      ( "client_msg truncated batch",
+        fun () ->
+          let s =
+            Client_msg.encode
+              (Client_msg.Request_batch
+                 { low_water = 0; reqs = [ (1, Client_msg.Cmd "payload") ] })
+          in
+          ignore (Client_msg.decode (String.sub s 0 (String.length s - 2))) );
       ( "wire truncated block",
         fun () ->
           let s = Wire.encode (Wire.Block { epoch = 1; data = "abcdef" }) in
