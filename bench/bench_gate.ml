@@ -16,7 +16,13 @@
 
 let tolerance = 0.15
 
-let fields = [ "messages_per_command"; "bytes_per_command" ]
+let fields =
+  [
+    "messages_per_command";
+    "bytes_per_command";
+    "shard2_messages_per_command";
+    "shard2_bytes_per_command";
+  ]
 
 let read_file path =
   let ic = try open_in path with Sys_error e -> failwith e in

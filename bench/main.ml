@@ -221,6 +221,46 @@ let wire_cost () =
     ],
     obs )
 
+(* Same probe at platform scale: two composed shards plus the replicated
+   directory over one pool, all overlays accounting into a shared
+   registry — so the per-command figures price the whole platform,
+   including the directory's (amortised) publish traffic.  Gated in CI as
+   shard2_messages_per_command / shard2_bytes_per_command. *)
+let shard_wire_cost () =
+  let module Platform = Rsmr_shard.Platform in
+  let module Keyspace = Rsmr_shard.Keyspace in
+  let module Registry = Rsmr_obs.Registry in
+  let engine = Rsmr_sim.Engine.create ~seed:3 () in
+  let n_keys = 500 in
+  let pf =
+    Platform.Core.create ~engine ~pool:[ 0; 1; 2; 3; 4; 5 ]
+      ~shards:[ [ 0; 1; 2 ]; [ 3; 4; 5 ] ]
+      ~keyspace:(Keyspace.ranges ~shards:2 ~n_keys)
+      ()
+  in
+  let cluster = Platform.Core.cluster pf in
+  let client = Platform.Core.first_client_id pf in
+  let warmup = Rsmr_workload.Kv_gen.preload_commands ~n_keys:50 ~value_size:32 in
+  Rsmr_workload.Driver.preload ~cluster ~client ~commands:warmup ~deadline:60.0
+    ();
+  let net = Registry.counters (Platform.Core.obs pf) "net" in
+  let sent0 = Counters.get net "sent" in
+  let bytes0 = Counters.get net "bytes_sent" in
+  let commands =
+    Rsmr_workload.Kv_gen.preload_commands ~n_keys ~value_size:32
+  in
+  let n = List.length commands in
+  Rsmr_workload.Driver.preload ~cluster ~client:(client + 1) ~commands
+    ~deadline:120.0 ();
+  let sent = Counters.get net "sent" - sent0 in
+  let bytes = Counters.get net "bytes_sent" - bytes0 in
+  let fn = float_of_int n in
+  [
+    ("shard2_commands", float_of_int n);
+    ("shard2_messages_per_command", float_of_int sent /. fn);
+    ("shard2_bytes_per_command", float_of_int bytes /. fn);
+  ]
+
 (* --- machine-readable output (--json) --- *)
 
 let json_escape b s =
@@ -299,6 +339,7 @@ let () =
        from a quick pass instead of emitting an empty object. *)
     if !experiments = [] then experiments := run_experiments ~quick:true ids;
     let wire, obs = wire_cost () in
+    let wire = wire @ shard_wire_cost () in
     write_json ~label ~bechamel:!bechamel ~experiments:!experiments ~wire;
     Rsmr_obs.Registry.set_meta obs "label" label;
     let mpath = "METRICS_" ^ label ^ ".json" in

@@ -1,53 +1,74 @@
-(* Elastic scaling: grow the replica set when load arrives, shrink it when
-   load subsides — the FRAPPE use case that motivated building
-   reconfiguration from static building blocks.
+(* Elastic scaling, platform edition: two composed shards over one shared
+   node pool, each behind its own epoch chain, with the shard directory
+   itself hosted on a composed RSMR instance (the paper's recursion).
+   When the burst arrives we rebalance a node from the cold shard to the
+   hot one — a rolling wedge→transfer→handoff on both shards — and move
+   it back once load subsides.
 
      dune exec examples/elastic_scaling.exe
 
-   (Scaling a majority-quorum system out does not increase write
-   throughput — it increases fault tolerance and read capacity; the point
-   here is that the service absorbs repeated reconfigurations while
-   serving.) *)
+   (Scaling a majority-quorum shard out does not increase its write
+   throughput — it increases fault tolerance; the point here is that the
+   platform absorbs cross-shard rebalances while serving, and that
+   endpoints that lose a shard's trail re-find it through the replicated
+   directory, not a private oracle.) *)
 
 module Engine = Rsmr_sim.Engine
 module Histogram = Rsmr_sim.Histogram
-module Service = Rsmr_core.Service.Make (Rsmr_app.Kv)
+module Platform = Rsmr_shard.Platform.Core
+module Keyspace = Rsmr_shard.Keyspace
 module Driver = Rsmr_workload.Driver
-module Keys = Rsmr_workload.Keys
-module Kv_gen = Rsmr_workload.Kv_gen
-module Schedule = Rsmr_workload.Schedule
+module Tenant = Rsmr_workload.Tenant
 
 let () =
   let engine = Engine.create ~seed:99 () in
-  let universe = List.init 7 Fun.id in
-  let service = Service.create ~engine ~members:[ 0; 1; 2 ] ~universe () in
-  let cluster = Service.cluster service in
+  let pool = List.init 7 Fun.id in
+  let n_keys = 2_000 in
+  let pf =
+    Platform.create ~engine ~pool
+      ~shards:[ [ 0; 1; 2 ]; [ 3; 4; 5 ] ]
+      ~keyspace:(Keyspace.ranges ~shards:2 ~n_keys)
+      ()
+  in
+  let cluster = Platform.cluster pf in
 
-  Driver.preload ~cluster ~client:99
-    ~commands:(Kv_gen.preload_commands ~n_keys:2_000 ~value_size:64)
+  Driver.preload ~cluster
+    ~client:(Platform.first_client_id pf)
+    ~commands:(Rsmr_workload.Kv_gen.preload_commands ~n_keys ~value_size:64)
     ~deadline:60.0 ();
   let t0 = Engine.now engine in
 
   let rng = Rsmr_sim.Rng.split (Engine.rng engine) in
-  let gen = Kv_gen.create ~rng ~keys:(Keys.zipf ~n:2_000 ~theta:0.9) ~read_ratio:0.9 () in
-  (* Ops reaction is scheduled up front: scale out for the burst, scale
-     back after. *)
-  Schedule.reconfigure_at cluster ~time:(t0 +. 4.0) [ 0; 1; 2; 3; 4 ];
-  Schedule.reconfigure_at cluster ~time:(t0 +. 9.0) [ 2; 3; 4 ];
+  let gen =
+    Tenant.create ~rng ~tenants:20 ~keys_per_tenant:(n_keys / 20)
+      ~read_ratio:0.9 ()
+  in
+  (* Ops reaction, scheduled up front: when the burst lands, lend shard 1
+     a replica from shard 0; give it back after. *)
+  ignore
+    (Engine.at engine ~time:(t0 +. 4.0) (fun () ->
+         Platform.rebalance pf ~node:2 ~from_:0 ~to_:1 ()));
+  ignore
+    (Engine.at engine ~time:(t0 +. 9.0) (fun () ->
+         Platform.rebalance pf ~node:2 ~from_:1 ~to_:0 ()));
   (* A driver owns the cluster's reply slot, so phases run back-to-back:
-     each is created when the previous one has drained. *)
-  let phase ~rate ~start ~duration =
+     each is created when the previous one has drained.  Each phase gets
+     its own client-id block — drivers restart seq numbering, so reusing
+     ids would make later phases' (client, seq) pairs look like
+     duplicates to the shards' session tables. *)
+  let phase ~idx ~rate ~start ~duration =
     let stats =
-      Driver.run_open ~cluster ~n_clients:8 ~first_client_id:100
-        ~gen:(fun ~client:_ ~seq:_ -> Kv_gen.next gen)
+      Driver.run_open ~cluster ~n_clients:8
+        ~first_client_id:(Platform.first_client_id pf + 1 + (idx * 8))
+        ~gen:(fun ~client:_ ~seq:_ -> Tenant.next gen)
         ~rate ~start:(t0 +. start) ~duration ()
     in
     Engine.run ~until:(t0 +. start +. duration +. 0.4) engine;
     stats
   in
-  let calm1 = phase ~rate:300.0 ~start:0.5 ~duration:3.5 in
-  let burst = phase ~rate:1500.0 ~start:4.5 ~duration:4.0 in
-  let calm2 = phase ~rate:300.0 ~start:9.0 ~duration:4.0 in
+  let calm1 = phase ~idx:0 ~rate:300.0 ~start:0.5 ~duration:3.5 in
+  let burst = phase ~idx:1 ~rate:1500.0 ~start:4.5 ~duration:4.0 in
+  let calm2 = phase ~idx:2 ~rate:300.0 ~start:9.0 ~duration:4.0 in
   Engine.run ~until:(t0 +. 20.0) engine;
 
   let report name (stats : Driver.stats) =
@@ -55,11 +76,18 @@ let () =
       (Format.asprintf "%a" Histogram.pp_summary stats.Driver.latency)
   in
   Printf.printf "\nphase                    completions / latency\n";
-  report "calm (3 replicas)" calm1;
-  report "burst (scaled to 5)" burst;
-  report "calm (shrunk to 3)" calm2;
-  Printf.printf "\nfinal members {%s}, epoch %d, reconfigs absorbed: %d\n"
-    (String.concat "," (List.map string_of_int (Service.current_members service)))
-    (Service.current_epoch service)
-    (Service.current_epoch service);
-  assert (Service.current_members service = [ 2; 3; 4 ])
+  report "calm (3+3 replicas)" calm1;
+  report "burst (shard1 at 4)" burst;
+  report "calm (rebalanced back)" calm2;
+  let members s =
+    String.concat "," (List.map string_of_int (Platform.shard_members pf s))
+  in
+  Printf.printf
+    "\nshard0 {%s}  shard1 {%s}  rebalances done: %d  dir regressions: %d\n"
+    (members 0) (members 1)
+    (Rsmr_sim.Counters.get (Platform.counters pf) "rebalances_done")
+    (Platform.dir_epoch_regressions pf);
+  assert (List.sort compare (Platform.shard_members pf 0) = [ 0; 1; 2 ]);
+  assert (List.sort compare (Platform.shard_members pf 1) = [ 3; 4; 5 ]);
+  assert (Rsmr_sim.Counters.get (Platform.counters pf) "rebalances_done" = 2);
+  assert (Platform.dir_epoch_regressions pf = 0)

@@ -38,6 +38,15 @@ module type S = sig
     t
 
   val cluster : t -> Rsmr_iface.Cluster.t
+
+  val set_on_dir_update :
+    t ->
+    (epoch:int ->
+     members:Rsmr_net.Node_id.t list ->
+     leader:Rsmr_net.Node_id.t option ->
+     unit) ->
+    unit
+
   val canonical_state : t -> string
   val engine : t -> Rsmr_sim.Engine.t
   val net : t -> Wire.t Rsmr_net.Network.t
@@ -120,6 +129,8 @@ struct
     mutable admin_seq : int;
     clients : (Node_id.t, client_rec) Hashtbl.t;
     mutable on_reply : Rsmr_iface.Cluster.reply_handler;
+    mutable on_dir_update :
+      epoch:int -> members:Node_id.t list -> leader:Node_id.t option -> unit;
     counters : Counters.t;
     obs : Obs.t;
     bus : Trace.t;  (* = Obs.bus obs, cached *)
@@ -127,6 +138,7 @@ struct
 
   let engine t = t.engine
   let net t = t.net
+  let set_on_dir_update t f = t.on_dir_update <- f
   let directory_id t = t.dir_id
   let counters t = t.counters
   let obs t = t.obs
@@ -242,7 +254,9 @@ struct
              epoch = inst.epoch;
              members = inst.cfg.Config.members;
              leader = Some host.me;
-           })
+           });
+      t.on_dir_update ~epoch:inst.epoch ~members:inst.cfg.Config.members
+        ~leader:(Some host.me)
     end
 
   (* Poll for the announce condition until it fires: leadership is decided
@@ -500,6 +514,7 @@ struct
       ignore (Engine.schedule t.engine ~delay:0.25 (fun () -> rebootstrap 40));
       send t ~src:host.me ~dst:t.dir_id
         (Wire.Dir_update { epoch = new_epoch; members = members'; leader = None });
+      t.on_dir_update ~epoch:new_epoch ~members:members' ~leader:None;
       (* A host in both configurations transfers state locally: its own
          wedge-point state is exactly the new instance's initial state. *)
       if List.exists (Node_id.equal host.me) members' then begin
@@ -1020,6 +1035,7 @@ struct
         admin_seq = 0;
         clients = Hashtbl.create 16;
         on_reply = (fun ~client:_ ~seq:_ ~rsp:_ -> ());
+        on_dir_update = (fun ~epoch:_ ~members:_ ~leader:_ -> ());
         (* the service's flat counter table IS the registry's "svc"
            section: same live cells, picked up at export time *)
         counters = Obs.counters obs "svc";

@@ -81,6 +81,22 @@ module type S = sig
   val cluster : t -> Rsmr_iface.Cluster.t
   (** The protocol-agnostic face used by workloads and benchmarks. *)
 
+  val set_on_dir_update :
+    t ->
+    (epoch:int ->
+     members:Rsmr_net.Node_id.t list ->
+     leader:Rsmr_net.Node_id.t option ->
+     unit) ->
+    unit
+  (** Observer invoked whenever this service would inform its directory
+      node of a configuration change: at wedge time (new epoch, no leader
+      yet) and when the new epoch's leader announces itself (leader
+      hint).  The sharded platform hooks this to republish each shard's
+      freshest configuration into the {e replicated} directory service;
+      the default is a no-op.  Called synchronously on the node that
+      produced the update — treat it as a local tap, not a delivery
+      guarantee. *)
+
   val canonical_state : t -> string
   (** Canonical encoding of the complete composed-system state — every
       host's instance stack (including block fingerprints, sessions and

@@ -1,0 +1,7 @@
+(** Aggregate throughput vs shard count over a shared pool. *)
+
+val id : string
+val title : string
+
+val run : ?quick:bool -> unit -> Table.t
+(** [quick] shrinks durations/sweeps for smoke runs (default [false]). *)

@@ -11,6 +11,8 @@ let all =
     { id = Exp_f3.id; title = Exp_f3.title; run = Exp_f3.run };
     { id = Exp_f4.id; title = Exp_f4.title; run = Exp_f4.run };
     { id = Exp_f5.id; title = Exp_f5.title; run = Exp_f5.run };
+    { id = Exp_f6.id; title = Exp_f6.title; run = Exp_f6.run };
+    { id = Exp_f7.id; title = Exp_f7.title; run = Exp_f7.run };
     { id = Exp_t1.id; title = Exp_t1.title; run = Exp_t1.run };
     { id = Exp_t2.id; title = Exp_t2.title; run = Exp_t2.run };
     { id = Exp_t3.id; title = Exp_t3.title; run = Exp_t3.run };

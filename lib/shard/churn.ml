@@ -1,0 +1,349 @@
+(* dir_churn: seeded fault scenarios against the *platform* — crash and
+   partition the replicated directory's own replicas while cross-shard
+   rebalances are in flight, under client load on every shard.
+
+   The oracles are platform-level: directory-epoch monotonicity as
+   observed by clients (the replicated directory is linearizable, so a
+   lookup must never report an older configuration than a previous
+   lookup), exactly-once replies, bounded redirect traffic (the PR-4
+   retry-storm shape), eventual completion after the endgame repair, and
+   per-shard replica convergence. *)
+
+module Engine = Rsmr_sim.Engine
+module Rng = Rsmr_sim.Rng
+module Node_id = Rsmr_net.Node_id
+module Keys = Rsmr_workload.Keys
+module Kv = Rsmr_app.Kv
+
+type proto = Core | Vr
+
+let proto_name = function Core -> "core" | Vr -> "vr"
+
+let proto_of_name = function
+  | "core" -> Some Core
+  | "vr" -> Some Vr
+  | _ -> None
+
+type report = {
+  r_proto : proto;
+  r_seed : int;
+  r_commands : int;
+  r_replies : int;
+  r_rebalances : int;
+  r_redirects : int;
+  r_regressions : int;
+  r_failures : (string * string) list;
+}
+
+let failures r = r.r_failures
+
+let pp_report ppf r =
+  Format.fprintf ppf "dir_churn %s seed=%d cmds=%d replies=%d reb=%d rdr=%d %s"
+    (proto_name r.r_proto) r.r_seed r.r_commands r.r_replies r.r_rebalances
+    r.r_redirects
+    (if r.r_failures = [] then "PASS"
+     else
+       String.concat "; "
+         (List.map (fun (n, d) -> n ^ ": " ^ d) r.r_failures))
+
+let replay_command proto seed =
+  Printf.sprintf
+    "dune exec test/crucible_main.exe -- --family dir_churn --proto %s --seed \
+     %d"
+    (proto_name proto) seed
+
+(* The harness is the same for both blocks; only the platform functor
+   instantiation differs. *)
+module Run (P : Platform.S) = struct
+  type ctl = {
+    n_keys : int;
+    mutable submitted : int;
+    mutable replied : int;
+    mutable duplicates : int;
+    mutable stopped : bool;
+    pending : (Node_id.t * int, unit) Hashtbl.t;
+    seen : (Node_id.t * int, unit) Hashtbl.t;
+    seqs : (Node_id.t, int ref) Hashtbl.t;
+  }
+
+  let gen_command ctl rng =
+    let keys = Keys.zipf ~n:ctl.n_keys ~theta:0.8 in
+    let key () = Keys.key_name (Keys.sample keys rng) in
+    fun () ->
+      if Rng.float rng 1.0 < 0.5 then Kv.encode_command (Kv.Get (key ()))
+      else
+        Kv.encode_command
+          (Kv.Put (key (), Printf.sprintf "v%d" (Rng.int rng 1_000_000)))
+
+  let issue ctl cluster next_cmd client =
+    let seqr = Hashtbl.find ctl.seqs client in
+    incr seqr;
+    let seq = !seqr in
+    ctl.submitted <- ctl.submitted + 1;
+    Hashtbl.replace ctl.pending (client, seq) ();
+    cluster.Rsmr_iface.Cluster.submit ~client ~seq ~cmd:(next_cmd ())
+
+  let go ?(quick = false) ?(storm = false) ~seed () =
+    let engine = Engine.create ~seed () in
+    let rng = Rng.split (Engine.rng engine) in
+    let t_end = if quick then 3.0 else 6.0 in
+    let pool = [ 0; 1; 2; 3; 4; 5 ] in
+    let shards = [ [ 0; 1; 2 ]; [ 3; 4; 5 ] ] in
+    let dir_members = [ 0; 2; 4 ] in
+    let n_keys = 1000 in
+    let pf =
+      P.create ~engine ~latency:Rsmr_net.Latency.lan ~pool ~shards
+        ~dir_members
+        ~keyspace:(Keyspace.ranges ~shards:2 ~n_keys)
+        ()
+    in
+    let cluster = P.cluster pf in
+    let ctl =
+      {
+        n_keys;
+        submitted = 0;
+        replied = 0;
+        duplicates = 0;
+        stopped = false;
+        pending = Hashtbl.create 256;
+        seen = Hashtbl.create 256;
+        seqs = Hashtbl.create 8;
+      }
+    in
+    let next_cmd = gen_command ctl rng in
+    let n_clients = 4 and window = 2 in
+    let first = P.first_client_id pf in
+    let clients = List.init n_clients (fun i -> first + i) in
+    List.iter
+      (fun c ->
+        cluster.Rsmr_iface.Cluster.add_client c;
+        Hashtbl.replace ctl.seqs c (ref 0))
+      clients;
+    cluster.Rsmr_iface.Cluster.set_on_reply (fun ~client ~seq ~rsp:_ ->
+        if Hashtbl.mem ctl.seen (client, seq) then
+          ctl.duplicates <- ctl.duplicates + 1
+        else begin
+          Hashtbl.replace ctl.seen (client, seq) ();
+          Hashtbl.remove ctl.pending (client, seq);
+          ctl.replied <- ctl.replied + 1;
+          if not ctl.stopped then issue ctl cluster next_cmd client
+        end);
+    (* Load starts at 0.2 s, [window] outstanding per client. *)
+    ignore
+      (Engine.at engine ~time:0.2 (fun () ->
+           List.iter
+             (fun c ->
+               for _ = 1 to window do
+                 issue ctl cluster next_cmd c
+               done)
+             clients));
+    ignore (Engine.at engine ~time:t_end (fun () -> ctl.stopped <- true));
+    let reb_done = ref 0 and reb_tried = ref 0 in
+    let rebalance_at t0 from_ =
+      let to_ = 1 - from_ in
+      ignore
+        (Engine.at engine ~time:t0 (fun () ->
+             let donors = P.shard_members pf from_ in
+             let takers = P.shard_members pf to_ in
+             let eligible =
+               List.filter
+                 (fun n -> not (List.exists (Node_id.equal n) takers))
+                 donors
+             in
+             match eligible with
+             | [] -> ()
+             | _ ->
+               let node =
+                 List.nth eligible (Rng.int rng (List.length eligible))
+               in
+               incr reb_tried;
+               P.rebalance pf ~node ~from_ ~to_
+                 ~on_done:(fun ok -> if ok then incr reb_done)
+                 ()))
+    in
+    if storm then begin
+      (* The PR-4 redirect-storm shape, against the replicated directory:
+         black the directory out, then rebalance both shards under it so
+         every client's cached configuration goes stale mid-flight.  The
+         endpoints must ride redirect hints with bounded traffic and
+         drain once the directory heals. *)
+      let t0 = if quick then 0.8 else 1.0 in
+      let dur = if quick then 1.2 else 2.0 in
+      ignore
+        (Engine.at engine ~time:t0 (fun () -> P.isolate_dir pf dir_members));
+      ignore (Engine.at engine ~time:(t0 +. dur) (fun () -> P.heal_dir pf));
+      rebalance_at (t0 +. 0.2) 0;
+      rebalance_at (t0 +. 0.4) 1
+    end
+    else begin
+      (* Crash windows: one machine down at a time, each healed before the
+         next begins, so every shard and the directory keep a live quorum
+         throughout (tolerance testing, not availability testing). *)
+      let t = ref 0.6 in
+      while !t < t_end -. 1.2 do
+        let node = List.nth pool (Rng.int rng (List.length pool)) in
+        let dur = 0.3 +. Rng.float rng 0.7 in
+        let t0 = !t in
+        ignore (Engine.at engine ~time:t0 (fun () -> P.crash pf node));
+        ignore
+          (Engine.at engine ~time:(t0 +. dur) (fun () -> P.recover pf node));
+        t := t0 +. dur +. 0.2 +. Rng.float rng 0.8
+      done;
+      (* Directory-overlay partitions, overlapping freely with the crash
+         schedule: either one directory replica is cut off, or the whole
+         directory is blacked out from its clients (replicas stay mutually
+         connected — consistent but unreachable, maximal staleness). *)
+      let n_parts = 1 + Rng.int rng 2 in
+      for _ = 1 to n_parts do
+        let t0 = 0.8 +. Rng.float rng (Float.max 0.5 (t_end -. 2.0)) in
+        let dur = 0.5 +. Rng.float rng 1.0 in
+        let blackout = Rng.float rng 1.0 < 0.5 in
+        ignore
+          (Engine.at engine ~time:t0 (fun () ->
+               if blackout then P.isolate_dir pf dir_members
+               else
+                 P.isolate_dir pf
+                   [
+                     List.nth dir_members
+                       (Rng.int rng (List.length dir_members));
+                   ]));
+        ignore (Engine.at engine ~time:(t0 +. dur) (fun () -> P.heal_dir pf))
+      done;
+      (* Rolling rebalances while the above is in flight. *)
+      let n_reb = 1 + Rng.int rng 2 in
+      for i = 0 to n_reb - 1 do
+        let t0 = 0.9 +. Rng.float rng (Float.max 0.5 (t_end -. 2.4)) in
+        rebalance_at t0 ((i + Rng.int rng 2) mod 2)
+      done
+    end;
+    (* Endgame repair, then run to completion. *)
+    ignore
+      (Engine.at engine ~time:(t_end +. 0.1) (fun () ->
+           List.iter (fun n -> P.recover pf n) pool;
+           P.heal_dir pf));
+    Engine.run engine ~until:(t_end +. 0.2);
+    let settled =
+      Engine.run_until engine
+        ~pred:(fun () -> Hashtbl.length ctl.pending = 0)
+        ~deadline:(t_end +. 40.0)
+    in
+    (* Convergence settle: like the crucible runner, keep the engine
+       running (heartbeats propagate commit indexes to quiet followers)
+       until every shard's members expose byte-identical state and stay
+       that way for half a virtual second. *)
+    let shard_converged s =
+      let members = P.shard_members pf s in
+      let snaps =
+        List.map
+          (fun m ->
+            Option.map Kv.snapshot (P.Shard_svc.app_state (P.shard pf s) m))
+          members
+      in
+      match snaps with
+      | [] -> false
+      | first :: rest -> (
+        match first with
+        | None -> false
+        | Some x ->
+          List.for_all
+            (function Some y -> String.equal x y | None -> false)
+            rest)
+    in
+    let converged_now () =
+      let ok = ref true in
+      for s = 0 to P.n_shards pf - 1 do
+        if not (shard_converged s) then ok := false
+      done;
+      !ok
+    in
+    let rec settle deadline =
+      if Engine.now engine >= deadline then false
+      else
+        match Engine.run_until engine ~pred:converged_now ~deadline with
+        | None -> false
+        | Some t ->
+          Engine.run engine ~until:(t +. 0.5);
+          if converged_now () then true else settle deadline
+    in
+    let converged = settle (Engine.now engine +. 10.0) in
+    let failures = ref [] in
+    let fail name detail = failures := (name, detail) :: !failures in
+    if P.dir_epoch_regressions pf > 0 then
+      fail "dir_epoch_monotone"
+        (Printf.sprintf "%d lookup replies went backwards"
+           (P.dir_epoch_regressions pf));
+    if ctl.duplicates > 0 then
+      fail "exactly_once"
+        (Printf.sprintf "%d duplicate replies" ctl.duplicates);
+    if settled = None then
+      fail "liveness"
+        (Printf.sprintf "%d commands unanswered 40 s after repair"
+           (Hashtbl.length ctl.pending));
+    let redirects = P.endpoint_counter_total pf "redirects" in
+    let bound = (50 * ctl.submitted) + 500 in
+    if redirects > bound then
+      fail "redirect_bound"
+        (Printf.sprintf "%d redirects for %d commands (bound %d)" redirects
+           ctl.submitted bound);
+    if not converged then
+      for s = 0 to P.n_shards pf - 1 do
+        if not (shard_converged s) then
+          (* One compact line per member: host epoch, current-instance
+             applied-hi and digest, application snapshot size — enough to
+             tell a settle-time straggler (unequal hi) from a committed-
+             prefix disagreement (equal hi, unequal digest). *)
+          fail "convergence"
+            (Printf.sprintf
+               "shard %d: members %s do not expose identical state" s
+               (String.concat ","
+                  (List.map
+                     (fun m ->
+                       let cur =
+                         match
+                           List.rev (P.Shard_svc.epoch_stats (P.shard pf s) m)
+                         with
+                         | (es : Rsmr_core.Service.epoch_stat) :: _ ->
+                           Printf.sprintf "hi=%d,d=%Lx" es.es_applied_hi
+                             es.es_digest
+                         | [] -> "no-instance"
+                       in
+                       Printf.sprintf "%d(e=%s,%s,app=%s)" m
+                         (match P.Shard_svc.host_epoch (P.shard pf s) m with
+                          | Some e -> string_of_int e
+                          | None -> "-")
+                         cur
+                         (match P.Shard_svc.app_state (P.shard pf s) m with
+                          | Some app ->
+                            string_of_int (String.length (Kv.snapshot app))
+                          | None -> "-"))
+                     (P.shard_members pf s))))
+      done;
+    if !reb_tried > 0 && !reb_done = 0 then
+      fail "rebalance_progress"
+        (Printf.sprintf "0 of %d attempted rebalances completed" !reb_tried);
+    {
+      r_proto = Core (* caller overwrites: the functor is proto-blind *);
+      r_seed = seed;
+      r_commands = ctl.submitted;
+      r_replies = ctl.replied;
+      r_rebalances = !reb_done;
+      r_redirects = redirects;
+      r_regressions = P.dir_epoch_regressions pf;
+      r_failures = List.rev !failures;
+    }
+end
+
+module Run_core = Run (Platform.Core)
+module Run_vr = Run (Platform.Vr)
+
+let run ?quick ?storm proto ~seed =
+  let r =
+    match proto with
+    | Core -> Run_core.go ?quick ?storm ~seed ()
+    | Vr -> Run_vr.go ?quick ?storm ~seed ()
+  in
+  { r with r_proto = proto }
+
+let storm_seed = 424
+
+let redirect_storm ?quick proto = run ?quick ~storm:true proto ~seed:storm_seed

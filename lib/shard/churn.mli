@@ -1,0 +1,58 @@
+(** [dir_churn]: seeded fault scenarios against the sharded platform.
+
+    Each seed derives a schedule of machine crashes, directory-overlay
+    partitions (single-replica cuts and full blackouts) and rolling
+    cross-shard rebalances, all under closed-loop client load on every
+    shard; after an endgame repair the run must drain and pass the
+    platform oracles:
+
+    - [dir_epoch_monotone] — no lookup reply carries an older directory
+      epoch than a previous reply for the same shard (zero
+      {!Platform.S.dir_epoch_regressions});
+    - [exactly_once] — no duplicate client replies;
+    - [liveness] — every submitted command answered within 40 s of the
+      repair;
+    - [redirect_bound] — redirect traffic stays within a linear bound of
+      the command count (the PR-4 retry-storm regression check);
+    - [convergence] — each shard's caught-up members hold identical
+      application state, and a majority is caught up;
+    - [rebalance_progress] — at least one attempted rebalance completed.
+
+    Runs over both composition blocks ({!Platform.Core},
+    {!Platform.Vr}).  The Raft {e baseline} cannot appear here: it is
+    not a {!Rsmr_smr.Block_intf.S}, and the replicated directory is
+    built by composing blocks — VR is the second protocol, exactly as in
+    experiment T4. *)
+
+type proto = Core | Vr
+
+val proto_name : proto -> string
+val proto_of_name : string -> proto option
+
+type report = {
+  r_proto : proto;
+  r_seed : int;
+  r_commands : int;
+  r_replies : int;
+  r_rebalances : int;  (** completed (of attempted) rolling moves *)
+  r_redirects : int;
+  r_regressions : int;
+  r_failures : (string * string) list;  (** (oracle, detail), empty = pass *)
+}
+
+val failures : report -> (string * string) list
+val pp_report : Format.formatter -> report -> unit
+
+val replay_command : proto -> int -> string
+(** Shell line that reruns one seed. *)
+
+val run : ?quick:bool -> ?storm:bool -> proto -> seed:int -> report
+(** One scenario.  [storm] replaces the seeded fault schedule with the
+    deterministic redirect-storm shape (directory blackout + concurrent
+    rebalances of both shards). *)
+
+val storm_seed : int
+
+val redirect_storm : ?quick:bool -> proto -> report
+(** The PR-4 redirect-storm regression scenario against the replicated
+    directory. *)

@@ -222,7 +222,14 @@ type t = {
 }
 
 let n_members t = Array.length t.members
-let f_of t = (n_members t - 1) / 2
+
+(* True majority, not the textbook f+1 with f = (n-1)/2: those coincide
+   for odd n (the paper's n = 2f+1), but for even n the textbook form
+   yields n/2 — two such quorums need not intersect.  Even memberships
+   arise here whenever the composition layer reconfigures a block onto a
+   2- or 4-node slice of the pool, so VR must use the same majority rule
+   as the Paxos block (Config.quorum). *)
+let quorum t = (n_members t / 2) + 1
 let primary_of t view = t.members.(view mod n_members t)
 let primary t = primary_of t t.view
 let is_primary t = Node_id.equal (primary t) t.me
@@ -320,7 +327,7 @@ and start_view_change t new_view =
 and check_svc_quorum t =
   match t.status with
   | View_change vc ->
-    if Node_id.Set.cardinal vc.svc_from >= f_of t + 1 then begin
+    if Node_id.Set.cardinal vc.svc_from >= quorum t then begin
       let msg =
         Msg.Do_view_change
           {
@@ -346,7 +353,7 @@ and on_do_view_change t ~src ~view ~log ~last_normal ~commit =
         vc.dvc <-
           (src, { d_log = log; d_last_normal = last_normal; d_commit = commit })
           :: vc.dvc;
-      if List.length vc.dvc >= f_of t + 1 then begin
+      if List.length vc.dvc >= quorum t then begin
         (* Adopt the log of the DVC with the highest (last_normal, length). *)
         let best =
           List.fold_left
@@ -386,7 +393,7 @@ and on_do_view_change t ~src ~view ~log ~last_normal ~commit =
     | Normal -> ()
 
 and maybe_commit_solo t =
-  if f_of t = 0 && is_leader t then begin
+  if quorum t = 1 && is_leader t then begin
     t.commit <- t.len;
     Hashtbl.reset t.acks;
     execute t;
@@ -397,7 +404,7 @@ and advance_commit t =
   let continue = ref true in
   while !continue && t.commit < t.len do
     match Hashtbl.find_opt t.acks t.commit with
-    | Some acked when Node_id.Set.cardinal !acked >= f_of t + 1 ->
+    | Some acked when Node_id.Set.cardinal !acked >= quorum t ->
       Hashtbl.remove t.acks t.commit;
       t.commit <- t.commit + 1
     | Some _ | None -> continue := false
@@ -543,8 +550,11 @@ let behind t view = view > t.view
 
 let catch_up t view =
   (* A view completed without us; fetch the authoritative state from its
-     primary rather than guessing. *)
-  t.send ~dst:(primary_of t view) (Msg.Get_state { view; from = t.len })
+     primary rather than guessing.  Request from our commit point, not
+     our log end: only the committed prefix is stable across view
+     changes — our uncommitted suffix may have been replaced by the view
+     we missed, so it must be re-fetched, never trusted. *)
+  t.send ~dst:(primary_of t view) (Msg.Get_state { view; from = t.commit })
 
 let on_prepare t ~src ~view ~op ~value ~commit =
   if behind t view then catch_up t view
@@ -559,7 +569,7 @@ let on_prepare t ~src ~view ~op ~value ~commit =
       t.send ~dst:src (Msg.Prepare_ok { view; op })
     else
       (* Gap: lost earlier prepares. *)
-      t.send ~dst:src (Msg.Get_state { view; from = t.len });
+      t.send ~dst:src (Msg.Get_state { view; from = t.commit });
     if commit > t.commit then begin
       t.commit <- min commit t.len;
       execute t
@@ -576,7 +586,7 @@ let on_prepare_multi t ~src ~view ~from_op ~values ~commit =
     let n = List.length values in
     if from_op > t.len then
       (* Gap: lost earlier prepares. *)
-      t.send ~dst:src (Msg.Get_state { view; from = t.len })
+      t.send ~dst:src (Msg.Get_state { view; from = t.commit })
     else begin
       List.iteri
         (fun offset value -> if from_op + offset = t.len then append t value)
@@ -615,14 +625,18 @@ let on_commit t ~view ~commit =
   else if view = t.view && t.status = Normal && not (is_primary t) then begin
     reset_view_timer t;
     if commit > t.commit then begin
-      if commit > t.len then t.send ~dst:(primary t) (Msg.Get_state { view; from = t.len });
+      if commit > t.len then
+        t.send ~dst:(primary t) (Msg.Get_state { view; from = t.commit });
       t.commit <- min commit t.len;
       execute t
     end
   end
 
 let on_start_view t ~view ~log ~commit =
-  if view >= t.view then begin
+  (* Never reprocess a Start_view for a view we are already Normal in: a
+     delayed duplicate would wholesale-replace a log that has since grown
+     (and been partially executed) in that very view. *)
+  if view > t.view || (view = t.view && t.status <> Normal) then begin
     park_batch t;
     t.view <- view;
     t.status <- Normal;
@@ -654,14 +668,25 @@ let on_get_state t ~src ~view ~from =
   end
 
 let on_new_state t ~view ~from ~ops ~commit =
-  if view >= t.view then begin
+  if
+    view > t.view
+    || (view = t.view && not (t.status = Normal && is_primary t))
+  then begin
     if view > t.view then begin
       park_batch t;
       t.view <- view;
       t.status <- Normal;
       t.last_normal <- view
     end;
-    if from = t.len then List.iter (fun v -> append t v) ops;
+    (* Splice, don't append: everything from [from] is replaced by the
+       sender's authoritative suffix (our own copy of those slots may be
+       a stale uncommitted run from a view we missed).  [from < commit]
+       would be a stale response to an old request — ignore it, the
+       committed prefix is already correct and must not be truncated. *)
+    if from >= t.commit && from <= t.len then begin
+      t.len <- from;
+      List.iter (fun v -> append t v) ops
+    end;
     if commit > t.commit then t.commit <- min commit t.len;
     execute t;
     reset_view_timer t

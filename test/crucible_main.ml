@@ -16,18 +16,27 @@ module Generate = Rsmr_crucible.Generate
 module Runner = Rsmr_crucible.Runner
 module Oracle = Rsmr_crucible.Oracle
 module Soak = Rsmr_crucible.Soak
+module Churn = Rsmr_shard.Churn
 
 let usage () =
   prerr_endline
     "usage: crucible_main [--seed N | --seeds A..B] [--proto \
      core|stopworld|raft|all]\n\
-    \       [--scenario STR] [--lin-budget N] [--no-shrink] [--print]\n\
-    \       [--out FILE] [--metrics FILE] [-v]";
+    \       [--family default|dir_churn] [--scenario STR] [--lin-budget N]\n\
+    \       [--no-shrink] [--storm] [--quick] [--print]\n\
+    \       [--out FILE] [--metrics FILE] [-v]\n\
+     dir_churn family: seeded platform-level churn (protos core|vr|all; \
+     --storm runs\n\
+     the deterministic redirect-storm regression scenario).";
   exit 2
 
 type opts = {
   mutable seeds : int list;
   mutable protos : Runner.proto list;
+  mutable protos_raw : string option;
+  mutable family : string;
+  mutable storm : bool;
+  mutable quick : bool;
   mutable scenario : Scenario.t option;
   mutable lin_budget : int;
   mutable shrink : bool;
@@ -61,6 +70,10 @@ let parse_args () =
     {
       seeds = [];
       protos = Runner.all_protos;
+      protos_raw = None;
+      family = "default";
+      storm = false;
+      quick = false;
       scenario = None;
       lin_budget = Oracle.default_lin_budget;
       shrink = true;
@@ -80,11 +93,20 @@ let parse_args () =
          usage ());
       go rest
     | "--proto" :: v :: rest ->
-      (match parse_protos v with
-       | Some ps -> o.protos <- ps
-       | None ->
-         Printf.eprintf "unknown protocol %S\n" v;
+      o.protos_raw <- Some v;
+      go rest
+    | "--family" :: v :: rest ->
+      (match v with
+       | "default" | "dir_churn" -> o.family <- v
+       | _ ->
+         Printf.eprintf "unknown family %S\n" v;
          usage ());
+      go rest
+    | "--storm" :: rest ->
+      o.storm <- true;
+      go rest
+    | "--quick" :: rest ->
+      o.quick <- true;
       go rest
     | "--scenario" :: v :: rest ->
       (match Scenario.of_string v with
@@ -128,8 +150,81 @@ let write_failures path failures =
   Format.pp_print_flush ppf ();
   close_out oc
 
+(* Platform-level churn: scenarios are fully determined by (proto, seed),
+   so there is no shrink pass — the artifact for a failure is the replay
+   one-liner plus the report. *)
+let run_dir_churn o =
+  let protos =
+    match o.protos_raw with
+    | None | Some "all" -> [ Churn.Core; Churn.Vr ]
+    | Some s -> (
+      match Churn.proto_of_name s with
+      | Some p -> [ p ]
+      | None ->
+        Printf.eprintf "unknown dir_churn protocol %S (core|vr|all)\n" s;
+        usage ())
+  in
+  let seeds =
+    if o.storm then [ Churn.storm_seed ]
+    else if o.seeds = [] then begin
+      prerr_endline "dir_churn: need --seed/--seeds or --storm";
+      usage ()
+    end
+    else o.seeds
+  in
+  let t0 = Unix.gettimeofday () in
+  let runs = ref 0 and passed = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun proto ->
+          incr runs;
+          let r = Churn.run ~quick:o.quick ~storm:o.storm proto ~seed in
+          if Churn.failures r = [] then begin
+            incr passed;
+            if o.verbose then Format.printf "%a@." Churn.pp_report r
+          end
+          else begin
+            failures := r :: !failures;
+            Format.printf "%a@.  replay: %s@." Churn.pp_report r
+              (Churn.replay_command proto seed)
+          end)
+        protos)
+    seeds;
+  let failures = List.rev !failures in
+  Format.printf
+    "dir_churn: %d runs (%d seeds x %d protos), %d passed, %d failed, %.1fs \
+     wall@."
+    !runs (List.length seeds) (List.length protos) !passed
+    (List.length failures)
+    (Unix.gettimeofday () -. t0);
+  (match o.out with
+   | Some path when failures <> [] ->
+     let oc = open_out path in
+     let ppf = Format.formatter_of_out_channel oc in
+     List.iter
+       (fun r ->
+         Format.fprintf ppf "%a@.replay: %s@." Churn.pp_report r
+           (Churn.replay_command r.Churn.r_proto r.Churn.r_seed))
+       failures;
+     Format.pp_print_flush ppf ();
+     close_out oc;
+     Format.printf "failure traces written to %s@." path
+   | Some _ | None -> ());
+  exit (if failures = [] then 0 else 1)
+
 let () =
   let o = parse_args () in
+  if o.family = "dir_churn" then run_dir_churn o;
+  (match o.protos_raw with
+   | None -> ()
+   | Some v -> (
+     match parse_protos v with
+     | Some ps -> o.protos <- ps
+     | None ->
+       Printf.eprintf "unknown protocol %S\n" v;
+       usage ()));
   if o.seeds = [] && o.scenario = None then begin
     prerr_endline "need --seed/--seeds or --scenario";
     usage ()

@@ -156,6 +156,69 @@ let test_lookup_after_repeated_timeouts () =
   Alcotest.(check (list int)) "members refreshed" [ 5; 6; 7 ]
     (Endpoint.believed_members h.endpoint)
 
+(* --- directory refresh (deterministic, scripted directory) --- *)
+
+let test_lookup_single_flight () =
+  (* While one directory lookup is unanswered, further retry rounds must
+     not pile up more — the replicated directory may be wedged
+     mid-reconfiguration, and N outstanding requests x retry storm must
+     not translate into a lookup storm. *)
+  let h = make_harness ~req_timeout:0.1 () in
+  Endpoint.submit h.endpoint ~seq:1 ~payload:(Client_msg.Cmd "x");
+  Endpoint.submit h.endpoint ~seq:2 ~payload:(Client_msg.Cmd "y");
+  Engine.run ~until:3.0 h.engine;
+  Alcotest.(check int) "exactly one lookup in flight" 1 !(h.lookups);
+  Alcotest.(check bool) "retries kept probing meanwhile" true
+    (Counters.get (Endpoint.counters h.endpoint) "retries" > 5);
+  (* Answering it re-arms the slow path: the next retry rounds may ask
+     again. *)
+  (match h.lookup_k with
+   | Some k -> k [ 5; 6; 7 ]
+   | None -> Alcotest.fail "no pending lookup");
+  Engine.run ~until:6.0 h.engine;
+  Alcotest.(check bool) "lookup re-armed after the answer" true
+    (!(h.lookups) >= 2)
+
+let test_empty_lookup_keeps_cached_members () =
+  (* A directory with no entry yet (or one scrubbed by a wedge) answers
+     "nobody"; the endpoint must keep probing its cached configuration
+     rather than adopt an empty member set and go mute. *)
+  let h = make_harness ~req_timeout:0.1 () in
+  Endpoint.submit h.endpoint ~seq:1 ~payload:(Client_msg.Cmd "x");
+  Engine.run ~until:1.0 h.engine;
+  Alcotest.(check bool) "directory consulted" true (!(h.lookups) >= 1);
+  (match h.lookup_k with
+   | Some k -> k []
+   | None -> Alcotest.fail "no pending lookup");
+  Alcotest.(check (list int)) "cached members kept" [ 0; 1; 2 ]
+    (Endpoint.believed_members h.endpoint);
+  h.sent := [];
+  Engine.run ~until:2.0 h.engine;
+  Alcotest.(check bool) "still probing the cached members" true
+    (List.for_all (fun (d, _) -> List.mem d [ 0; 1; 2 ]) !(h.sent)
+    && !(h.sent) <> [])
+
+let test_lookup_result_routes_retries () =
+  (* Once the directory answers with the post-reconfiguration members,
+     every subsequent retry must target the new replica group only — the
+     old machines may now host a different shard. *)
+  let h = make_harness ~req_timeout:0.1 () in
+  Endpoint.submit h.endpoint ~seq:1 ~payload:(Client_msg.Cmd "x");
+  Engine.run ~until:1.0 h.engine;
+  (match h.lookup_k with
+   | Some k -> k [ 5; 6; 7 ]
+   | None -> Alcotest.fail "no pending lookup");
+  h.sent := [];
+  Engine.run ~until:2.0 h.engine;
+  Alcotest.(check bool) "all retries target the fresh members" true
+    (List.for_all (fun (d, _) -> List.mem d [ 5; 6; 7 ]) !(h.sent)
+    && !(h.sent) <> []);
+  (* A redirect from the new group then pins the leader as usual. *)
+  Endpoint.handle h.endpoint
+    (Client_msg.Redirect { seq = 1; leader = Some 6; members = [ 5; 6; 7 ]; epoch = 3 });
+  Alcotest.(check (option int)) "leader adopted from redirect" (Some 6)
+    (Endpoint.believed_leader h.endpoint)
+
 let test_resubmit_same_seq_is_retry () =
   let h = make_harness () in
   Endpoint.submit h.endpoint ~seq:1 ~payload:(Client_msg.Cmd "x");
@@ -245,6 +308,15 @@ let () =
             test_lookup_after_repeated_timeouts;
           Alcotest.test_case "re-submit same seq" `Quick
             test_resubmit_same_seq_is_retry;
+        ] );
+      ( "directory refresh",
+        [
+          Alcotest.test_case "lookups are single-flight" `Quick
+            test_lookup_single_flight;
+          Alcotest.test_case "empty answer keeps cache" `Quick
+            test_empty_lookup_keeps_cached_members;
+          Alcotest.test_case "answer routes retries" `Quick
+            test_lookup_result_routes_retries;
         ] );
       ( "coalescing",
         [

@@ -578,6 +578,146 @@ let prop_exactly_once_across_reconfig =
       in
       all_acked && state_ok)
 
+(* --- shared directory-semantics properties --- *)
+
+(* One property suite, two implementations: the in-process oracle
+   (Rsmr_core.Directory) and the replicated application
+   (Rsmr_app.Dir_app) must agree on the monotone-epoch contract —
+   whichever one a deployment consults, the answers are the same. *)
+module type DIR_SEM = sig
+  val impl : string
+  type t
+  val create : unit -> t
+  val update :
+    t -> epoch:int -> members:int list -> leader:int option -> unit
+  val view : t -> int * int list * int option
+end
+
+module Oracle_sem : DIR_SEM = struct
+  let impl = "oracle"
+  type t = Rsmr_core.Directory.t
+  let create () = Rsmr_core.Directory.create ()
+  let update t ~epoch ~members ~leader =
+    Rsmr_core.Directory.update t ~epoch ~members ~leader
+  let view t =
+    Rsmr_core.Directory.
+      (epoch t, members t, leader t)
+end
+
+module Dir_app_sem : DIR_SEM = struct
+  let impl = "dir_app"
+  module D = Rsmr_app.Dir_app
+  type t = D.t ref
+  let create () = ref (D.init ())
+  let update t ~epoch ~members ~leader =
+    (* Through the full wire codec, like a real hosted command. *)
+    let cmd =
+      D.decode_command
+        (D.encode_command (D.Update { name = "svc"; epoch; members; leader }))
+    in
+    let st, rsp = D.apply !t cmd in
+    assert (D.equal_response rsp D.Acked);
+    t := st
+  let view t =
+    (* No entry = the oracle's virgin state (epoch -1, awaiting any
+       first update). *)
+    match D.find !t "svc" with
+    | None -> (-1, [], None)
+    | Some e -> (e.D.epoch, e.D.members, e.D.leader)
+end
+
+let gen_dir_updates =
+  QCheck.(
+    small_list
+      (triple (int_bound 8)
+         (list_of_size Gen.(int_range 1 4) (int_bound 9))
+         (option (int_bound 9))))
+
+module Dir_props (S : DIR_SEM) = struct
+  (* Reference fold of the contract, stated once. *)
+  let reference updates =
+    List.fold_left
+      (fun (e0, m0, l0) (epoch, members, leader) ->
+        if epoch > e0 then (epoch, members, leader)
+        else if epoch = e0 then
+          (e0, m0, match leader with Some _ -> leader | None -> l0)
+        else (e0, m0, l0))
+      (-1, [], None) updates
+
+  let prop_matches_reference =
+    QCheck.Test.make
+      ~name:(S.impl ^ ": update fold matches the monotone-epoch contract")
+      ~count:200 gen_dir_updates
+      (fun updates ->
+        let t = S.create () in
+        List.iter
+          (fun (epoch, members, leader) -> S.update t ~epoch ~members ~leader)
+          updates;
+        S.view t = reference updates)
+
+  let prop_epoch_monotone =
+    QCheck.Test.make
+      ~name:(S.impl ^ ": exposed epoch never decreases")
+      ~count:200 gen_dir_updates
+      (fun updates ->
+        let t = S.create () in
+        List.for_all
+          (fun (epoch, members, leader) ->
+            let e0, _, _ = S.view t in
+            S.update t ~epoch ~members ~leader;
+            let e1, _, _ = S.view t in
+            e1 >= e0)
+          updates)
+
+  let prop_same_epoch_refreshes_leader =
+    QCheck.Test.make
+      ~name:(S.impl ^ ": same-epoch update refreshes leader, keeps members")
+      ~count:200
+      QCheck.(pair gen_dir_updates (int_bound 9))
+      (fun (updates, l) ->
+        let t = S.create () in
+        (* Seed a real entry first: the two implementations legitimately
+           differ on a same-epoch update against the virgin state (the
+           oracle refreshes its epoch -1 placeholder; the map creates an
+           entry) — and epoch -1 never appears on the wire. *)
+        List.iter
+          (fun (epoch, members, leader) -> S.update t ~epoch ~members ~leader)
+          ((0, [ 1; 2; 3 ], None) :: updates);
+        let e0, m0, _ = S.view t in
+        S.update t ~epoch:e0 ~members:[ 99 ] ~leader:(Some l);
+        S.view t = (e0, m0, Some l))
+
+  let prop_stale_update_ignored =
+    QCheck.Test.make
+      ~name:(S.impl ^ ": stale update is a no-op (replay idempotence)")
+      ~count:200
+      QCheck.(pair gen_dir_updates gen_dir_updates)
+      (fun (updates, stale) ->
+        let t = S.create () in
+        List.iter
+          (fun (epoch, members, leader) -> S.update t ~epoch ~members ~leader)
+          updates;
+        let before = S.view t in
+        let e0, _, _ = before in
+        List.iter
+          (fun (epoch, members, leader) ->
+            if epoch < e0 then S.update t ~epoch ~members ~leader)
+          stale;
+        S.view t = before)
+
+  let all =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_matches_reference;
+        prop_epoch_monotone;
+        prop_same_epoch_refreshes_leader;
+        prop_stale_update_ignored;
+      ]
+end
+
+module Oracle_props = Dir_props (Oracle_sem)
+module Dir_app_props = Dir_props (Dir_app_sem)
+
 let () =
   Alcotest.run "core"
     [
@@ -620,4 +760,5 @@ let () =
           QCheck_alcotest.to_alcotest prop_exactly_once_across_reconfig;
           QCheck_alcotest.to_alcotest prop_bank_conservation_across_faults;
         ] );
+      ("directory semantics", Oracle_props.all @ Dir_app_props.all);
     ]

@@ -295,6 +295,36 @@ let test_batched_fast_path_under_churn () =
         true report.Runner.quiesced)
     Runner.all_protos
 
+(* --- dir_churn: platform-level churn family --- *)
+
+module Churn = Rsmr_shard.Churn
+
+let test_dir_churn_smoke () =
+  (* A few quick seeds of the platform churn family, both composition
+     blocks — the full soak runs in CI; this guards the harness itself
+     (a platform wiring regression should fail here, not only in CI). *)
+  List.iter
+    (fun proto ->
+      List.iter
+        (fun seed ->
+          let r = Churn.run ~quick:true proto ~seed in
+          if Churn.failures r <> [] then
+            Alcotest.failf "%a@.replay: %s" Churn.pp_report r
+              (Churn.replay_command proto seed))
+        [ 0; 1 ])
+    [ Churn.Core; Churn.Vr ]
+
+let test_dir_churn_redirect_storm () =
+  (* The PR-4 redirect-storm regression, now against the replicated
+     directory: blackout + concurrent rebalances of both shards must
+     drain with bounded redirect traffic. *)
+  List.iter
+    (fun proto ->
+      let r = Churn.redirect_storm ~quick:true proto in
+      if Churn.failures r <> [] then
+        Alcotest.failf "%a" Churn.pp_report r)
+    [ Churn.Core; Churn.Vr ]
+
 let () =
   Alcotest.run "crucible"
     [
@@ -328,5 +358,12 @@ let () =
           Alcotest.test_case "first wedge wins" `Quick test_first_wedge_wins;
           Alcotest.test_case "batched fast path under churn" `Quick
             test_batched_fast_path_under_churn;
+        ] );
+      ( "dir_churn",
+        [
+          Alcotest.test_case "platform churn smoke" `Quick
+            test_dir_churn_smoke;
+          Alcotest.test_case "redirect storm regression" `Quick
+            test_dir_churn_redirect_storm;
         ] );
     ]
