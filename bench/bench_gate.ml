@@ -22,6 +22,12 @@ let fields =
     "bytes_per_command";
     "shard2_messages_per_command";
     "shard2_bytes_per_command";
+    "composed_wedged_window_ms";
+    "composed_transfer_bytes";
+    "matchmaker_wedged_window_ms";
+    "matchmaker_transfer_bytes";
+    "stopworld_wedged_window_ms";
+    "stopworld_transfer_bytes";
   ]
 
 let read_file path =

@@ -261,6 +261,52 @@ let shard_wire_cost () =
     ("shard2_bytes_per_command", float_of_int bytes /. fn);
   ]
 
+(* Per-strategy handoff accounting: one fleet replacement under each
+   composition-driver reconfiguration strategy, measured in virtual time.
+   The wedge->announce window comes from the service's own
+   [wedged_window_s] histogram (labelled by strategy) and the transfer
+   volume from the svc counter — both simulator-exact, so they gate in CI
+   like the wire-cost fields.  This is where the matchmaker claim is
+   priced: its early prepare should shrink the window below composed's
+   for the same transfer bytes.  The probe runs over the WAN latency
+   model: with sub-millisecond RTTs the prepare->wedge gap (one commit
+   round) is too small for the head start to be measurable. *)
+let reconfig_cost () =
+  let module KvCore = Rsmr_core.Service.Make (Rsmr_app.Kv) in
+  let module Registry = Rsmr_obs.Registry in
+  let module Strategy = Rsmr_iface.Reconfig_strategy in
+  let probe strategy =
+    let name = strategy.Strategy.name in
+    let engine = Rsmr_sim.Engine.create ~seed:3 () in
+    let svc =
+      KvCore.create ~engine ~latency:Rsmr_net.Latency.wan
+        ~options:{ Rsmr_core.Options.default with Rsmr_core.Options.strategy }
+        ~universe:[ 0; 1; 2; 3; 4; 5 ] ~members:[ 0; 1; 2 ] ()
+    in
+    let cluster = KvCore.cluster svc in
+    let obs = cluster.Rsmr_iface.Cluster.obs in
+    Rsmr_workload.Driver.preload ~cluster ~client:98
+      ~commands:
+        (Rsmr_workload.Kv_gen.preload_commands ~n_keys:200 ~value_size:64)
+      ~deadline:60.0 ();
+    Rsmr_iface.Overlay.reconfigure cluster.Rsmr_iface.Cluster.control
+      [ 3; 4; 5 ];
+    Rsmr_sim.Engine.run
+      ~until:(Rsmr_sim.Engine.now engine +. 30.0)
+      engine;
+    let h =
+      Registry.histogram obs "wedged_window_s" ~labels:[ ("strategy", name) ]
+    in
+    let svcc = Registry.counters obs "svc" in
+    [
+      (name ^ "_wedged_window_ms", Rsmr_sim.Histogram.mean h *. 1000.0);
+      ( name ^ "_transfer_bytes",
+        float_of_int (Counters.get svcc "transfer_bytes") );
+    ]
+  in
+  List.concat_map probe
+    [ Strategy.composed; Strategy.matchmaker; Strategy.stopworld ]
+
 (* --- machine-readable output (--json) --- *)
 
 let json_escape b s =
@@ -339,7 +385,7 @@ let () =
        from a quick pass instead of emitting an empty object. *)
     if !experiments = [] then experiments := run_experiments ~quick:true ids;
     let wire, obs = wire_cost () in
-    let wire = wire @ shard_wire_cost () in
+    let wire = wire @ shard_wire_cost () @ reconfig_cost () in
     write_json ~label ~bechamel:!bechamel ~experiments:!experiments ~wire;
     Rsmr_obs.Registry.set_meta obs "label" label;
     let mpath = "METRICS_" ^ label ^ ".json" in

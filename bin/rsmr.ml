@@ -21,6 +21,7 @@ let proto_conv =
   let parse s =
     match String.lowercase_ascii s with
     | "core" -> Ok Common.Core
+    | "matchmaker" -> Ok Common.Matchmaker
     | "core-nospec" -> Ok Common.Core_nospec
     | "core-noresid" -> Ok Common.Core_noresidual
     | "stopworld" -> Ok Common.Stopworld
@@ -84,7 +85,7 @@ let list_cmd =
 let seed_t = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
 
 let proto_t =
-  Arg.(value & opt proto_conv Common.Core & info [ "proto" ] ~doc:"Protocol: core, core-nospec, core-noresid, stopworld, raft.")
+  Arg.(value & opt proto_conv Common.Core & info [ "proto" ] ~doc:"Protocol: core, matchmaker, core-nospec, core-noresid, stopworld, raft.")
 
 let replicas_t =
   Arg.(value & opt int 3 & info [ "replicas" ] ~doc:"Initial replica count.")

@@ -65,7 +65,7 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
 
   type client_rec = {
     endpoint : Endpoint.t;
-    mutable dir_k : (Node_id.t list -> unit) option;
+    mutable dir_k : (Rsmr_app.Dir_app.entry option -> unit) option;
   }
 
   type t = {
@@ -912,11 +912,12 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
   let client_handler record (env : Raft_wire.t Network.envelope) =
     match env.Network.payload with
     | Raft_wire.Client msg -> Endpoint.handle record.endpoint msg
-    | Raft_wire.Dir_info { members; _ } -> (
+    | Raft_wire.Dir_info { epoch; members; leader } -> (
       match record.dir_k with
       | Some k ->
         record.dir_k <- None;
-        k members
+        if members = [] then k None
+        else k (Some { Rsmr_app.Dir_app.epoch; members; leader })
       | None -> ())
     | _ -> ()
   [@@rsmr.deterministic] [@@rsmr.total]
@@ -959,6 +960,8 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
     let obs = match obs with Some o -> o | None -> Obs.create () in
     if List.assoc_opt "proto" (Obs.meta obs) = None then
       Obs.set_meta obs "proto" "raft";
+    Obs.set_meta obs "strategy"
+      Rsmr_iface.Reconfig_strategy.(raft.name);
     let params = Option.value params ~default:Params.default in
     let universe = Option.value universe ~default:members in
     let universe = List.sort_uniq Node_id.compare (universe @ members) in
@@ -1077,6 +1080,18 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
       members = (fun () -> Directory.members t.dir);
       crash = (fun node -> Network.crash t.net node);
       recover = (fun node -> Network.recover t.net node);
+      control =
+        {
+          Rsmr_iface.Overlay.fault =
+            (fun f ->
+              match (f : Rsmr_iface.Overlay.fault) with
+              | Rsmr_iface.Overlay.Crash n -> Network.crash t.net n
+              | Rsmr_iface.Overlay.Recover n -> Network.recover t.net n
+              | Rsmr_iface.Overlay.Partition groups ->
+                Network.partition t.net groups
+              | Rsmr_iface.Overlay.Heal -> Network.heal t.net);
+          reconfigure = (fun members -> reconfigure t members);
+        };
       obs = t.obs;
     }
 end

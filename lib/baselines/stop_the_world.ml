@@ -6,8 +6,7 @@ module Make (Sm : Rsmr_app.State_machine.S) = struct
   let options chunk_size =
     {
       Rsmr_core.Options.default with
-      Rsmr_core.Options.speculative = false;
-      residual_resubmit = false;
+      Rsmr_core.Options.strategy = Rsmr_iface.Reconfig_strategy.stopworld;
       chunk_size;
     }
 

@@ -19,7 +19,7 @@ type t = {
   mutable members : Node_id.t list;
   mutable leader : Node_id.t option;
   mutable epoch : int;
-  lookup : ((Node_id.t list -> unit) -> unit) option;
+  lookup : ((Rsmr_app.Dir_app.entry option -> unit) -> unit) option;
   req_timeout : float;
   batch_window : float;
   batch_max : int;
@@ -137,9 +137,12 @@ and refresh_members t =
   | Some lookup when not t.lookup_inflight ->
     t.lookup_inflight <- true;
     Counters.incr t.counters "lookups";
-    lookup (fun members ->
+    lookup (fun entry ->
         t.lookup_inflight <- false;
-        if members <> [] then t.members <- members)
+        match entry with
+        | Some e when e.Rsmr_app.Dir_app.members <> [] ->
+          t.members <- e.Rsmr_app.Dir_app.members
+        | Some _ | None -> ())
   | Some _ | None -> ()
 
 let low_water t =

@@ -17,7 +17,7 @@ val create :
   me:Rsmr_net.Node_id.t ->
   send:(dst:Rsmr_net.Node_id.t -> Client_msg.t -> unit) ->
   members:Rsmr_net.Node_id.t list ->
-  ?lookup:((Rsmr_net.Node_id.t list -> unit) -> unit) ->
+  ?lookup:((Rsmr_app.Dir_app.entry option -> unit) -> unit) ->
   ?req_timeout:float ->
   ?batch_window:float ->
   ?batch_max:int ->
@@ -25,8 +25,11 @@ val create :
   on_reply:(seq:int -> rsp:string -> unit) ->
   unit ->
   t
-(** [lookup k] asynchronously fetches a fresh member list (e.g. from the
-    directory) and calls [k]; consulted after repeated timeouts.
+(** [lookup k] asynchronously fetches the service's directory entry (from
+    the single-service oracle or the replicated {!Rsmr_app.Dir_app}
+    directory — both speak the same entry shape) and calls [k]; consulted
+    after repeated timeouts.  The endpoint adopts the entry's member list
+    when it is non-empty and ignores [None] / empty answers.
     [req_timeout] defaults to 0.5 s.
 
     [batch_window] > 0 turns on client-side coalescing: submissions

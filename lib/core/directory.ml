@@ -1,20 +1,26 @@
-type t = {
-  mutable epoch : int;
-  mutable members : Rsmr_net.Node_id.t list;
-  mutable leader : Rsmr_net.Node_id.t option;
-}
+(* The single-service configuration oracle, held as a one-entry
+   [Rsmr_app.Dir_app] state under a fixed name: the ad-hoc record this
+   module used to keep and the replicated directory now share one
+   implementation of the monotone-epoch merge rule, and lookups answer
+   with the same [Dir_app.entry] shape the replicated path serves. *)
 
-let create () = { epoch = -1; members = []; leader = None }
+module Dir_app = Rsmr_app.Dir_app
+
+let service_name = "service"
+
+type t = { mutable state : Dir_app.t }
+
+let create () = { state = Dir_app.init () }
 
 let update t ~epoch ~members ~leader =
-  if epoch > t.epoch then begin
-    t.epoch <- epoch;
-    t.members <- members;
-    t.leader <- leader
-  end
-  else if epoch = t.epoch then
-    match leader with Some _ -> t.leader <- leader | None -> ()
+  let state, _ =
+    Dir_app.apply t.state
+      (Dir_app.Update { name = service_name; epoch; members; leader })
+  in
+  t.state <- state
 
-let epoch t = t.epoch
-let members t = t.members
-let leader t = t.leader
+let entry t = Dir_app.find t.state service_name
+
+let epoch t = match entry t with Some e -> e.Dir_app.epoch | None -> -1
+let members t = match entry t with Some e -> e.Dir_app.members | None -> []
+let leader t = match entry t with Some e -> e.Dir_app.leader | None -> None

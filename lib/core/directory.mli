@@ -2,10 +2,12 @@
     freshest known configuration, so clients that lost track of the member
     set can recover.
 
-    Runs on one dedicated simulated node.  The paper notes the directory
-    itself can be replicated with the same machinery; a single node
-    suffices here because only its lookup latency is observable in the
-    experiments and it is never on any decision path. *)
+    Runs on one dedicated simulated node.  The state is literally a
+    one-entry {!Rsmr_app.Dir_app} map under a fixed service name, so the
+    single-service oracle and the replicated directory share one
+    implementation of the monotone-epoch merge rule — the paper notes the
+    directory itself can be replicated with the same machinery, and the
+    sharded platform does exactly that. *)
 
 type t
 
@@ -16,6 +18,10 @@ val update :
   leader:Rsmr_net.Node_id.t option -> unit
 (** Monotone in [epoch]: stale updates are ignored; a same-epoch update may
     refresh the leader hint. *)
+
+val entry : t -> Rsmr_app.Dir_app.entry option
+(** The directory's answer in the replicated directory's own entry shape;
+    [None] until the first {!update}. *)
 
 val epoch : t -> int
 val members : t -> Rsmr_net.Node_id.t list

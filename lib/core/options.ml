@@ -1,10 +1,12 @@
+module Strategy = Rsmr_iface.Reconfig_strategy
+
 type mutation = No_first_wedge
 
 type t = {
-  speculative : bool;
-  residual_resubmit : bool;
+  strategy : Strategy.t;
   chunk_size : int;
   fetch_timeout : float;
+  prepare_ttl : float;
   client_batch_window : float;
   client_batch_max : int;
   mutation : mutation option;
@@ -12,19 +14,24 @@ type t = {
 
 let default =
   {
-    speculative = true;
-    residual_resubmit = true;
+    strategy = Strategy.composed;
     chunk_size = 64 * 1024;
     fetch_timeout = 0.25;
+    prepare_ttl = 1.0;
     client_batch_window = 0.0005;
     client_batch_max = 16;
     mutation = None;
   }
 
+let speculative t = t.strategy.Strategy.handoff = `Speculative
+let residual_resubmit t = t.strategy.Strategy.residuals = `Resubmit
+let early_prepare t = t.strategy.Strategy.prepare = `Early
+
 let pp ppf t =
   Format.fprintf ppf
-    "spec=%b residual=%b chunk=%dB fetch_to=%.0fms cbatch=%.1fms/%d%s"
-    t.speculative t.residual_resubmit t.chunk_size (t.fetch_timeout *. 1e3)
+    "strategy=%s spec=%b residual=%b chunk=%dB fetch_to=%.0fms cbatch=%.1fms/%d%s"
+    t.strategy.Strategy.name (speculative t) (residual_resubmit t)
+    t.chunk_size (t.fetch_timeout *. 1e3)
     (t.client_batch_window *. 1e3) t.client_batch_max
     (match t.mutation with
      | None -> ""

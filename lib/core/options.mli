@@ -1,5 +1,11 @@
 (** Composition-layer knobs — each one is an ablation axis in the
-    evaluation. *)
+    evaluation.
+
+    The reconfiguration policy itself is no longer a pair of booleans:
+    it is a {!Rsmr_iface.Reconfig_strategy.t} value, and
+    {!Rsmr_core.Service.Make} drives whatever stage choices the value
+    declares.  {!speculative}, {!residual_resubmit} and {!early_prepare}
+    are the derived per-stage views the driver reads. *)
 
 type mutation = No_first_wedge
       (** Deliberately re-breaks the first-wedge-wins dispatch guard:
@@ -11,17 +17,18 @@ type mutation = No_first_wedge
           enabled.  Never set it in a real configuration. *)
 
 type t = {
-  speculative : bool;
-      (** Paper's key optimization: boot the next configuration's SMR
-          instance (and let it order commands) concurrently with state
-          transfer; execution/replies still wait for the snapshot.  Off =
-          the instance only starts once the snapshot is installed. *)
-  residual_resubmit : bool;
-      (** Re-submit commands the old instance ordered after its wedge point
-          into the new instance (otherwise only client retries recover
-          them). *)
+  strategy : Rsmr_iface.Reconfig_strategy.t;
+      (** Which stage policies drive an epoch change.  Must be a
+          [`Composition]-driver strategy ({!Rsmr_iface.Reconfig_strategy});
+          native strategies (raft) are whole other stacks, not Service
+          configurations. *)
   chunk_size : int;  (** state-transfer chunk bytes *)
   fetch_timeout : float;  (** retry period for snapshot fetches *)
+  prepare_ttl : float;
+      (** Early-prepare hygiene: a provisionally-bootstrapped next epoch
+          that is not confirmed by a committed [Reconfig] within this many
+          seconds is torn down.  Only read under
+          {!Rsmr_iface.Reconfig_strategy.t.prepare}[ = `Early]. *)
   client_batch_window : float;
       (** Client endpoint coalescing window (seconds): submissions
           accumulate for this long and ship as one
@@ -35,4 +42,23 @@ type t = {
 }
 
 val default : t
+(** {!Rsmr_iface.Reconfig_strategy.composed} with the historical knob
+    values. *)
+
+val speculative : t -> bool
+(** Paper's key optimization (strategy handoff = [`Speculative]): boot
+    the next configuration's SMR instance (and let it order commands)
+    concurrently with state transfer; execution/replies still wait for
+    the snapshot.  Off = the instance only starts once the snapshot is
+    installed. *)
+
+val residual_resubmit : t -> bool
+(** Strategy residuals = [`Resubmit]: re-submit commands the old
+    instance ordered after its wedge point into the new instance
+    (otherwise only client retries recover them). *)
+
+val early_prepare : t -> bool
+(** Strategy prepare = [`Early] (Matchmaker-style): bootstrap the next
+    epoch's instance at [Reconfig] {e submission}, before it commits. *)
+
 val pp : Format.formatter -> t -> unit

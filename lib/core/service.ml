@@ -66,6 +66,16 @@ module Make_on (B : Rsmr_smr.Block_intf.S) (Sm : Rsmr_app.State_machine.S) =
 struct
   module Replica = B
 
+  (* The composition layer is a driver over
+     [t.opts.Options.strategy] ({!Rsmr_iface.Reconfig_strategy}): the
+     stage sequence wedge → prepare → state transfer → directory publish
+     → handoff → residual re-submission is fixed, and the strategy value
+     picks a policy per stage.  [Options.speculative],
+     [Options.residual_resubmit] and [Options.early_prepare] are the
+     derived stage views read below; [composed] (the paper's default)
+     keeps every code path bit-for-bit identical to the historical
+     hard-wired sequence. *)
+
   type app_state = Sm.t
   type instance = {
     epoch : int;
@@ -98,6 +108,16 @@ struct
     mutable fetch_rr : int;
     mutable announced : bool;
     mutable retired : bool;
+    mutable provisional : bool;
+        (* Matchmaker-style early prepare: the instance was bootstrapped
+           at [Reconfig] submission, before the command committed.  A
+           provisional instance may order speculatively but never serves
+           clients, announces, or installs a snapshot until a wedge-time
+           [Bootstrap] confirms its membership (or replaces it). *)
+    mutable prepare_timer : Engine.timer option;
+        (* provisional-hygiene TTL: tears the instance down if no
+           confirmation arrives (the prepared [Reconfig] lost the race
+           or never committed) *)
     sc : Obs.scope;  (* {node; epoch}-scoped registry view *)
     (* hot-path cells of that scope, resolved once per instance *)
     sc_applied : int ref;
@@ -114,7 +134,7 @@ struct
 
   type client_rec = {
     endpoint : Endpoint.t;
-    mutable dir_k : (Node_id.t list -> unit) option;
+    mutable dir_k : (Rsmr_app.Dir_app.entry option -> unit) option;
   }
 
   type t = {
@@ -134,6 +154,10 @@ struct
     counters : Counters.t;
     obs : Obs.t;
     bus : Trace.t;  (* = Obs.bus obs, cached *)
+    wedge_times : (int, float) Hashtbl.t;
+        (* new epoch -> virtual time of the first wedge that opened it;
+           consumed by the first announce to measure the wedged window *)
+    wedged_window : Rsmr_sim.Histogram.t;
   }
 
   let engine t = t.engine
@@ -243,8 +267,20 @@ struct
      its members and give the directory a leader hint.  Done by the
      instance's leader once it is both activated and elected. *)
   let announce t host inst =
-    if inst.activated && (not inst.announced) && is_inst_leader inst then begin
+    if
+      inst.activated
+      && (not inst.announced)
+      && (not inst.provisional)
+      && is_inst_leader inst
+    then begin
       inst.announced <- true;
+      (* Handoff complete: the wedged window for this epoch change closes
+         with the directory publish below. *)
+      (match Hashtbl.find_opt t.wedge_times inst.epoch with
+       | Some t0 ->
+         Hashtbl.remove t.wedge_times inst.epoch;
+         Rsmr_sim.Histogram.record t.wedged_window (Engine.now t.engine -. t0)
+       | None -> ());
       List.iter
         (fun m -> send t ~src:host.me ~dst:m (Wire.Retire { epoch = inst.epoch }))
         inst.prev_members;
@@ -278,6 +314,11 @@ struct
        | Some timer ->
          Engine.cancel t.engine timer;
          inst.fetch_timer <- None
+       | None -> ());
+      (match inst.prepare_timer with
+       | Some timer ->
+         Engine.cancel t.engine timer;
+         inst.prepare_timer <- None
        | None -> ())
     end
 
@@ -341,7 +382,7 @@ struct
        leader does not itself host the next instance (disjoint
        replacement), it forwards the command to a new member as a static
        Submit, which that member's replica routes to its leader. *)
-    if t.opts.Options.residual_resubmit && is_inst_leader inst then begin
+    if Options.residual_resubmit t.opts && is_inst_leader inst then begin
       Counters.incr t.counters "residuals_resubmitted";
       if Trace.active t.bus then begin
         let client, seq = env_client_seq env in
@@ -459,8 +500,14 @@ struct
         Trace.emit t.bus ~time:(Engine.now t.engine) ~node:host.me
           ~topic:`Reconfig
           ~attrs:
-            [ ("epoch", string_of_int inst.epoch); ("widx", string_of_int widx) ]
+            [
+              ("epoch", string_of_int inst.epoch);
+              ("widx", string_of_int widx);
+              ("strategy", t.opts.Options.strategy.Rsmr_iface.Reconfig_strategy.name);
+            ]
           "wedged";
+      if not (Hashtbl.mem t.wedge_times (inst.epoch + 1)) then
+        Hashtbl.add t.wedge_times (inst.epoch + 1) (Engine.now t.engine);
       let snapshot =
         Snapshot.encode
           { Snapshot.app = Sm.snapshot inst.app;
@@ -472,13 +519,18 @@ struct
         host.top_epoch <- new_epoch;
         host.latest_members <- members'
       end;
-      (* Anyone who asked for this snapshot before we wedged. *)
+      (* Anyone who asked for this snapshot before we wedged.  Only the
+         committed configuration's members are served: an early-prepared
+         instance whose membership lost the race may have fetched too, and
+         it must starve (its TTL tears it down) rather than activate. *)
       (match Hashtbl.find_opt host.pending_fetches new_epoch with
        | Some waiting ->
          Hashtbl.remove host.pending_fetches new_epoch;
          List.iter
            (fun dst -> send_snapshot t host ~dst ~epoch:new_epoch snapshot)
-           !waiting
+           (List.filter
+              (fun dst -> List.exists (Node_id.equal dst) members')
+              !waiting)
        | None -> ());
       (* Tell the new configuration it exists. *)
       let bootstrap_members () =
@@ -516,21 +568,132 @@ struct
         (Wire.Dir_update { epoch = new_epoch; members = members'; leader = None });
       t.on_dir_update ~epoch:new_epoch ~members:members' ~leader:None;
       (* A host in both configurations transfers state locally: its own
-         wedge-point state is exactly the new instance's initial state. *)
+         wedge-point state is exactly the new instance's initial state.
+         An early-prepared instance is confirmed (or replaced, if its
+         membership lost the race) by this same authoritative step. *)
       if List.exists (Node_id.equal host.me) members' then begin
         match Hashtbl.find_opt host.instances new_epoch with
         | Some next ->
+          let next =
+            confirm_or_replace t host next ~members:members'
+              ~prev_members:inst.cfg.Config.members
+          in
           activate t host next ~app:inst.app ~sessions:inst.sessions ~local:true
         | None ->
           let next =
-            create_instance t host ~epoch:new_epoch ~members:members'
-              ~prev_members:inst.cfg.Config.members ~boot:`Await
+            create_instance t host ~provisional:false ~epoch:new_epoch
+              ~members:members' ~prev_members:inst.cfg.Config.members
+              ~boot:`Await
           in
           activate t host next ~app:inst.app ~sessions:inst.sessions ~local:true
       end
     end
 
-  and create_instance t host ~epoch ~members ~prev_members ~boot =
+  (* --- Matchmaker-style early prepare --- *)
+
+  and same_members a b =
+    List.sort_uniq Node_id.compare a = List.sort_uniq Node_id.compare b
+
+  and teardown_provisional t host inst =
+    (* The prepared [Reconfig] lost the race (or never committed): halt
+       and forget the instance so the authoritative configuration — if
+       any — can take the epoch slot with a clean boot. *)
+    if inst.provisional && not inst.retired then begin
+      Counters.incr t.counters "prepare_teardowns";
+      retire_instance t inst;
+      (* Free the epoch slot only if it still holds this (now retired)
+         provisional instance — an authoritative replacement that already
+         took the slot is never provisional. *)
+      (match Hashtbl.find_opt host.instances inst.epoch with
+       | Some cur when cur.provisional && cur.retired ->
+         Hashtbl.remove host.instances inst.epoch
+       | Some _ | None -> ());
+      (match inst.residual_timer with
+       | Some timer ->
+         Engine.cancel t.engine timer;
+         inst.residual_timer <- None
+       | None -> ())
+    end
+
+  and confirm_provisional t host inst =
+    if inst.provisional then begin
+      inst.provisional <- false;
+      Counters.incr t.counters "prepare_confirms";
+      (match inst.prepare_timer with
+       | Some timer ->
+         Engine.cancel t.engine timer;
+         inst.prepare_timer <- None
+       | None -> ());
+      (* The configuration is authoritative now: advertise it for
+         redirects, exactly as a wedge-time bootstrap would have. *)
+      if inst.epoch > host.top_epoch then begin
+        host.top_epoch <- inst.epoch;
+        host.latest_members <- inst.cfg.Config.members
+      end;
+      (* A snapshot that finished transferring while we were provisional
+         installs now. *)
+      try_install t host inst
+    end
+
+  (* An authoritative bootstrap (wedge-time [Bootstrap], or the wedge's
+     local-handoff path) meets an existing instance: a provisional one is
+     confirmed if the committed membership matches what was prepared, and
+     torn down and rebuilt otherwise.  Non-provisional instances are
+     already authoritative — first bootstrap won. *)
+  and confirm_or_replace t host inst ~members ~prev_members =
+    if not inst.provisional then inst
+    else if same_members inst.cfg.Config.members members then begin
+      confirm_provisional t host inst;
+      inst
+    end
+    else begin
+      teardown_provisional t host inst;
+      create_instance t host ~provisional:false ~epoch:inst.epoch ~members
+        ~prev_members ~boot:`Await
+    end
+
+  and handle_prepare t host ~epoch ~members ~prev_members =
+    (* Speculative bootstrap at [Reconfig] submission time: the new
+       epoch's instance boots (and, under a speculative-handoff strategy,
+       starts electing and ordering) while the old epoch is still
+       committing the membership change — so at wedge time only state
+       transfer remains inside the wedged window.  Garbage off the wire
+       (empty member list) is ignored, exactly as in
+       [handle_bootstrap]. *)
+    if
+      members <> []
+      && Options.early_prepare t.opts
+      && not (Hashtbl.mem host.instances epoch)
+    then
+      ignore
+        (create_instance t host ~provisional:true ~epoch ~members
+           ~prev_members ~boot:`Await)
+
+  and maybe_prepare t host inst members' =
+    if
+      Options.early_prepare t.opts
+      && members' <> []
+      && inst.wedged_at = None
+      && is_inst_leader inst
+      && not (Hashtbl.mem host.instances (inst.epoch + 1))
+    then begin
+      Counters.incr t.counters "prepares";
+      let epoch = inst.epoch + 1 in
+      let prev_members = inst.cfg.Config.members in
+      List.iter
+        (fun m ->
+          if not (Node_id.equal m host.me) then
+            send t ~src:host.me ~dst:m
+              (Wire.Prepare
+                 { epoch; members = members'; prev_epoch = inst.epoch;
+                   prev_members }))
+        members';
+      if List.exists (Node_id.equal host.me) members' then
+        handle_prepare t host ~epoch ~members:members' ~prev_members
+    end
+
+  and create_instance t host ~provisional ~epoch ~members ~prev_members
+      ~boot =
     let cfg = Config.make ~instance_id:epoch ~members in
     let sc = Obs.scope ~node:host.me ~epoch t.obs in
     let inst =
@@ -556,16 +719,28 @@ struct
         fetch_rr = 0;
         announced = false;
         retired = false;
+        provisional;
+        prepare_timer = None;
         sc;
         sc_applied = Obs.scope_counter sc "applied";
         sc_residuals = Obs.scope_counter sc "residuals";
       }
     in
     Hashtbl.replace host.instances epoch inst;
-    if epoch > host.top_epoch then begin
+    (* A provisional configuration is not advertised: redirects keep
+       pointing clients at the last committed configuration until a
+       wedge-time bootstrap confirms this one. *)
+    if (not provisional) && epoch > host.top_epoch then begin
       host.top_epoch <- epoch;
       host.latest_members <- members
     end;
+    if provisional then
+      inst.prepare_timer <-
+        Some
+          (Engine.schedule t.engine ~delay:t.opts.Options.prepare_ttl
+             (fun () ->
+               inst.prepare_timer <- None;
+               teardown_provisional t host inst));
     (match boot with
      | `Active (app, sessions) ->
        inst.app <- app;
@@ -576,7 +751,7 @@ struct
      | `Await ->
        (* Speculative handoff: the instance begins ordering immediately,
           concurrently with state transfer. *)
-       if t.opts.Options.speculative then start_replica t host inst;
+       if Options.speculative t.opts then start_replica t host inst;
        start_fetch t host inst);
     inst
 
@@ -622,7 +797,8 @@ struct
     end
 
   and activate t host inst ~app ~sessions ~local =
-    if (not inst.activated) && not inst.retired then begin
+    if (not inst.activated) && (not inst.retired) && not inst.provisional
+    then begin
       inst.app <- app;
       inst.sessions <- sessions;
       inst.activated <- true;
@@ -635,6 +811,7 @@ struct
             [
               ("epoch", string_of_int inst.epoch);
               ("local", if local then "1" else "0");
+              ("strategy", t.opts.Options.strategy.Rsmr_iface.Reconfig_strategy.name);
             ]
           "activated";
       (match inst.fetch_timer with
@@ -664,20 +841,53 @@ struct
     List.iteri
       (fun index data ->
         Counters.incr t.counters "chunks_sent";
+        Counters.add t.counters "transfer_bytes" (String.length data);
         send t ~src:host.me ~dst (Wire.State_chunk { epoch; index; total; data }))
       pieces
+
+  (* Handoff: install the assembled snapshot once every chunk is here.
+     A provisional instance holds its chunks until confirmation. *)
+  and try_install t host inst =
+    let total = Array.length inst.chunks in
+    if
+      total > 0
+      && inst.chunks_got = total
+      && (not inst.activated)
+      && (not inst.retired)
+      && not inst.provisional
+    then begin
+      (* chunks_got = total implies every cell is filled, so the
+         filter_map drops nothing. *)
+      let pieces = Array.to_list inst.chunks |> List.filter_map Fun.id in
+      let snapshot = Snapshot.decode (Snapshot.assemble pieces) in
+      activate t host inst ~app:(Sm.restore snapshot.Snapshot.app)
+        ~sessions:(Session.decode snapshot.Snapshot.sessions) ~local:false
+    end
 
   (* --- wire handlers --- *)
 
   let handle_bootstrap t host ~epoch ~members ~prev_epoch:_ ~prev_members =
     (* An empty member list off the wire would make Config.make blow up;
        such a bootstrap is garbage, not a configuration. *)
-    if members <> [] && not (Hashtbl.mem host.instances epoch) then
-      ignore (create_instance t host ~epoch ~members ~prev_members ~boot:`Await)
+    if members <> [] then
+      match Hashtbl.find_opt host.instances epoch with
+      | None ->
+        ignore
+          (create_instance t host ~provisional:false ~epoch ~members
+             ~prev_members ~boot:`Await)
+      | Some inst ->
+        (* Wedge-time bootstrap is authoritative: it confirms a matching
+           early-prepared instance and replaces a mismatched one. *)
+        ignore (confirm_or_replace t host inst ~members ~prev_members)
 
   let handle_fetch t host ~src ~epoch =
     match Hashtbl.find_opt host.instances (epoch - 1) with
-    | Some prev when prev.final_snapshot <> None -> (
+    | Some prev
+      when prev.final_snapshot <> None
+           && List.exists (Node_id.equal src) prev.next_members -> (
+      (* Post-wedge the committed next membership is known; only its
+         members are served (a mismatched early-prepared fetcher must
+         starve, never activate). *)
       match prev.final_snapshot with
       | Some snapshot -> send_snapshot t host ~dst:src ~epoch snapshot
       | None -> ())
@@ -708,14 +918,7 @@ struct
           inst.chunks.(index) <- Some data;
           inst.chunks_got <- inst.chunks_got + 1
         end;
-        if inst.chunks_got = total then begin
-          (* chunks_got = total implies every cell is filled, so the
-             filter_map drops nothing. *)
-          let pieces = Array.to_list inst.chunks |> List.filter_map Fun.id in
-          let snapshot = Snapshot.decode (Snapshot.assemble pieces) in
-          activate t host inst ~app:(Sm.restore snapshot.Snapshot.app)
-            ~sessions:(Session.decode snapshot.Snapshot.sessions) ~local:false
-        end
+        try_install t host inst
       end
 
   let handle_retire t host ~epoch =
@@ -725,8 +928,12 @@ struct
 
   let handle_request t host ~src ~seq ~low_water ~payload =
     Counters.incr t.counters "requests";
+    (* Provisional (early-prepared) instances never serve clients: until
+       a wedge-time bootstrap confirms them they are not part of the
+       committed configuration sequence. *)
     let current =
-      newest_instance host ~pred:(fun i -> i.replica <> None && not i.retired)
+      newest_instance host ~pred:(fun i ->
+          i.replica <> None && (not i.retired) && not i.provisional)
     in
     let redirect () =
       Counters.incr t.counters "redirects";
@@ -762,6 +969,7 @@ struct
           | Client_msg.Cmd cmd ->
             Envelope.App { client = src; seq; low_water; cmd }
           | Client_msg.Change_membership members ->
+            maybe_prepare t host inst members;
             Envelope.Reconfig { client = src; seq; members }
         in
         submit_envelope inst env)
@@ -772,7 +980,8 @@ struct
      as one vector submission (one proposal batch, one broadcast). *)
   let handle_request_batch t host ~src ~low_water ~reqs =
     let current =
-      newest_instance host ~pred:(fun i -> i.replica <> None && not i.retired)
+      newest_instance host ~pred:(fun i ->
+          i.replica <> None && (not i.retired) && not i.provisional)
     in
     let redirect seq =
       Counters.incr t.counters "redirects";
@@ -812,6 +1021,7 @@ struct
                 | Client_msg.Cmd cmd ->
                   Envelope.App { client = src; seq; low_water; cmd }
                 | Client_msg.Change_membership members ->
+                  maybe_prepare t host inst members;
                   Envelope.Reconfig { client = src; seq; members }
               in
               Some (Envelope.encode env))
@@ -842,6 +1052,8 @@ struct
     | Wire.Client (Client_msg.Reply _ | Client_msg.Redirect _) -> ()
     | Wire.Bootstrap { epoch; members; prev_epoch; prev_members } ->
       handle_bootstrap t host ~epoch ~members ~prev_epoch ~prev_members
+    | Wire.Prepare { epoch; members; prev_epoch = _; prev_members } ->
+      handle_prepare t host ~epoch ~members ~prev_members
     | Wire.Fetch_state { epoch } -> handle_fetch t host ~src ~epoch
     | Wire.State_chunk { epoch; index; total; data } ->
       handle_chunk t host ~epoch ~index ~total ~data
@@ -867,11 +1079,12 @@ struct
   let client_handler _t record (env : Wire.t Network.envelope) =
     match env.Network.payload with
     | Wire.Client msg -> Endpoint.handle record.endpoint msg
-    | Wire.Dir_info { members; _ } -> (
+    | Wire.Dir_info { epoch; members; leader } -> (
       match record.dir_k with
       | Some k ->
         record.dir_k <- None;
-        k members
+        if members = [] then k None
+        else k (Some { Rsmr_app.Dir_app.epoch; members; leader })
       | None -> ())
     | _ -> ()
   [@@rsmr.deterministic] [@@rsmr.total]
@@ -946,6 +1159,10 @@ struct
       W.varint w inst.fetch_rr;
       W.bool w inst.announced;
       W.bool w inst.retired;
+      (* Early-prepare fields: constant (false, false) under the default
+         [composed] strategy, so its reachable-state COUNT is untouched. *)
+      W.bool w inst.provisional;
+      W.bool w (pending_timer inst.prepare_timer);
       W.string w (Sm.snapshot inst.app);
       W.string w (Session.encode inst.sessions);
       W.option w W.string (Option.map Replica.fingerprint inst.replica)
@@ -997,6 +1214,18 @@ struct
     if List.assoc_opt "proto" (Obs.meta obs) = None then
       Obs.set_meta obs "proto" "core";
     let opts = Option.value options ~default:Options.default in
+    (match opts.Options.strategy.Rsmr_iface.Reconfig_strategy.driver with
+     | `Composition -> ()
+     | `Native ->
+       invalid_arg
+         ("Service.create: strategy "
+         ^ opts.Options.strategy.Rsmr_iface.Reconfig_strategy.name
+         ^ " has a native driver — it is a separate stack, not a Service \
+            configuration"));
+    (* The active strategy travels as registry metadata so every
+       METRICS_*.json names it without out-of-band bookkeeping. *)
+    Obs.set_meta obs "strategy"
+      opts.Options.strategy.Rsmr_iface.Reconfig_strategy.name;
     let smr_params = Option.value smr_params ~default:Rsmr_smr.Params.default in
     let universe = Option.value universe ~default:members in
     let universe = List.sort_uniq Node_id.compare (universe @ members) in
@@ -1041,6 +1270,14 @@ struct
         counters = Obs.counters obs "svc";
         obs;
         bus = Obs.bus obs;
+        wedge_times = Hashtbl.create 4;
+        wedged_window =
+          Obs.histogram obs "wedged_window_s"
+            ~labels:
+              [
+                ( "strategy",
+                  opts.Options.strategy.Rsmr_iface.Reconfig_strategy.name );
+              ];
       }
     in
     List.iter
@@ -1062,8 +1299,8 @@ struct
       (fun node ->
         let host = Hashtbl.find t.hosts node in
         ignore
-          (create_instance t host ~epoch:0 ~members ~prev_members:[]
-             ~boot:(`Active (Sm.init (), Session.empty))))
+          (create_instance t host ~provisional:false ~epoch:0 ~members
+             ~prev_members:[] ~boot:(`Active (Sm.init (), Session.empty))))
       members;
     Directory.update t.dir ~epoch:0 ~members ~leader:None;
     Network.register t.net dir_id (dir_handler t);
@@ -1087,6 +1324,18 @@ struct
       members = (fun () -> Directory.members t.dir);
       crash = (fun node -> Network.crash t.net node);
       recover = (fun node -> Network.recover t.net node);
+      control =
+        {
+          Rsmr_iface.Overlay.fault =
+            (fun f ->
+              match (f : Rsmr_iface.Overlay.fault) with
+              | Rsmr_iface.Overlay.Crash n -> Network.crash t.net n
+              | Rsmr_iface.Overlay.Recover n -> Network.recover t.net n
+              | Rsmr_iface.Overlay.Partition groups ->
+                Network.partition t.net groups
+              | Rsmr_iface.Overlay.Heal -> Network.heal t.net);
+          reconfigure = (fun members -> reconfigure t members);
+        };
       obs = t.obs;
     }
 end

@@ -8,6 +8,18 @@
     pull-based chunked state transfer, retirement of superseded instances,
     and the client/directory protocols. *)
 
+type prepare = {
+  epoch : int;
+  members : Rsmr_net.Node_id.t list;
+  prev_epoch : int;
+  prev_members : Rsmr_net.Node_id.t list;
+}
+(** Matchmaker-style early prepare: the old epoch's leader asks the next
+    configuration to bootstrap {e before} the [Reconfig] commits, so the
+    new instance's election overlaps the old epoch still committing.  A
+    prepared instance stays provisional until a wedge-time {!t.Bootstrap}
+    confirms (or replaces) it. *)
+
 type t =
   | Block of { epoch : int; data : string }
   | Client of Rsmr_client.Client_msg.t
@@ -34,6 +46,11 @@ type t =
       members : Rsmr_net.Node_id.t list;
       leader : Rsmr_net.Node_id.t option;
     }
+  | Prepare of prepare
+
+val write_prepare : Rsmr_app.Codec.Writer.t -> prepare -> unit
+val read_prepare : Rsmr_app.Codec.Reader.t -> prepare
+[@@rsmr.deterministic] [@@rsmr.total]
 
 val size : t -> int
 (** Wire size in bytes: a single counting pass over the same body as

@@ -82,3 +82,49 @@ let scenario ~seed =
     duration;
     events = Scenario.sort_events (List.rev !events);
   }
+
+(* Reconfiguration-heavy scenarios: every event slot is a membership
+   change (often back-to-back), with a thin garnish of crashes and loss so
+   the handoff machinery — not the fault model — is what's being soaked.
+   This is the family the per-strategy churn soak runs over. *)
+let reconf_churn_scenario ~seed =
+  let rng = Rng.create ((seed * 2) + 1) in
+  let size = if Rng.int rng 4 < 3 then 3 else 5 in
+  let universe_n = size + 2 + Rng.int rng 3 in
+  let universe = List.init universe_n Fun.id in
+  let members = List.init size Fun.id in
+  let n_clients = 2 + Rng.int rng 2 in
+  let duration = time_in rng 1.5 2.5 in
+  let n_reconfs = 3 + Rng.int rng 4 in
+  let events = ref [] in
+  let emit at fault = events := { Scenario.at; fault } :: !events in
+  for _ = 1 to n_reconfs do
+    let at = time_in rng 0.3 duration in
+    let target = pick_config rng ~universe ~size in
+    emit at (Scenario.Reconfigure target);
+    (* Half the changes get a chaser inside the install window, so the
+       first-wedge-wins path and provisional teardown both fire. *)
+    if Rng.bool rng then begin
+      let target' = pick_config rng ~universe ~size in
+      emit (at +. time_in rng 0.0 0.2) (Scenario.Reconfigure target')
+    end
+  done;
+  (match Rng.int rng 3 with
+   | 0 ->
+     let node = Rng.pick rng universe in
+     let at = time_in rng 0.3 duration in
+     emit at (Scenario.Crash node);
+     emit (min duration (at +. time_in rng 0.2 0.8)) (Scenario.Recover node)
+   | 1 ->
+     let at = time_in rng 0.3 duration in
+     emit at (Scenario.Drop (prob_in rng 0.05 0.2));
+     emit (min duration (at +. time_in rng 0.2 0.8)) (Scenario.Drop 0.0)
+   | _ -> ());
+  {
+    Scenario.seed;
+    members;
+    universe;
+    n_clients;
+    duration;
+    events = Scenario.sort_events (List.rev !events);
+  }

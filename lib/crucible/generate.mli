@@ -14,3 +14,9 @@
     so every scenario eventually quiesces. *)
 
 val scenario : seed:int -> Scenario.t
+
+val reconf_churn_scenario : seed:int -> Scenario.t
+(** Like {!scenario} but every event slot is a membership change (3–6 per
+    run, roughly half with a back-to-back chaser inside the install
+    window) plus at most one crash or loss spell — the family the
+    per-strategy reconfiguration soak runs over. *)

@@ -46,9 +46,9 @@ let check_exactly_once (r : Runner.report) =
             else "lost application"))
 
 let check_epoch_prefix (r : Runner.report) =
-  match r.Runner.proto with
-  | Runner.Raft -> Skip "native raft has no wedge"
-  | Runner.Core | Runner.Stopworld ->
+  match r.Runner.proto.Rsmr_iface.Reconfig_strategy.driver with
+  | `Native -> Skip "native raft has no wedge"
+  | `Composition ->
     let violations = ref [] in
     let agreed = Hashtbl.create 8 in
     List.iter
@@ -89,9 +89,9 @@ let check_residual (r : Runner.report) =
          (r.Runner.submitted - r.Runner.completed)
          r.Runner.submitted)
   else
-    match r.Runner.proto with
-    | Runner.Raft -> Pass (* reduces to the no-lost-command check above *)
-    | Runner.Core | Runner.Stopworld ->
+    match r.Runner.proto.Rsmr_iface.Reconfig_strategy.driver with
+    | `Native -> Pass (* reduces to the no-lost-command check above *)
+    | `Composition ->
       let resid = counter_of r "residuals" in
       let resub = counter_of r "residuals_resubmitted" in
       if resub > resid then

@@ -16,20 +16,22 @@ module Counter = Rsmr_app.Counter
 module MixedCore = Service.Make (Mixed)
 module MixedRaft = Rsmr_baselines.Raft.Make (Mixed)
 
-type proto = Core | Stopworld | Raft
+(* A crucible protocol IS a reconfiguration strategy: every registered
+   strategy value runs through the soak, the composition-driver ones as
+   Service option sets and the native ones as their own stacks. *)
+module Strategy = Rsmr_iface.Reconfig_strategy
 
-let proto_name = function
-  | Core -> "core"
-  | Stopworld -> "stopworld"
-  | Raft -> "raft"
+type proto = Strategy.t
 
-let proto_of_string = function
-  | "core" -> Some Core
-  | "stopworld" -> Some Stopworld
-  | "raft" -> Some Raft
-  | _ -> None
+let proto_name (p : proto) = p.Strategy.name
+let proto_of_string = Strategy.find
+let all_protos = Strategy.all
 
-let all_protos = [ Core; Stopworld; Raft ]
+(* Value aliases so call sites read (almost) as before. *)
+let core : proto = Strategy.composed
+let matchmaker : proto = Strategy.matchmaker
+let stopworld : proto = Strategy.stopworld
+let raft : proto = Strategy.raft
 
 type report = {
   proto : proto;
@@ -73,15 +75,10 @@ type stack = {
   service_ids : int list;  (* directory + admin client *)
 }
 
-let stopworld_options =
-  { Options.default with Options.speculative = false; residual_resubmit = false }
-
-let make_stack engine proto (sc : Scenario.t) =
-  match proto with
-  | Core | Stopworld ->
-    let options =
-      match proto with Stopworld -> stopworld_options | _ -> Options.default
-    in
+let make_stack engine (proto : proto) (sc : Scenario.t) =
+  match proto.Strategy.driver with
+  | `Composition ->
+    let options = { Options.default with Options.strategy = proto } in
     let svc =
       MixedCore.create ~engine ~options ~universe:sc.Scenario.universe
         ~members:sc.Scenario.members ()
@@ -106,7 +103,7 @@ let make_stack engine proto (sc : Scenario.t) =
          (Service.create's documented convention, shared by Raft). *)
       service_ids = [ dir; dir + 1 ];
     }
-  | Raft ->
+  | `Native ->
     let svc =
       MixedRaft.create ~engine ~universe:sc.Scenario.universe
         ~members:sc.Scenario.members ()
@@ -133,9 +130,10 @@ let make_stack engine proto (sc : Scenario.t) =
    and admin ride along in every group so the workload keeps flowing to
    whichever side can serve it. *)
 let apply_fault stack ~non_replica fault =
+  let control = stack.cluster.Cluster.control in
   match (fault : Scenario.fault) with
-  | Scenario.Crash n -> stack.cluster.Cluster.crash n
-  | Scenario.Recover n -> stack.cluster.Cluster.recover n
+  | Scenario.Crash n -> Rsmr_iface.Overlay.crash control n
+  | Scenario.Recover n -> Rsmr_iface.Overlay.recover control n
   | Scenario.Partition groups ->
     stack.partition (List.map (fun g -> g @ non_replica) groups)
   | Scenario.Heal -> stack.net_heal ()
@@ -143,7 +141,7 @@ let apply_fault stack ~non_replica fault =
   | Scenario.Clear_links -> stack.clear_links ()
   | Scenario.Duplicate p -> stack.set_duplicate p
   | Scenario.Drop p -> stack.set_drop p
-  | Scenario.Reconfigure target -> stack.cluster.Cluster.reconfigure target
+  | Scenario.Reconfigure target -> Rsmr_iface.Overlay.reconfigure control target
 
 (* Small value domains keep the linearizability search cheap: 8 register
    values, 3 keys × 8 values, increments of 1–3. *)
@@ -194,7 +192,7 @@ let run proto (sc : Scenario.t) =
          stack.set_duplicate 0.0;
          stack.set_drop 0.0;
          List.iter
-           (fun n -> stack.cluster.Cluster.recover n)
+           (fun n -> Rsmr_iface.Overlay.recover stack.cluster.Cluster.control n)
            sc.Scenario.universe));
   let history = History.create () in
   let acked_incr = ref 0 in

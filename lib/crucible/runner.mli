@@ -11,11 +11,22 @@
     rather than raised.  For a fixed scenario the entire run is
     bit-for-bit deterministic. *)
 
-type proto = Core | Stopworld | Raft
+type proto = Rsmr_iface.Reconfig_strategy.t
+(** A crucible protocol {e is} a reconfiguration strategy: every
+    registered strategy runs through the soak — composition-driver ones
+    as {!Rsmr_core.Options} strategy selections, native ones as their own
+    stacks. *)
 
 val proto_name : proto -> string
 val proto_of_string : string -> proto option
 val all_protos : proto list
+
+val core : proto
+(** The default [composed] strategy (historical name kept for tests). *)
+
+val matchmaker : proto
+val stopworld : proto
+val raft : proto
 
 type report = {
   proto : proto;

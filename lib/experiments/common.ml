@@ -7,17 +7,47 @@ module KvCore = Rsmr_core.Service.Make (Rsmr_app.Kv)
 module KvCoreVr = Rsmr_core.Service.Make_on (Rsmr_smr.Vr) (Rsmr_app.Kv)
 module KvRaft = Rsmr_baselines.Raft.Make (Rsmr_app.Kv)
 
-type proto = Core | Core_vr | Core_nospec | Core_noresidual | Stopworld | Raft
+module Strategy = Rsmr_iface.Reconfig_strategy
+
+type proto =
+  | Core
+  | Matchmaker
+  | Core_vr
+  | Core_nospec
+  | Core_noresidual
+  | Stopworld
+  | Raft
 
 let proto_name = function
   | Core -> "core"
+  | Matchmaker -> "matchmaker"
   | Core_vr -> "core/vr"
   | Core_nospec -> "core-nospec"
   | Core_noresidual -> "core-noresid"
   | Stopworld -> "stopworld"
   | Raft -> "raft"
 
-let all_protos = [ Core; Core_vr; Core_nospec; Core_noresidual; Stopworld; Raft ]
+let all_protos =
+  [ Core; Matchmaker; Core_vr; Core_nospec; Core_noresidual; Stopworld; Raft ]
+
+(* Ablations are anonymous strategy records: the composed stages with one
+   dial flipped — exactly what the strategy API is for. *)
+let strategy_of = function
+  | Core | Core_vr | Raft -> Strategy.composed
+  | Matchmaker -> Strategy.matchmaker
+  | Core_nospec ->
+    { Strategy.composed with
+      Strategy.name = "composed-nospec";
+      aliases = [];
+      handoff = `Blocking
+    }
+  | Core_noresidual ->
+    { Strategy.composed with
+      Strategy.name = "composed-noresid";
+      aliases = [];
+      residuals = `Client_retry
+    }
+  | Stopworld -> Strategy.stopworld
 
 type setup = {
   engine : Engine.t;
@@ -28,19 +58,13 @@ type setup = {
 }
 
 let core_options proto chunk_size =
-  let base = { Options.default with Options.chunk_size } in
-  match proto with
-  | Core_nospec -> { base with Options.speculative = false }
-  | Core_noresidual -> { base with Options.residual_resubmit = false }
-  | Stopworld ->
-    { base with Options.speculative = false; residual_resubmit = false }
-  | Core | Core_vr | Raft -> base
+  { Options.default with Options.chunk_size; strategy = strategy_of proto }
 
 let make ?(seed = 1) ?latency ?drop ?bandwidth ?(chunk_size = 64 * 1024) proto
     ~members ~universe =
   let engine = Engine.create ~seed () in
   match proto with
-  | Core | Core_nospec | Core_noresidual | Stopworld ->
+  | Core | Matchmaker | Core_nospec | Core_noresidual | Stopworld ->
     (* Stopworld is the core composition with both overlap optimizations
        disabled (same semantics as Rsmr_baselines.Stop_the_world, built
        directly so leader/state introspection stays available). *)

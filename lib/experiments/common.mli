@@ -3,6 +3,9 @@
 
 type proto =
   | Core  (** the paper's protocol over Multi-Paxos, speculative handoff on *)
+  | Matchmaker
+      (** composed stages + Matchmaker-style early prepare: the next
+          configuration bootstraps while the old epoch is still committing *)
   | Core_vr  (** the same composition layer over the VR building block *)
   | Core_nospec  (** ablation: ordering waits for state transfer *)
   | Core_noresidual  (** ablation: residuals recovered by client retry only *)
@@ -11,6 +14,12 @@ type proto =
 
 val proto_name : proto -> string
 val all_protos : proto list
+
+val strategy_of : proto -> Rsmr_iface.Reconfig_strategy.t
+(** The {!Rsmr_iface.Reconfig_strategy} the proto selects.  Ablation
+    protos map to anonymous strategy records (the composed stages with
+    one dial flipped); [Raft] maps to the composed default — its native
+    stack ignores strategy options. *)
 
 type setup = {
   engine : Rsmr_sim.Engine.t;

@@ -43,7 +43,7 @@ let run_one proto ~n_keys ~bandwidth =
 let run ?(quick = false) () =
   let n_keys = if quick then 1_000 else 10_000 in
   let bandwidth = 2.5e7 (* 200 Mb/s: makes the transfer cost visible *) in
-  let protos = [ Common.Core; Common.Stopworld; Common.Raft ] in
+  let protos = [ Common.Core; Common.Matchmaker; Common.Stopworld; Common.Raft ] in
   let results =
     List.map (fun p -> (p, run_one p ~n_keys ~bandwidth)) protos
   in
@@ -82,7 +82,10 @@ let run ?(quick = false) () =
         Printf.sprintf
           "max client latency per bucket; %d keys x 100B preloaded; 200Mb/s uplinks"
           n_keys;
-        "expected shape: core blip ~ election; stopworld ~ election+transfer; \
-         raft small blips per membership step";
+        "expected shape: core blip ~ election; matchmaker ~ core at these \
+         LAN RTTs (the prepare head start is one commit round, sub-ms here \
+         — the WAN reconfig probe in the bench JSON is where it shows); \
+         stopworld ~ election+transfer; raft small blips per membership \
+         step";
       ]
     (timeline_rows @ [ summary ])

@@ -43,7 +43,7 @@ let run ?(quick = false) () =
     if quick then [ None; Some 3.0 ]
     else [ None; Some 10.0; Some 5.0; Some 2.0; Some 1.0 ]
   in
-  let protos = [ Common.Core; Common.Stopworld; Common.Raft ] in
+  let protos = [ Common.Core; Common.Matchmaker; Common.Stopworld; Common.Raft ] in
   let baseline = Hashtbl.create 4 in
   let rows =
     List.map
@@ -80,6 +80,7 @@ let run ?(quick = false) () =
     ~notes:
       [
         "rolling replacement of one membership slot per reconfiguration";
-        "expected shape: core degrades gently; stopworld collapses at high churn";
+        "expected shape: core and matchmaker degrade gently; stopworld \
+         collapses at high churn";
       ]
     rows

@@ -14,15 +14,25 @@ module KvCore = Rsmr_core.Service.Make (Rsmr_app.Kv)
 let id = "F5"
 let title = "Ablation: speculative handoff x residual re-submission"
 
+module Strategy = Rsmr_iface.Reconfig_strategy
+
+(* Each ablation cell is an anonymous strategy: the composed stages with
+   the speculation / residual dials set per-variant. *)
 let run_one ~speculative ~residual ~n_keys =
   let engine = Engine.create ~seed:41 () in
-  let options =
+  let strategy =
     {
-      Options.default with
-      Options.speculative;
-      residual_resubmit = residual;
+      Strategy.composed with
+      Strategy.name =
+        Printf.sprintf "ablate-%c%c"
+          (if speculative then 's' else '-')
+          (if residual then 'r' else '-');
+      aliases = [];
+      handoff = (if speculative then `Speculative else `Blocking);
+      residuals = (if residual then `Resubmit else `Client_retry);
     }
   in
+  let options = { Options.default with Options.strategy } in
   let svc =
     KvCore.create ~engine ~bandwidth:5e6 ~options ~members:[ 0; 1; 2 ]
       ~universe:(Common.default_universe 6) ()

@@ -46,7 +46,7 @@ let run_one ~staleness ~tenants ~keys_per_tenant ~duration =
            Platform.Core.isolate_dir pf dir_members));
     ignore
       (Engine.at engine ~time:(t_fault +. staleness) (fun () ->
-           Platform.Core.heal_dir pf))
+           Rsmr_iface.Overlay.heal (Platform.Core.control pf)))
   end;
   rebalance_at (t_fault +. 0.1) ~node:1 ~from_:0 ~to_:1;
   rebalance_at (t_fault +. 0.2) ~node:4 ~from_:1 ~to_:0;

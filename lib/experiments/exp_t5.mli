@@ -1,0 +1,7 @@
+(** Strategy comparison under reconfiguration churn. *)
+
+val id : string
+val title : string
+
+val run : ?quick:bool -> unit -> Table.t
+(** [quick] shrinks the seed sweep for smoke runs (default [false]). *)

@@ -17,6 +17,7 @@ let all =
     { id = Exp_t2.id; title = Exp_t2.title; run = Exp_t2.run };
     { id = Exp_t3.id; title = Exp_t3.title; run = Exp_t3.run };
     { id = Exp_t4.id; title = Exp_t4.title; run = Exp_t4.run };
+    { id = Exp_t5.id; title = Exp_t5.title; run = Exp_t5.run };
     { id = Exp_b1.id; title = Exp_b1.title; run = Exp_b1.run };
   ]
 

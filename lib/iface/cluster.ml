@@ -11,5 +11,6 @@ type t = {
   members : unit -> Rsmr_net.Node_id.t list;
   crash : Rsmr_net.Node_id.t -> unit;
   recover : Rsmr_net.Node_id.t -> unit;
+  control : Overlay.control;
   obs : Rsmr_obs.Registry.t;
 }

@@ -1,0 +1,16 @@
+type fault =
+  | Crash of Rsmr_net.Node_id.t
+  | Recover of Rsmr_net.Node_id.t
+  | Partition of Rsmr_net.Node_id.t list list
+  | Heal
+
+type control = {
+  fault : fault -> unit;
+  reconfigure : Rsmr_net.Node_id.t list -> unit;
+}
+
+let crash c n = c.fault (Crash n)
+let recover c n = c.fault (Recover n)
+let partition c groups = c.fault (Partition groups)
+let heal c = c.fault Heal
+let reconfigure c members = c.reconfigure members

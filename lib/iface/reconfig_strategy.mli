@@ -1,0 +1,72 @@
+(** Reconfiguration as a first-class strategy.
+
+    The composition layer executes an epoch change as a sequence of
+    stages — {b wedge} (the old instance decides its last command),
+    {b prepare} (the new epoch's instance is bootstrapped), {b state
+    transfer} (chunked snapshot pull), {b directory publish}, {b handoff}
+    (the new instance activates and takes client traffic) and {b residual
+    re-submission} (commands decided after the wedge index are replayed
+    into the new epoch).  A strategy value picks a policy for each stage;
+    {!Rsmr_core.Service.Make} is a driver over the chosen value, and the
+    baselines present through the same interface so harnesses select
+    strategies uniformly by name.
+
+    Strategy values are descriptive records, not behaviour: all stage
+    logic lives with the driver that interprets them, which is what keeps
+    the default {!composed} value replay-identical to the historical
+    hard-wired sequence. *)
+
+type driver =
+  [ `Composition  (** one static SMR instance per epoch (the paper) *)
+  | `Native  (** the block reconfigures inside its own log (raft) *) ]
+
+type prepare =
+  [ `At_wedge
+    (** bootstrap the next epoch only once the [Reconfig] commits *)
+  | `Early
+    (** Matchmaker-style: bootstrap the next epoch's instance when the
+        [Reconfig] is {e submitted}, so its election overlaps the old
+        epoch still committing and only state transfer remains inside
+        the wedged window *) ]
+
+type handoff =
+  [ `Speculative  (** new epoch starts its replica before the snapshot *)
+  | `Blocking  (** new epoch waits for the full snapshot (stop-the-world) *)
+  ]
+
+type residuals =
+  [ `Resubmit  (** leader replays post-wedge commands into the new epoch *)
+  | `Client_retry  (** dropped; clients retry against the new epoch *) ]
+
+type t = {
+  name : string;  (** unique key used by CLIs, metrics and reports *)
+  aliases : string list;  (** accepted alternative names ([find]) *)
+  driver : driver;
+  prepare : prepare;
+  handoff : handoff;
+  residuals : residuals;
+}
+
+val composed : t
+(** The paper's default: prepare at wedge, speculative handoff, leader
+    residual re-submission.  Alias ["core"]. *)
+
+val matchmaker : t
+(** Matchmaker-style early prepare; otherwise identical to {!composed}. *)
+
+val stopworld : t
+(** Blocking handoff, no residual replay.  Alias ["stop-the-world"]. *)
+
+val raft : t
+(** Native joint-consensus baseline; stage fields are nominal. *)
+
+val all : t list
+(** Every registered strategy, [composed] first. *)
+
+val find : string -> t option
+(** Lookup by [name] or alias. *)
+
+val equal : t -> t -> bool
+(** Keyed on [name]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -7,14 +7,21 @@ module Service = Rsmr_core.Service
 module Counter = Rsmr_app.Counter
 module Svc = Rsmr_core.Service.Make (Rsmr_app.Counter)
 
-type proto = Core | Stopworld
+module Strategy = Rsmr_iface.Reconfig_strategy
 
-let proto_of_string = function
-  | "core" -> Some Core
-  | "stopworld" -> Some Stopworld
-  | _ -> None
+(* The harness explores composition-driver strategies only: a native
+   stack has no wedge/instance structure for the properties to inspect. *)
+type proto = Strategy.t
 
-let proto_to_string = function Core -> "core" | Stopworld -> "stopworld"
+let core : proto = Strategy.composed
+let stopworld : proto = Strategy.stopworld
+
+let proto_of_string s =
+  match Strategy.find s with
+  | Some p when p.Strategy.driver = `Composition -> Some p
+  | Some _ | None -> None
+
+let proto_to_string (p : proto) = p.Strategy.name
 
 exception Divergent of Choice.t
 (** A stored choice did not apply — the replayed path diverged from the
@@ -51,12 +58,7 @@ let proto t = t.proto
 let engine t = t.engine
 
 let options ~proto ~scope ~mutate =
-  let base =
-    match proto with
-    | Core -> Options.default
-    | Stopworld ->
-      { Options.default with speculative = false; residual_resubmit = false }
-  in
+  let base = { Options.default with Options.strategy = proto } in
   (* Client coalescing follows the scope's batch key: the presets check
      the immediate-send configuration; batch >= 2 pulls the coalescing
      window (flush forced by a full buffer, not by wall-clock) into the

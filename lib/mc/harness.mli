@@ -13,12 +13,20 @@
 
 module Svc : Rsmr_core.Service.S with type app_state = Rsmr_app.Counter.t
 
-type proto = Core | Stopworld
+type proto = Rsmr_iface.Reconfig_strategy.t
+(** A composition-driver reconfiguration strategy (native stacks have no
+    wedge/instance structure for the explored properties to inspect). *)
+
+val core : proto
+val stopworld : proto
 (** [Core] is the paper's composition with default options (speculative
     handoff, residual resubmission); [Stopworld] the conservative
     baseline configuration of the same composition. *)
 
 val proto_of_string : string -> proto option
+(** Registered strategy names and aliases; [None] for unknown names and
+    [`Native]-driver strategies. *)
+
 val proto_to_string : proto -> string
 
 exception Divergent of Choice.t

@@ -171,7 +171,7 @@ module Run (P : Platform.S) = struct
       let dur = if quick then 1.2 else 2.0 in
       ignore
         (Engine.at engine ~time:t0 (fun () -> P.isolate_dir pf dir_members));
-      ignore (Engine.at engine ~time:(t0 +. dur) (fun () -> P.heal_dir pf));
+      ignore (Engine.at engine ~time:(t0 +. dur) (fun () -> Rsmr_iface.Overlay.heal (P.control pf)));
       rebalance_at (t0 +. 0.2) 0;
       rebalance_at (t0 +. 0.4) 1
     end
@@ -184,9 +184,9 @@ module Run (P : Platform.S) = struct
         let node = List.nth pool (Rng.int rng (List.length pool)) in
         let dur = 0.3 +. Rng.float rng 0.7 in
         let t0 = !t in
-        ignore (Engine.at engine ~time:t0 (fun () -> P.crash pf node));
+        ignore (Engine.at engine ~time:t0 (fun () -> Rsmr_iface.Overlay.crash (P.control pf) node));
         ignore
-          (Engine.at engine ~time:(t0 +. dur) (fun () -> P.recover pf node));
+          (Engine.at engine ~time:(t0 +. dur) (fun () -> Rsmr_iface.Overlay.recover (P.control pf) node));
         t := t0 +. dur +. 0.2 +. Rng.float rng 0.8
       done;
       (* Directory-overlay partitions, overlapping freely with the crash
@@ -207,7 +207,7 @@ module Run (P : Platform.S) = struct
                      List.nth dir_members
                        (Rng.int rng (List.length dir_members));
                    ]));
-        ignore (Engine.at engine ~time:(t0 +. dur) (fun () -> P.heal_dir pf))
+        ignore (Engine.at engine ~time:(t0 +. dur) (fun () -> Rsmr_iface.Overlay.heal (P.control pf)))
       done;
       (* Rolling rebalances while the above is in flight. *)
       let n_reb = 1 + Rng.int rng 2 in
@@ -219,8 +219,8 @@ module Run (P : Platform.S) = struct
     (* Endgame repair, then run to completion. *)
     ignore
       (Engine.at engine ~time:(t_end +. 0.1) (fun () ->
-           List.iter (fun n -> P.recover pf n) pool;
-           P.heal_dir pf));
+           List.iter (fun n -> Rsmr_iface.Overlay.recover (P.control pf) n) pool;
+           Rsmr_iface.Overlay.heal (P.control pf)));
     Engine.run engine ~until:(t_end +. 0.2);
     let settled =
       Engine.run_until engine

@@ -51,12 +51,24 @@ module type S = sig
   val dir_client : t -> Dir_client.t
   val dir_epoch_regressions : t -> int
   val first_client_id : t -> Node_id.t
+  val control : t -> Rsmr_iface.Overlay.control
+
   val crash : t -> Node_id.t -> unit
+  [@@ocaml.deprecated "use control / Rsmr_iface.Overlay.crash"]
+
   val recover : t -> Node_id.t -> unit
+  [@@ocaml.deprecated "use control / Rsmr_iface.Overlay.recover"]
+
   val partition_dir : t -> Node_id.t list list -> unit
+  [@@ocaml.deprecated "use control / Rsmr_iface.Overlay.partition"]
+
   val isolate_dir : t -> Node_id.t list -> unit
+
   val heal_dir : t -> unit
+  [@@ocaml.deprecated "use control / Rsmr_iface.Overlay.heal"]
+
   val reconfigure_dir : t -> Node_id.t list -> unit
+  [@@ocaml.deprecated "use control / Rsmr_iface.Overlay.reconfigure"]
 
   val rebalance :
     t ->
@@ -136,12 +148,18 @@ module Make_on (B : Rsmr_smr.Block_intf.S) = struct
           Counters.incr t.counters "dir_lookups";
           Dir_client.lookup t.dirc ~name:(shard_name sh.index) (fun entry ->
               match entry with
-              | Some e when e.Dir_app.members <> [] -> k e.Dir_app.members
+              | Some e when e.Dir_app.members <> [] -> k entry
               | Some _ | None ->
                 (* Directory has no entry yet (initial publish still in
                    flight): fall back to the freshest locally cached
                    configuration so the endpoint keeps probing. *)
-                k sh.cached_members))
+                k
+                  (Some
+                     {
+                       Dir_app.epoch = sh.cached_epoch;
+                       members = sh.cached_members;
+                       leader = None;
+                     })))
         ~on_reply:(fun ~seq ~rsp -> t.on_reply ~client:cid ~seq ~rsp)
         ()
     in
@@ -189,6 +207,21 @@ module Make_on (B : Rsmr_smr.Block_intf.S) = struct
   let reconfigure_dir t members =
     (Dir_svc.cluster t.dir_svc).Rsmr_iface.Cluster.reconfigure members
 
+  (* The platform's control surface: crashes are machine-level (every
+     overlay at once), partition/heal act on the directory overlay (the
+     shard overlays are exercised through rebalance + machine faults),
+     and reconfigure moves the directory service itself. *)
+  let control t =
+    {
+      Rsmr_iface.Overlay.fault =
+        (function
+          | Rsmr_iface.Overlay.Crash n -> crash t n
+          | Rsmr_iface.Overlay.Recover n -> recover t n
+          | Rsmr_iface.Overlay.Partition groups -> partition_dir t groups
+          | Rsmr_iface.Overlay.Heal -> heal_dir t);
+      reconfigure = (fun ms -> reconfigure_dir t ms);
+    }
+
   let cluster t =
     {
       Rsmr_iface.Cluster.name = "platform";
@@ -201,6 +234,7 @@ module Make_on (B : Rsmr_smr.Block_intf.S) = struct
       members = (fun () -> t.pool);
       crash = (fun node -> crash t node);
       recover = (fun node -> recover t node);
+      control = control t;
       obs = t.obs;
     }
 

@@ -81,13 +81,24 @@ module type S = sig
   (** Lowest safe workload-client id (above every overlay's service,
       directory and admin ids). *)
 
+  val control : t -> Rsmr_iface.Overlay.control
+  (** The platform's {!Rsmr_iface.Overlay} fault surface — the same
+      signature single-service clusters carry, so harnesses drive both
+      uniformly.  [Crash]/[Recover] are {e machine}-level (the node goes
+      down in every overlay at once); [Partition]/[Heal] act on the
+      directory overlay only; [reconfigure] moves the directory service
+      itself onto new pool nodes. *)
+
   val crash : t -> Rsmr_net.Node_id.t -> unit
+  [@@ocaml.deprecated "use control / Rsmr_iface.Overlay.crash"]
   (** Crash the {e machine}: the node goes down in every overlay it
       appears in (all shards and the directory) at once. *)
 
   val recover : t -> Rsmr_net.Node_id.t -> unit
+  [@@ocaml.deprecated "use control / Rsmr_iface.Overlay.recover"]
 
   val partition_dir : t -> Rsmr_net.Node_id.t list list -> unit
+  [@@ocaml.deprecated "use control / Rsmr_iface.Overlay.partition"]
   (** Partition the directory overlay only — shard data paths keep
       flowing; lookups stall until {!heal_dir}.  Raw form: the caller
       must place the overlay's auxiliary ids (oracle node, sessions)
@@ -100,8 +111,10 @@ module type S = sig
       clients while keeping its replicas mutually connected. *)
 
   val heal_dir : t -> unit
+  [@@ocaml.deprecated "use control / Rsmr_iface.Overlay.heal"]
 
   val reconfigure_dir : t -> Rsmr_net.Node_id.t list -> unit
+  [@@ocaml.deprecated "use control / Rsmr_iface.Overlay.reconfigure"]
   (** Reconfigure the directory service itself onto new pool nodes. *)
 
   val rebalance :

@@ -21,10 +21,13 @@ module Churn = Rsmr_shard.Churn
 let usage () =
   prerr_endline
     "usage: crucible_main [--seed N | --seeds A..B] [--proto \
-     core|stopworld|raft|all]\n\
-    \       [--family default|dir_churn] [--scenario STR] [--lin-budget N]\n\
+     composed|matchmaker|stopworld|raft|all]\n\
+    \       [--family default|reconf_churn|dir_churn] [--scenario STR] \
+     [--lin-budget N]\n\
     \       [--no-shrink] [--storm] [--quick] [--print]\n\
     \       [--out FILE] [--metrics FILE] [-v]\n\
+     reconf_churn family: membership-change-heavy scenarios soaking every\n\
+     registered reconfiguration strategy.\n\
      dir_churn family: seeded platform-level churn (protos core|vr|all; \
      --storm runs\n\
      the deterministic redirect-storm regression scenario).";
@@ -97,7 +100,7 @@ let parse_args () =
       go rest
     | "--family" :: v :: rest ->
       (match v with
-       | "default" | "dir_churn" -> o.family <- v
+       | "default" | "dir_churn" | "reconf_churn" -> o.family <- v
        | _ ->
          Printf.eprintf "unknown family %S\n" v;
          usage ());
@@ -229,10 +232,14 @@ let () =
     prerr_endline "need --seed/--seeds or --scenario";
     usage ()
   end;
+  let generate =
+    if o.family = "reconf_churn" then Generate.reconf_churn_scenario
+    else Generate.scenario
+  in
   let scenarios =
     match o.scenario with
     | Some sc -> [ sc ]
-    | None -> List.map (fun seed -> Generate.scenario ~seed) o.seeds
+    | None -> List.map (fun seed -> generate ~seed) o.seeds
   in
   if o.print_only then begin
     List.iter (fun sc -> print_endline (Scenario.to_string sc)) scenarios;

@@ -20,7 +20,7 @@ module Explore = Rsmr_mc.Explore
 
 let usage () =
   prerr_endline
-    "usage: mc_main [--scope SPEC] [--proto core|stopworld|both]\n\
+    "usage: mc_main [--scope SPEC] [--proto core|matchmaker|stopworld|both]\n\
     \       [--strategy bfs|dfs] [--max-states N] [--frontier-dir DIR]\n\
     \       [--mutate] [--out FILE] [--replay TRACE] [-v]\n\
      SPEC is 'minimal', 'small', or either plus key=value overrides,\n\
@@ -43,7 +43,7 @@ let parse_args () =
   let o =
     {
       scope = Scope.minimal;
-      protos = [ Harness.Core ];
+      protos = [ Harness.core ];
       strategy = Explore.Bfs;
       max_states = None;
       frontier_dir = None;
@@ -64,7 +64,7 @@ let parse_args () =
       go rest
     | "--proto" :: v :: rest ->
       (match v with
-       | "both" -> o.protos <- [ Harness.Core; Harness.Stopworld ]
+       | "both" -> o.protos <- [ Harness.core; Harness.stopworld ]
        | v -> (
          match Harness.proto_of_string v with
          | Some p -> o.protos <- [ p ]

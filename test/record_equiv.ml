@@ -1,0 +1,24 @@
+(* Regenerate test/data/strategy_equivalence.expected.
+
+   Run from the repo root BEFORE touching the reconfiguration machinery:
+
+     dune exec test/record_equiv.exe -- test/data/strategy_equivalence.expected
+
+   The file freezes digests of the PR-4/PR-9 traces (and a few generated
+   seeds) under the pre-refactor composition layer; [Test_strategy]
+   replays them through the default [composed] strategy and demands
+   equality.  Do not regenerate casually — a diff here means the default
+   strategy is no longer replay-identical. *)
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ -> "test/data/strategy_equivalence.expected"
+  in
+  let lines = Equiv_scenarios.all_lines () in
+  let oc = open_out path in
+  output_string oc "# strategy_equivalence/1 — pre-refactor golden digests\n";
+  List.iter (fun (k, d) -> Printf.fprintf oc "%s %s\n" k d) lines;
+  close_out oc;
+  Printf.printf "recorded %d digests to %s\n" (List.length lines) path

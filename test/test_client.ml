@@ -42,7 +42,7 @@ type harness = {
   sent : (Rsmr_net.Node_id.t * Client_msg.t) list ref; (* newest first *)
   replies : (int * string) list ref;
   lookups : int ref;
-  mutable lookup_k : (Rsmr_net.Node_id.t list -> unit) option;
+  mutable lookup_k : (Rsmr_app.Dir_app.entry option -> unit) option;
 }
 
 let make_harness ?(members = [ 0; 1; 2 ]) ?req_timeout ?batch_window ?batch_max
@@ -151,7 +151,8 @@ let test_lookup_after_repeated_timeouts () =
   Alcotest.(check bool) "directory consulted" true (!(h.lookups) >= 1);
   (* Deliver the lookup result; future attempts use the fresh members. *)
   (match h.lookup_k with
-   | Some k -> k [ 5; 6; 7 ]
+   | Some k ->
+     k (Some { Rsmr_app.Dir_app.epoch = 1; members = [ 5; 6; 7 ]; leader = None })
    | None -> Alcotest.fail "no pending lookup");
   Alcotest.(check (list int)) "members refreshed" [ 5; 6; 7 ]
     (Endpoint.believed_members h.endpoint)
@@ -173,7 +174,8 @@ let test_lookup_single_flight () =
   (* Answering it re-arms the slow path: the next retry rounds may ask
      again. *)
   (match h.lookup_k with
-   | Some k -> k [ 5; 6; 7 ]
+   | Some k ->
+     k (Some { Rsmr_app.Dir_app.epoch = 1; members = [ 5; 6; 7 ]; leader = None })
    | None -> Alcotest.fail "no pending lookup");
   Engine.run ~until:6.0 h.engine;
   Alcotest.(check bool) "lookup re-armed after the answer" true
@@ -188,7 +190,7 @@ let test_empty_lookup_keeps_cached_members () =
   Engine.run ~until:1.0 h.engine;
   Alcotest.(check bool) "directory consulted" true (!(h.lookups) >= 1);
   (match h.lookup_k with
-   | Some k -> k []
+   | Some k -> k None
    | None -> Alcotest.fail "no pending lookup");
   Alcotest.(check (list int)) "cached members kept" [ 0; 1; 2 ]
     (Endpoint.believed_members h.endpoint);
@@ -206,7 +208,8 @@ let test_lookup_result_routes_retries () =
   Endpoint.submit h.endpoint ~seq:1 ~payload:(Client_msg.Cmd "x");
   Engine.run ~until:1.0 h.engine;
   (match h.lookup_k with
-   | Some k -> k [ 5; 6; 7 ]
+   | Some k ->
+     k (Some { Rsmr_app.Dir_app.epoch = 1; members = [ 5; 6; 7 ]; leader = None })
    | None -> Alcotest.fail "no pending lookup");
   h.sent := [];
   Engine.run ~until:2.0 h.engine;

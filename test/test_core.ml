@@ -309,7 +309,18 @@ let test_chained_reconfigs_rolling_replace () =
      / 3)
 
 let test_non_speculative_mode () =
-  let options = { Options.default with Options.speculative = false } in
+  let options =
+    {
+      Options.default with
+      Options.strategy =
+        {
+          Rsmr_iface.Reconfig_strategy.composed with
+          Rsmr_iface.Reconfig_strategy.name = "composed-blocking";
+          aliases = [];
+          handoff = `Blocking;
+        };
+    }
+  in
   let h =
     kv_harness ~options ~members:[ 0; 1; 2 ] ~universe:[ 0; 1; 2; 3; 4; 5 ]
       ~clients:[ c1 ] ()

@@ -170,7 +170,7 @@ let test_smoke_all_protos () =
   List.iter
     (fun f -> Format.printf "%a@." Soak.pp_failure f)
     summary.Soak.failures;
-  Alcotest.(check int) "runs" 15 summary.Soak.runs;
+  Alcotest.(check int) "runs" 20 summary.Soak.runs;
   Alcotest.(check int) "no failures" 0 (List.length summary.Soak.failures)
 
 let test_replay_matches_soak () =
@@ -180,8 +180,8 @@ let test_replay_matches_soak () =
   match Scenario.of_string (Scenario.to_string sc) with
   | Error e -> Alcotest.failf "reproducer does not parse: %s" e
   | Ok sc' ->
-    let a = Runner.run Runner.Core sc in
-    let b = Runner.run Runner.Core sc' in
+    let a = Runner.run Runner.core sc in
+    let b = Runner.run Runner.core sc' in
     Alcotest.(check bool) "replay is bit-for-bit" true
       (fingerprint a = fingerprint b)
 
@@ -209,7 +209,7 @@ let concurrent_reconf =
   }
 
 let test_first_wedge_wins () =
-  let report = Runner.run Runner.Core concurrent_reconf in
+  let report = Runner.run Runner.core concurrent_reconf in
   let outcome = Oracle.check report in
   if not (Oracle.ok outcome) then
     Alcotest.failf "oracles failed: %s" (Format.asprintf "%a" Oracle.pp outcome);

@@ -36,7 +36,7 @@ let test_exhaust proto () =
 
 let find_counterexample () =
   let stats =
-    Explore.run ~proto:Harness.Core ~scope:Scope.minimal ~mutate:true
+    Explore.run ~proto:Harness.core ~scope:Scope.minimal ~mutate:true
       ~strategy:Explore.Bfs ()
   in
   match stats.Explore.violation with
@@ -53,7 +53,7 @@ let test_mutation_counterexample () =
     (List.length trace <= 36);
   (* the trace must reproduce the violation when replayed from scratch *)
   let h =
-    Harness.replay ~proto:Harness.Core ~scope:Scope.minimal ~mutate:true trace
+    Harness.replay ~proto:Harness.core ~scope:Scope.minimal ~mutate:true trace
   in
   (match Harness.violation h with
    | Some p -> Alcotest.(check string) "replayed violation" prop p
@@ -70,7 +70,7 @@ let test_mutation_counterexample () =
 
 let fingerprint_film trace =
   let h =
-    Harness.create ~proto:Harness.Core ~scope:Scope.minimal ~mutate:true ()
+    Harness.create ~proto:Harness.core ~scope:Scope.minimal ~mutate:true ()
   in
   let film = ref [ Harness.fingerprint h ] in
   List.iter
@@ -136,9 +136,9 @@ let () =
     [
       ( "exhaustion",
         [
-          Alcotest.test_case "core tiny scope" `Slow (test_exhaust Harness.Core);
+          Alcotest.test_case "core tiny scope" `Slow (test_exhaust Harness.core);
           Alcotest.test_case "stopworld tiny scope" `Slow
-            (test_exhaust Harness.Stopworld);
+            (test_exhaust Harness.stopworld);
         ] );
       ( "teeth",
         [

@@ -206,7 +206,8 @@ let diag_of_finding cfg (f : Shape.finding) =
 (* ------------------------------------------------------------------ main *)
 
 let usage =
-  "usage: rsmr_mirror [--config FILE] [--format text|json] DIR-or-CMT..."
+  "usage: rsmr_mirror [--config FILE] [--format text|json] [--min-pairs N] \
+   DIR-or-CMT..."
 
 let starts_with prefix s =
   String.length s >= String.length prefix
@@ -215,12 +216,22 @@ let starts_with prefix s =
 let () =
   let config_file = ref None in
   let format = ref Diag.Text in
+  let min_pairs = ref 0 in
   let inputs = ref [] in
   let rec parse_args = function
     | [] -> ()
     | "--config" :: f :: rest ->
       config_file := Some f;
       parse_args rest
+    | "--min-pairs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 ->
+        min_pairs := n;
+        parse_args rest
+      | Some _ | None ->
+        Printf.eprintf "rsmr_mirror: --min-pairs expects a count, got %S\n%s\n"
+          n usage;
+        exit 2)
     | "--format" :: f :: rest -> (
       match Diag.format_of_string f with
       | Some f ->
@@ -331,4 +342,14 @@ let () =
       (List.length pairs) errors warns
   in
   Diag.print ~format:!format ~tool:"rsmr-mirror" ds ~summary;
+  (* Coverage floor: a refactor that silently drops codec bodies out of
+     the analysis (renamed sink, lost attribute) would otherwise pass
+     with a shrunken, vacuous pair set. *)
+  if List.length pairs < !min_pairs then begin
+    Printf.eprintf
+      "rsmr-mirror: only %d pair(s) assembled, expected at least %d — did a \
+       codec fall out of the analysis?\n"
+      (List.length pairs) !min_pairs;
+    exit 1
+  end;
   exit (if errors > 0 then 1 else 0)
